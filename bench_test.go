@@ -1,0 +1,179 @@
+// Benchmarks regenerating the paper's evaluation (Section 8): one benchmark
+// per table/figure, each reporting throughput (txns/sec) and average latency
+// (ms) as custom metrics for every point of the sweep. These run the Quick
+// profile — scaled-down clusters on the simulated WAN — so the suite
+// finishes in minutes; cmd/ringbft-bench runs the Full profile.
+//
+// Run:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig8Shards
+package ringbft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ringbft/internal/harness"
+)
+
+// benchProfile shrinks the Quick profile further so the full -bench=. suite
+// stays tractable; shapes are reported in EXPERIMENTS.md from the larger
+// profiles.
+func benchProfile() harness.Profile {
+	p := harness.Quick
+	p.Duration = 300 * time.Millisecond
+	p.Warmup = 150 * time.Millisecond
+	p.Clients = 32
+	p.ClientWindow = 8
+	p.ShardSweep = []int{2, 3, 4}
+	p.ReplicaSweep = []int{4, 7}
+	p.BatchSweep = []int{5, 20, 100}
+	p.ClientSweep = []int{4, 8, 16}
+	p.InvolvedSweep = []int{1, 2, 4}
+	return p
+}
+
+// reportFigure re-runs a figure generator once per benchmark iteration and
+// reports every series point as custom metrics.
+func reportFigure(b *testing.B, gen func(harness.Profile) (harness.Figure, error)) {
+	b.Helper()
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		fig, err := gen(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != b.N-1 {
+			continue // metrics from the final iteration only
+		}
+		for _, s := range fig.Series {
+			for _, pt := range s.Points {
+				b.ReportMetric(pt.Throughput, fmt.Sprintf("txn/s:%s@%.0f", s.Label, pt.X))
+				b.ReportMetric(pt.LatencyMS, fmt.Sprintf("ms:%s@%.0f", s.Label, pt.X))
+			}
+		}
+	}
+}
+
+// BenchmarkFig1Scalability reproduces Figure 1: fully-replicated Pbft,
+// Zyzzyva, Sbft, PoE, HotStuff and Rcc versus sharded RingBFT (0% and 15%
+// cross-shard) at increasing replicas per group/shard.
+func BenchmarkFig1Scalability(b *testing.B) {
+	reportFigure(b, harness.Fig1)
+}
+
+// BenchmarkFig8Shards reproduces Fig 8 (I)/(II): impact of the number of
+// shards at 30% cross-shard transactions.
+func BenchmarkFig8Shards(b *testing.B) {
+	reportFigure(b, harness.Fig8Shards)
+}
+
+// BenchmarkFig8Replicas reproduces Fig 8 (III)/(IV): impact of replicas per
+// shard.
+func BenchmarkFig8Replicas(b *testing.B) {
+	reportFigure(b, harness.Fig8Replicas)
+}
+
+// BenchmarkFig8CrossShardRate reproduces Fig 8 (V)/(VI): impact of the
+// cross-shard workload rate (0..100%).
+func BenchmarkFig8CrossShardRate(b *testing.B) {
+	reportFigure(b, harness.Fig8CrossRate)
+}
+
+// BenchmarkFig8BatchSize reproduces Fig 8 (VII)/(VIII): impact of batch size.
+func BenchmarkFig8BatchSize(b *testing.B) {
+	reportFigure(b, harness.Fig8BatchSize)
+}
+
+// BenchmarkFig8InvolvedShards reproduces Fig 8 (IX)/(X): impact of the
+// number of involved shards per cross-shard transaction.
+func BenchmarkFig8InvolvedShards(b *testing.B) {
+	reportFigure(b, harness.Fig8Involved)
+}
+
+// BenchmarkFig8Clients reproduces Fig 8 (XI)/(XII): impact of the number of
+// clients (in-flight transactions).
+func BenchmarkFig8Clients(b *testing.B) {
+	reportFigure(b, harness.Fig8Clients)
+}
+
+// BenchmarkFig9PrimaryFailure reproduces Figure 9: RingBFT throughput while
+// the primaries of a third of the shards crash mid-run and view changes
+// recover. Reports the throughput floor (during recovery) and the recovered
+// throughput alongside view-change counts.
+func BenchmarkFig9PrimaryFailure(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig9(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != b.N-1 {
+			continue
+		}
+		b.ReportMetric(res.Throughput, "txn/s:avg")
+		b.ReportMetric(float64(res.ViewChanges), "viewchanges")
+		if n := len(res.Timeline); n > 0 {
+			var min, max int64 = res.Timeline[0], res.Timeline[0]
+			for _, v := range res.Timeline {
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			b.ReportMetric(float64(min*10), "txn/s:floor")
+			b.ReportMetric(float64(max*10), "txn/s:peak")
+		}
+	}
+}
+
+// BenchmarkFig10ComplexCST reproduces Figure 10: RingBFT under complex
+// cross-shard transactions with 0..64 remote-read dependencies.
+func BenchmarkFig10ComplexCST(b *testing.B) {
+	reportFigure(b, harness.Fig10)
+}
+
+// BenchmarkAblationLinearVsAllToAll compares the linear communication
+// primitive against naive all-to-all Forwarding (DESIGN.md §5).
+func BenchmarkAblationLinearVsAllToAll(b *testing.B) {
+	reportFigure(b, harness.AblationLinearForward)
+}
+
+// BenchmarkAblationCryptoMix compares the paper's MAC+DS authentication mix
+// against no cryptography (DESIGN.md §5).
+func BenchmarkAblationCryptoMix(b *testing.B) {
+	reportFigure(b, harness.AblationCrypto)
+}
+
+// BenchmarkAblationOutOfOrder compares RingBFT's out-of-order consensus
+// processing (the paper's default: Prepare/Commit handled out of order with
+// locks acquired in sequence order) against a serial pipeline, approximated
+// by a single-slot client window versus a deep window.
+func BenchmarkAblationOutOfOrder(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		for _, w := range []struct {
+			label  string
+			window int
+		}{{"serial", 1}, {"pipelined", 8}} {
+			cfg := p.BaseConfig()
+			cfg.Protocol = harness.ProtoRingBFT
+			cfg.CrossShardPct = 0.3
+			// A small client population, so in-flight depth (not the
+			// closed-loop population) is the variable under test.
+			cfg.Clients = 8
+			cfg.ClientWindow = w.window
+			res, err := harness.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(res.Throughput, "txn/s:"+w.label)
+			}
+		}
+	}
+}

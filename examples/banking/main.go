@@ -1,0 +1,103 @@
+// Banking: a federated settlement network. Five institutions each run one
+// shard holding their customers' accounts; settlement transactions credit
+// accounts at several institutions atomically (the motivating federated
+// data-management scenario of the paper's introduction). Concurrent
+// settlements — including conflicting ones on the same accounts — must leave
+// every institution's replicas agreeing on balances and on the order of
+// conflicting settlements (Theorems 6.2/6.3).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"ringbft"
+)
+
+const (
+	institutions = 5 // shards: one per institution
+	replicas     = 4 // replicas per institution (tolerates 1 Byzantine each)
+	settlements  = 12
+)
+
+func main() {
+	cluster, err := ringbft.NewCluster(ringbft.ClusterConfig{
+		Shards:           institutions,
+		ReplicasPerShard: replicas,
+		// Run over the 15-region WAN model compressed 100×, so institution
+		// links have realistic relative latencies.
+		LatencyScale: 0.01,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	// Account (i, c) = customer c of institution i.
+	account := func(inst ringbft.ShardID, customer uint64) ringbft.Key {
+		return cluster.KeyOf(inst, customer)
+	}
+
+	fmt.Printf("federated settlement network: %d institutions × %d replicas\n", institutions, replicas)
+
+	// Fire concurrent settlements. Each credits one account at 2-3
+	// institutions with the same audit amount; some deliberately touch the
+	// same accounts to exercise conflict ordering.
+	var wg sync.WaitGroup
+	results := make([]ringbft.Value, settlements)
+	for i := 0; i < settlements; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := account(ringbft.ShardID(i%institutions), uint64(i%3)) // deliberate overlap
+			b := account(ringbft.ShardID((i+1)%institutions), uint64(i))
+			c := account(ringbft.ShardID((i+2)%institutions), uint64(i))
+			res, err := cluster.Submit(context.Background(), ringbft.Txn{
+				Reads:  []ringbft.Key{a, b, c},
+				Writes: []ringbft.Key{a, b, c},
+				Delta:  ringbft.Value(100 * (i + 1)),
+			})
+			if err != nil {
+				log.Fatalf("settlement %d failed: %v", i, err)
+			}
+			results[i] = res[0]
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("%d concurrent cross-institution settlements committed\n", settlements)
+
+	time.Sleep(300 * time.Millisecond) // let trailing executions land
+
+	// Audit 1: every replica of every institution reports identical
+	// balances (non-divergence).
+	for inst := 0; inst < institutions; inst++ {
+		for cust := uint64(0); cust < 3; cust++ {
+			k := account(ringbft.ShardID(inst), cust)
+			ref := cluster.Read(k, 0)
+			for r := 1; r < replicas; r++ {
+				if got := cluster.Read(k, r); got != ref {
+					log.Fatalf("institution %d replica %d diverges on account %d: %d vs %d",
+						inst, r, cust, got, ref)
+				}
+			}
+		}
+	}
+	fmt.Println("audit 1 passed: all replicas agree on every balance")
+
+	// Audit 2: immutable ledgers verify at every institution.
+	if err := cluster.VerifyLedgers(); err != nil {
+		log.Fatalf("ledger audit failed: %v", err)
+	}
+	fmt.Println("audit 2 passed: every institution's blockchain verifies")
+
+	for i, r := range results {
+		if r == 0 {
+			log.Fatalf("settlement %d has empty result", i)
+		}
+	}
+	fmt.Println("audit 3 passed: every settlement carries a non-trivial audit value")
+}

@@ -1,0 +1,63 @@
+// Quickstart: spin up an embedded RingBFT cluster (3 shards × 4 replicas),
+// run one single-shard and one cross-shard transaction through consensus,
+// and verify the per-shard blockchains.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"ringbft"
+)
+
+func main() {
+	cluster, err := ringbft.NewCluster(ringbft.ClusterConfig{
+		Shards:           3,
+		ReplicasPerShard: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	ctx := context.Background()
+
+	// A single-shard transaction: read-modify-write one record of shard 1.
+	k := cluster.KeyOf(1, 42)
+	res, err := cluster.Submit(ctx, ringbft.Txn{
+		Reads:  []ringbft.Key{k},
+		Writes: []ringbft.Key{k},
+		Delta:  10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single-shard txn on shard %d committed, result=%d\n", cluster.OwnerShard(k), res[0])
+
+	// A cross-shard transaction touching all three shards: it travels the
+	// ring (shard 0 -> 1 -> 2) in two rotations.
+	k0, k1, k2 := cluster.KeyOf(0, 7), cluster.KeyOf(1, 7), cluster.KeyOf(2, 7)
+	res, err = cluster.Submit(ctx, ringbft.Txn{
+		Reads:  []ringbft.Key{k0, k1, k2},
+		Writes: []ringbft.Key{k0, k1, k2},
+		Delta:  5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cross-shard txn committed across 3 shards, result=%d\n", res[0])
+
+	// Let executions land everywhere, then audit the ledgers.
+	time.Sleep(200 * time.Millisecond)
+	if err := cluster.VerifyLedgers(); err != nil {
+		log.Fatalf("ledger verification failed: %v", err)
+	}
+	for s := 0; s < cluster.Shards(); s++ {
+		blocks := cluster.Ledger(ringbft.ShardID(s), 0)
+		fmt.Printf("shard %d ledger: %d blocks (genesis + %d committed)\n", s, len(blocks), len(blocks)-1)
+	}
+	fmt.Println("all ledgers verified: hash chains and Merkle roots intact")
+}

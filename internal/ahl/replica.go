@@ -1,0 +1,415 @@
+package ahl
+
+import (
+	"context"
+	"time"
+
+	"ringbft/internal/crypto"
+	"ringbft/internal/ledger"
+	"ringbft/internal/pbft"
+	"ringbft/internal/store"
+	"ringbft/internal/types"
+)
+
+// ReplicaOptions configures an AHL shard replica.
+type ReplicaOptions struct {
+	Config    types.Config
+	Shard     types.ShardID
+	Self      types.NodeID
+	Peers     []types.NodeID
+	Committee []types.NodeID
+	Auth      crypto.Authenticator
+	Send      Sender
+	Clock     func() time.Time
+}
+
+// Replica is one AHL shard replica: plain PBFT for single-shard
+// transactions; for cross-shard transactions it replicates the
+// committee-ordered batch locally (the vote consensus), votes back to the
+// committee, and executes once the committee's decision arrives.
+type Replica struct {
+	cfg       types.Config
+	shard     types.ShardID
+	self      types.NodeID
+	peers     []types.NodeID
+	committee []types.NodeID
+	auth      crypto.Authenticator
+	send      Sender
+	clock     func() time.Time
+
+	engine  *pbft.Engine
+	tracker *pbft.CheckpointTracker
+	kv      *store.KV
+	chain   *ledger.Chain
+
+	execNext types.SeqNum
+	entries  map[types.SeqNum]*entry
+
+	// cross-shard 2PC state by digest.
+	csts     map[types.Digest]*replicaCst
+	executed map[types.Digest][]types.Value
+
+	awaiting map[types.Digest]*pending
+	proposed map[types.Digest]struct{}
+	queue    []*types.Batch
+
+	viewChanges int64
+}
+
+type entry struct {
+	seq   types.SeqNum
+	batch *types.Batch
+}
+
+type replicaCst struct {
+	batch     *types.Batch
+	prepares  map[types.NodeID]struct{} // committee members whose AHLPrepare we saw
+	accepted  bool
+	voted     bool
+	decisions map[types.NodeID]struct{}
+	decided   bool
+}
+
+// NewReplica creates an AHL shard replica.
+func NewReplica(opts ReplicaOptions) *Replica {
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	r := &Replica{
+		cfg:       opts.Config,
+		shard:     opts.Shard,
+		self:      opts.Self,
+		peers:     opts.Peers,
+		committee: opts.Committee,
+		auth:      opts.Auth,
+		send:      opts.Send,
+		clock:     opts.Clock,
+		kv:        store.NewKV(),
+		chain:     ledger.NewChain(opts.Shard),
+		entries:   make(map[types.SeqNum]*entry),
+		csts:      make(map[types.Digest]*replicaCst),
+		executed:  make(map[types.Digest][]types.Value),
+		awaiting:  make(map[types.Digest]*pending),
+		proposed:  make(map[types.Digest]struct{}),
+		tracker:   pbft.NewCheckpointTracker(opts.Config.CheckpointInterval),
+	}
+	r.engine = pbft.New(opts.Shard, opts.Self, opts.Peers, opts.Auth, pbft.Callbacks{
+		Send:      func(to types.NodeID, m *types.Message) { r.send(to, m) },
+		Committed: r.onCommitted,
+		ViewChanged: func(types.View) {
+			r.viewChanges++
+			r.repropose()
+		},
+	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout})
+	return r
+}
+
+// Preload installs this shard's store partition.
+func (r *Replica) Preload(records int) { r.kv.Preload(r.shard, r.cfg.Shards, records) }
+
+// Chain returns the replica's ledger.
+func (r *Replica) Chain() *ledger.Chain { return r.chain }
+
+// Store returns the replica's key-value partition.
+func (r *Replica) Store() *store.KV { return r.kv }
+
+// ViewChangeCount reports installed view changes (read after Run returns).
+func (r *Replica) ViewChangeCount() int64 { return r.viewChanges }
+
+// RetransmitCount reports retransmissions (none at AHL replicas).
+func (r *Replica) RetransmitCount() int64 { return 0 }
+
+// Run drives the replica until ctx is cancelled.
+func (r *Replica) Run(ctx context.Context, inbox <-chan *types.Message) {
+	tickEvery := r.cfg.LocalTimeout / 4
+	if tickEvery <= 0 {
+		tickEvery = 25 * time.Millisecond
+	}
+	ticker := time.NewTicker(tickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m, ok := <-inbox:
+			if !ok {
+				return
+			}
+			r.HandleMessage(m)
+		case <-ticker.C:
+			r.HandleTick(r.clock())
+		}
+	}
+}
+
+// HandleMessage dispatches one inbound message.
+func (r *Replica) HandleMessage(m *types.Message) {
+	if m == nil {
+		return
+	}
+	switch m.Type {
+	case types.MsgClientRequest:
+		r.onClientRequest(m)
+	case types.MsgAHLPrepare:
+		r.onPrepare(m)
+	case types.MsgAHLDecision:
+		r.onDecision(m)
+	default:
+		r.engine.OnMessage(m)
+		r.tryProposeQueued()
+	}
+}
+
+// HandleTick drives the watchdog.
+func (r *Replica) HandleTick(now time.Time) {
+	r.engine.Tick(now)
+	r.tryProposeQueued()
+	if r.engine.InViewChange() {
+		return
+	}
+	for _, p := range r.awaiting {
+		if now.Sub(p.since) > r.cfg.LocalTimeout {
+			p.since = now
+			if !r.engine.IsPrimary() {
+				r.engine.StartViewChange(r.engine.View() + 1)
+				return
+			}
+		}
+	}
+	if oldest, ok := r.engine.OldestUncommitted(); ok && now.Sub(oldest) > r.cfg.LocalTimeout {
+		r.engine.StartViewChange(r.engine.View() + 1)
+	}
+}
+
+// onClientRequest handles single-shard requests (cross-shard ones go to the
+// committee; if one lands here, it is routed there).
+func (r *Replica) onClientRequest(m *types.Message) {
+	b := m.Batch
+	if b == nil || len(b.Txns) == 0 {
+		return
+	}
+	d := b.Digest()
+	if res, ok := r.executed[d]; ok {
+		r.respond(clientOf(b), d, res)
+		return
+	}
+	if b.IsCrossShard() {
+		fwd := *m
+		fwd.From = r.self
+		r.send(r.committee[0], &fwd)
+		return
+	}
+	if !b.Involves(r.shard) {
+		fwd := *m
+		fwd.From = r.self
+		r.send(types.ReplicaNode(b.Initiator(), 0), &fwd)
+		return
+	}
+	r.enqueue(b, d)
+}
+
+func (r *Replica) enqueue(b *types.Batch, d types.Digest) {
+	if _, done := r.proposed[d]; done {
+		return
+	}
+	if _, ok := r.awaiting[d]; !ok {
+		r.awaiting[d] = &pending{batch: b, since: r.clock()}
+	}
+	if r.engine.IsPrimary() && !r.engine.InViewChange() {
+		r.propose(b, d)
+	}
+}
+
+func (r *Replica) propose(b *types.Batch, d types.Digest) {
+	if _, done := r.proposed[d]; done {
+		return
+	}
+	if _, err := r.engine.Propose(b); err != nil {
+		r.queue = append(r.queue, b)
+		return
+	}
+	r.proposed[d] = struct{}{}
+}
+
+func (r *Replica) tryProposeQueued() {
+	if !r.engine.IsPrimary() || r.engine.InViewChange() {
+		return
+	}
+	for len(r.queue) > 0 {
+		b := r.queue[0]
+		d := b.Digest()
+		if _, done := r.proposed[d]; done {
+			r.queue = r.queue[1:]
+			continue
+		}
+		if _, err := r.engine.Propose(b); err != nil {
+			return
+		}
+		r.proposed[d] = struct{}{}
+		r.queue = r.queue[1:]
+	}
+}
+
+func (r *Replica) repropose() {
+	if !r.engine.IsPrimary() {
+		return
+	}
+	for d, p := range r.awaiting {
+		if _, done := r.proposed[d]; !done {
+			r.propose(p.batch, d)
+		}
+	}
+	r.tryProposeQueued()
+}
+
+func (r *Replica) cst(d types.Digest) *replicaCst {
+	cs, ok := r.csts[d]
+	if !ok {
+		cs = &replicaCst{
+			prepares:  make(map[types.NodeID]struct{}),
+			decisions: make(map[types.NodeID]struct{}),
+		}
+		r.csts[d] = cs
+	}
+	return cs
+}
+
+// onPrepare handles 2PC phase 1 from the committee: once f+1 members send a
+// matching AHLPrepare whose certificate proves committee ordering, the shard
+// replicates the batch locally to agree on its vote.
+func (r *Replica) onPrepare(m *types.Message) {
+	b := m.Batch
+	if b == nil || len(b.Txns) == 0 || !b.Involves(r.shard) {
+		return
+	}
+	d := b.Digest()
+	if d != m.Digest || m.From.Kind != types.KindCommittee {
+		return
+	}
+	if r.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+		return
+	}
+	if err := pbft.VerifyCert(r.auth, types.CommitteeShard, d, m.Cert, r.cfg.NF()); err != nil {
+		return
+	}
+	cs := r.cst(d)
+	if cs.batch == nil {
+		cs.batch = b
+	}
+	cs.prepares[m.From] = struct{}{}
+	if cs.accepted {
+		if cs.voted && !cs.decided {
+			// The committee is re-broadcasting its prepare: our earlier
+			// vote may have been lost. Resend it.
+			r.resendVote(cs, d)
+		}
+		return
+	}
+	if len(cs.prepares) <= r.cfg.F() {
+		return
+	}
+	cs.accepted = true
+	r.enqueue(b, d)
+}
+
+// resendVote retransmits this replica's 2PC commit vote.
+func (r *Replica) resendVote(cs *replicaCst, d types.Digest) {
+	vote := &types.Message{
+		Type: types.MsgAHLVote, From: r.self, Shard: r.shard,
+		Digest: d, Decision: true,
+	}
+	vote.Sig = r.auth.Sign(vote.SigBytes())
+	for _, to := range r.committee {
+		r.send(to, vote)
+	}
+}
+
+// onCommitted: local replication done. Single-shard batches execute in
+// order; cross-shard batches emit the vote (2PC phase 2) and block the
+// execution pipeline until the decision lands.
+func (r *Replica) onCommitted(seq types.SeqNum, batch *types.Batch, _ []types.Signed) {
+	d := batch.Digest()
+	delete(r.awaiting, d)
+	r.proposed[d] = struct{}{}
+	r.entries[seq] = &entry{seq: seq, batch: batch}
+	r.tracker.Committed(r.engine, seq, batch)
+	if batch.IsCrossShard() {
+		cs := r.cst(d)
+		if cs.batch == nil {
+			cs.batch = batch
+		}
+		if !cs.voted {
+			cs.voted = true
+			vote := &types.Message{
+				Type: types.MsgAHLVote, From: r.self, Shard: r.shard,
+				Digest: d, Decision: true,
+			}
+			vote.Sig = r.auth.Sign(vote.SigBytes())
+			for _, to := range r.committee {
+				r.send(to, vote)
+			}
+		}
+	}
+	r.drainExec()
+}
+
+// onDecision handles 2PC phase 3: f+1 matching committee decisions commit
+// the transaction; the execution pipeline unblocks.
+func (r *Replica) onDecision(m *types.Message) {
+	if m.From.Kind != types.KindCommittee {
+		return
+	}
+	if r.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+		return
+	}
+	cs := r.cst(m.Digest)
+	cs.decisions[m.From] = struct{}{}
+	if cs.decided || len(cs.decisions) <= r.cfg.F() {
+		return
+	}
+	cs.decided = true
+	r.drainExec()
+}
+
+// drainExec executes committed entries strictly in local sequence order; a
+// cross-shard entry waits for its committee decision, stalling the pipeline
+// exactly where AHL's 2PC round-trips bite.
+func (r *Replica) drainExec() {
+	for {
+		e, ok := r.entries[r.execNext+1]
+		if !ok {
+			return
+		}
+		b := e.batch
+		if len(b.Txns) > 0 && b.IsCrossShard() {
+			cs := r.csts[b.Digest()]
+			if cs == nil || !cs.decided {
+				return
+			}
+		}
+		delete(r.entries, r.execNext+1)
+		r.execNext++
+		if len(b.Txns) == 0 {
+			continue
+		}
+		d := b.Digest()
+		results := make([]types.Value, len(b.Txns))
+		for i := range b.Txns {
+			results[i] = r.kv.ExecuteTxnPartial(&b.Txns[i], r.shard, r.cfg.Shards)
+		}
+		r.executed[d] = results
+		r.chain.Append(e.seq, r.engine.Primary(r.engine.View()), b)
+		if b.Initiator() == r.shard {
+			r.respond(clientOf(b), d, results)
+		}
+	}
+}
+
+func (r *Replica) respond(client types.NodeID, d types.Digest, results []types.Value) {
+	m := &types.Message{
+		Type: types.MsgResponse, From: r.self, Shard: r.shard,
+		View: r.engine.View(), Digest: d, Results: results,
+	}
+	m.MAC = r.auth.MAC(client, m.SigBytes())
+	r.send(client, m)
+}

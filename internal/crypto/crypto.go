@@ -1,0 +1,185 @@
+// Package crypto provides the authenticated-communication primitives of
+// Section 3: pairwise HMAC-SHA256 message authentication codes for
+// intra-shard traffic (cheap, symmetric, no non-repudiation) and Ed25519
+// digital signatures for cross-shard traffic (non-repudiation, so a Forward
+// message can carry transferable proof that nf replicas committed), plus
+// SHA-256 digests and Merkle roots for the ledger.
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+
+	"ringbft/internal/types"
+)
+
+// ErrBadMAC is returned when a MAC fails verification.
+var ErrBadMAC = errors.New("crypto: MAC verification failed")
+
+// ErrBadSignature is returned when a digital signature fails verification.
+var ErrBadSignature = errors.New("crypto: signature verification failed")
+
+// MACSize is the size in bytes of a truncated HMAC-SHA256 tag.
+const MACSize = 16
+
+// Authenticator authenticates outbound messages and verifies inbound ones on
+// behalf of one node. Implementations must be safe for concurrent use.
+type Authenticator interface {
+	// MAC computes the pairwise MAC tag for msg bytes sent to peer.
+	MAC(peer types.NodeID, msg []byte) []byte
+	// VerifyMAC checks a tag produced by peer for msg bytes sent to us.
+	VerifyMAC(peer types.NodeID, msg, tag []byte) error
+	// Sign produces this node's digital signature over msg.
+	Sign(msg []byte) []byte
+	// Verify checks signer's digital signature over msg.
+	Verify(signer types.NodeID, msg, sig []byte) error
+}
+
+// KeyRing holds one node's secret material: a master MAC secret shared
+// pairwise (derived per peer pair), its Ed25519 private key, and the public
+// keys of every other node. A deployment constructs all key rings from a
+// single Keygen so all nodes agree on public keys and pairwise secrets.
+type KeyRing struct {
+	self    types.NodeID
+	macRoot []byte // master secret; pairwise keys derived as HMAC(root, pair)
+	priv    ed25519.PrivateKey
+	pubs    map[types.NodeID]ed25519.PublicKey
+}
+
+var _ Authenticator = (*KeyRing)(nil)
+
+// Keygen deterministically generates key material for a set of nodes. The
+// rand seed makes clusters reproducible in tests and benchmarks; Byzantine
+// replicas cannot impersonate non-faulty ones because each node's private
+// key never leaves its KeyRing.
+type Keygen struct {
+	macRoot []byte
+	privs   map[types.NodeID]ed25519.PrivateKey
+	pubs    map[types.NodeID]ed25519.PublicKey
+}
+
+// NewKeygen creates a key generator seeded by seed.
+func NewKeygen(seed int64) *Keygen {
+	rng := mrand.New(mrand.NewSource(seed))
+	root := make([]byte, 32)
+	rng.Read(root)
+	return &Keygen{
+		macRoot: root,
+		privs:   make(map[types.NodeID]ed25519.PrivateKey),
+		pubs:    make(map[types.NodeID]ed25519.PublicKey),
+	}
+}
+
+// Register creates (or returns existing) key material for node id.
+func (g *Keygen) Register(id types.NodeID) {
+	if _, ok := g.privs[id]; ok {
+		return
+	}
+	seed := sha256.Sum256(append(append([]byte("ed25519-seed"), g.macRoot...), types.SigBytes(0, id.Shard, 0, 0, types.Digest{}, id)...))
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	g.privs[id] = priv
+	g.pubs[id] = priv.Public().(ed25519.PublicKey)
+}
+
+// Ring returns the KeyRing for a previously Registered node.
+func (g *Keygen) Ring(id types.NodeID) (*KeyRing, error) {
+	priv, ok := g.privs[id]
+	if !ok {
+		return nil, fmt.Errorf("crypto: node %v not registered", id)
+	}
+	pubs := make(map[types.NodeID]ed25519.PublicKey, len(g.pubs))
+	for n, p := range g.pubs {
+		pubs[n] = p
+	}
+	return &KeyRing{self: id, macRoot: g.macRoot, priv: priv, pubs: pubs}, nil
+}
+
+// pairKey derives the symmetric key shared by nodes a and b. The derivation
+// is symmetric in (a, b) so both ends compute the same key.
+func (r *KeyRing) pairKey(a, b types.NodeID) []byte {
+	lo, hi := a, b
+	if nodeLess(b, a) {
+		lo, hi = b, a
+	}
+	mac := hmac.New(sha256.New, r.macRoot)
+	mac.Write(nodeBytes(lo))
+	mac.Write(nodeBytes(hi))
+	return mac.Sum(nil)
+}
+
+func nodeBytes(n types.NodeID) []byte {
+	var b [17]byte
+	b[0] = byte(n.Kind)
+	binary.BigEndian.PutUint64(b[1:9], uint64(n.Shard))
+	binary.BigEndian.PutUint64(b[9:17], uint64(n.Index))
+	return b[:]
+}
+
+func nodeLess(a, b types.NodeID) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Shard != b.Shard {
+		return a.Shard < b.Shard
+	}
+	return a.Index < b.Index
+}
+
+// MAC computes the truncated HMAC-SHA256 tag over msg for the channel
+// between this node and peer.
+func (r *KeyRing) MAC(peer types.NodeID, msg []byte) []byte {
+	mac := hmac.New(sha256.New, r.pairKey(r.self, peer))
+	mac.Write(msg)
+	return mac.Sum(nil)[:MACSize]
+}
+
+// VerifyMAC checks a pairwise MAC tag from peer.
+func (r *KeyRing) VerifyMAC(peer types.NodeID, msg, tag []byte) error {
+	want := r.MAC(peer, msg)
+	if !hmac.Equal(want, tag) {
+		return ErrBadMAC
+	}
+	return nil
+}
+
+// Sign signs msg with this node's Ed25519 private key.
+func (r *KeyRing) Sign(msg []byte) []byte {
+	return ed25519.Sign(r.priv, msg)
+}
+
+// Verify checks signer's Ed25519 signature over msg.
+func (r *KeyRing) Verify(signer types.NodeID, msg, sig []byte) error {
+	pub, ok := r.pubs[signer]
+	if !ok {
+		return fmt.Errorf("crypto: unknown signer %v: %w", signer, ErrBadSignature)
+	}
+	if !ed25519.Verify(pub, msg, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// NopAuth is an Authenticator that performs no cryptography. It exists for
+// ablation benchmarks (DESIGN.md §5, crypto-mix ablation) and for tests that
+// isolate protocol logic from crypto cost. Never use it as a security
+// mechanism.
+type NopAuth struct{}
+
+var _ Authenticator = NopAuth{}
+
+// MAC returns an empty tag.
+func (NopAuth) MAC(types.NodeID, []byte) []byte { return nil }
+
+// VerifyMAC accepts everything.
+func (NopAuth) VerifyMAC(types.NodeID, []byte, []byte) error { return nil }
+
+// Sign returns an empty signature.
+func (NopAuth) Sign([]byte) []byte { return nil }
+
+// Verify accepts everything.
+func (NopAuth) Verify(types.NodeID, []byte, []byte) error { return nil }

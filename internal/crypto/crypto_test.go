@@ -1,0 +1,203 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ringbft/internal/types"
+)
+
+func twoRings(t *testing.T) (*KeyRing, *KeyRing, types.NodeID, types.NodeID) {
+	t.Helper()
+	kg := NewKeygen(11)
+	a, b := types.ReplicaNode(0, 0), types.ReplicaNode(1, 3)
+	kg.Register(a)
+	kg.Register(b)
+	ra, err := kg.Ring(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := kg.Ring(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ra, rb, a, b
+}
+
+func TestMACRoundTrip(t *testing.T) {
+	ra, rb, a, b := twoRings(t)
+	msg := []byte("ring order is ascending identifiers")
+	tag := ra.MAC(b, msg)
+	if len(tag) != MACSize {
+		t.Fatalf("MAC size %d, want %d", len(tag), MACSize)
+	}
+	if err := rb.VerifyMAC(a, msg, tag); err != nil {
+		t.Fatalf("valid MAC rejected: %v", err)
+	}
+	if err := rb.VerifyMAC(a, append(msg, 'x'), tag); err == nil {
+		t.Fatal("tampered message accepted")
+	}
+	tag[0] ^= 1
+	if err := rb.VerifyMAC(a, msg, tag); err == nil {
+		t.Fatal("tampered MAC accepted")
+	}
+}
+
+func TestMACPairwiseIsolation(t *testing.T) {
+	kg := NewKeygen(12)
+	a, b, c := types.ReplicaNode(0, 0), types.ReplicaNode(0, 1), types.ReplicaNode(0, 2)
+	for _, id := range []types.NodeID{a, b, c} {
+		kg.Register(id)
+	}
+	ra, _ := kg.Ring(a)
+	rc, _ := kg.Ring(c)
+	msg := []byte("pairwise secret")
+	tagAB := ra.MAC(b, msg)
+	// A third party must not be able to produce or validate A<->B tags.
+	if bytes.Equal(tagAB, rc.MAC(b, msg)) {
+		t.Fatal("pairwise MAC keys are shared across pairs")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	ra, rb, a, _ := twoRings(t)
+	msg := []byte("non-repudiation needed across shards")
+	sig := ra.Sign(msg)
+	if err := rb.Verify(a, msg, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	if err := rb.Verify(a, append(msg, 1), sig); err == nil {
+		t.Fatal("tampered message accepted")
+	}
+	// Impersonation: b cannot sign as a.
+	forged := rb.Sign(msg)
+	if err := rb.Verify(a, msg, forged); err == nil {
+		t.Fatal("forged signature accepted")
+	}
+}
+
+func TestVerifyUnknownSigner(t *testing.T) {
+	ra, _, _, _ := twoRings(t)
+	ghost := types.ReplicaNode(9, 9)
+	if err := ra.Verify(ghost, []byte("x"), []byte("y")); err == nil {
+		t.Fatal("unknown signer accepted")
+	}
+}
+
+func TestKeygenDeterministicAcrossInstances(t *testing.T) {
+	a := types.ReplicaNode(0, 0)
+	kg1, kg2 := NewKeygen(5), NewKeygen(5)
+	kg1.Register(a)
+	kg2.Register(a)
+	r1, _ := kg1.Ring(a)
+	r2, _ := kg2.Ring(a)
+	msg := []byte("reproducible clusters")
+	if !bytes.Equal(r1.Sign(msg), r2.Sign(msg)) {
+		t.Fatal("same seed produced different keys")
+	}
+	kg3 := NewKeygen(6)
+	kg3.Register(a)
+	r3, _ := kg3.Ring(a)
+	if bytes.Equal(r1.Sign(msg), r3.Sign(msg)) {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestRingUnregisteredNode(t *testing.T) {
+	kg := NewKeygen(1)
+	if _, err := kg.Ring(types.ReplicaNode(0, 0)); err == nil {
+		t.Fatal("Ring for unregistered node succeeded")
+	}
+}
+
+func TestMACPropertyRoundTrip(t *testing.T) {
+	ra, rb, a, b := twoRings(t)
+	f := func(msg []byte) bool {
+		return rb.VerifyMAC(a, msg, ra.MAC(b, msg)) == nil &&
+			ra.VerifyMAC(b, msg, rb.MAC(a, msg)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignPropertyRoundTrip(t *testing.T) {
+	ra, rb, a, _ := twoRings(t)
+	f := func(msg []byte) bool {
+		return rb.Verify(a, msg, ra.Sign(msg)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNopAuthAcceptsEverything(t *testing.T) {
+	n := NopAuth{}
+	if err := n.VerifyMAC(types.ReplicaNode(0, 0), []byte("m"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Verify(types.ReplicaNode(0, 0), []byte("m"), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerkleRootProperties(t *testing.T) {
+	if !MerkleRoot(nil).IsZero() {
+		t.Fatal("empty tree root must be zero")
+	}
+	d1, d2 := types.Digest{1}, types.Digest{2}
+	r1 := MerkleRoot([]types.Digest{d1})
+	if r1.IsZero() || r1 == d1 {
+		t.Fatal("single-leaf root must hash the leaf")
+	}
+	r12 := MerkleRoot([]types.Digest{d1, d2})
+	r21 := MerkleRoot([]types.Digest{d2, d1})
+	if r12 == r21 {
+		t.Fatal("Merkle root insensitive to leaf order")
+	}
+	// Determinism + sensitivity over random leaf sets.
+	f := func(seed []byte) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		leaves := make([]types.Digest, len(seed))
+		for i, b := range seed {
+			leaves[i] = types.Digest{b, byte(i)}
+		}
+		a := MerkleRoot(leaves)
+		b := MerkleRoot(leaves)
+		if a != b {
+			return false
+		}
+		leaves[0][0] ^= 0xFF
+		return MerkleRoot(leaves) != a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerkleOddLeafCount(t *testing.T) {
+	leaves := []types.Digest{{1}, {2}, {3}}
+	r3 := MerkleRoot(leaves)
+	r4 := MerkleRoot(append(leaves, types.Digest{4}))
+	if r3 == r4 || r3.IsZero() {
+		t.Fatal("odd-leaf promotion broken")
+	}
+}
+
+func TestBatchMerkleRoot(t *testing.T) {
+	b := &types.Batch{Txns: []types.Txn{
+		{ID: types.TxnID{Client: 1, Seq: 1}, Writes: []types.Key{1}},
+		{ID: types.TxnID{Client: 1, Seq: 2}, Writes: []types.Key{2}},
+	}}
+	r := BatchMerkleRoot(b)
+	if r.IsZero() {
+		t.Fatal("zero root for non-empty batch")
+	}
+	b.Txns[1].Delta = 9
+	if BatchMerkleRoot(b) == r {
+		t.Fatal("root insensitive to transaction mutation")
+	}
+}

@@ -1,0 +1,55 @@
+package crypto
+
+import (
+	"crypto/sha256"
+
+	"ringbft/internal/types"
+)
+
+// MerkleRoot computes the Merkle root of a list of leaf digests by pair-wise
+// hashing up to the root (Section 7; Merkle 1988). An odd node at any level
+// is promoted by hashing it with itself, the common convention. The root of
+// zero leaves is the zero digest; a single leaf hashes with itself so that a
+// one-transaction block still commits to tree structure.
+func MerkleRoot(leaves []types.Digest) types.Digest {
+	if len(leaves) == 0 {
+		return types.Digest{}
+	}
+	level := make([]types.Digest, len(leaves))
+	copy(level, leaves)
+	for {
+		next := make([]types.Digest, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			l := level[i]
+			r := l
+			if i+1 < len(level) {
+				r = level[i+1]
+			}
+			h := sha256.New()
+			h.Write(l[:])
+			h.Write(r[:])
+			var d types.Digest
+			copy(d[:], h.Sum(nil))
+			next = append(next, d)
+		}
+		level = next
+		if len(level) == 1 {
+			return level[0]
+		}
+	}
+}
+
+// TxnDigest computes the leaf digest of one transaction for Merkle trees.
+func TxnDigest(t *types.Txn) types.Digest {
+	b := types.Batch{Txns: []types.Txn{*t}}
+	return b.Digest()
+}
+
+// BatchMerkleRoot computes the Merkle root over the transactions of a batch.
+func BatchMerkleRoot(b *types.Batch) types.Digest {
+	leaves := make([]types.Digest, len(b.Txns))
+	for i := range b.Txns {
+		leaves[i] = TxnDigest(&b.Txns[i])
+	}
+	return MerkleRoot(leaves)
+}

@@ -1,0 +1,249 @@
+package harness
+
+import (
+	"fmt"
+
+	"ringbft/internal/ahl"
+	"ringbft/internal/crypto"
+	"ringbft/internal/protocols"
+	"ringbft/internal/ringbft"
+	"ringbft/internal/sharper"
+	"ringbft/internal/simnet"
+	"ringbft/internal/types"
+)
+
+// build constructs the cluster for the configured protocol.
+func build(cfg Config) (*cluster, error) {
+	if cfg.Protocol.Replicated() {
+		return buildReplicated(cfg)
+	}
+	net := buildNetwork(cfg)
+	tcfg := typesConfig(cfg)
+	if err := tcfg.Validate(); err != nil {
+		return nil, err
+	}
+	kg := crypto.NewKeygen(cfg.Seed)
+
+	var allIDs []types.NodeID
+	shardPeers := make([][]types.NodeID, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		peers := make([]types.NodeID, cfg.ReplicasPerShard)
+		for i := 0; i < cfg.ReplicasPerShard; i++ {
+			peers[i] = types.ReplicaNode(types.ShardID(s), i)
+			allIDs = append(allIDs, peers[i])
+		}
+		shardPeers[s] = peers
+	}
+	var committee []types.NodeID
+	if cfg.Protocol == ProtoAHL {
+		committee = make([]types.NodeID, cfg.ReplicasPerShard)
+		for i := range committee {
+			committee[i] = types.CommitteeNode(i)
+			allIDs = append(allIDs, committee[i])
+		}
+	}
+	if !cfg.NoCrypto {
+		for _, id := range allIDs {
+			kg.Register(id)
+		}
+	}
+
+	cl := &cluster{cfg: cfg, tcfg: tcfg, net: net}
+	attach := func(id types.NodeID, region simnet.Region) *simnet.Endpoint {
+		return net.Attach(id, region)
+	}
+
+	switch cfg.Protocol {
+	case ProtoRingBFT:
+		for s := 0; s < cfg.Shards; s++ {
+			region := simnet.ShardRegion(s)
+			for i := 0; i < cfg.ReplicasPerShard; i++ {
+				id := shardPeers[s][i]
+				ep := attach(id, region)
+				a, err := auth(cfg, kg, id)
+				if err != nil {
+					return nil, err
+				}
+				r := ringbft.New(ringbft.Options{
+					Config: tcfg, Shard: types.ShardID(s), Self: id,
+					Peers: shardPeers[s], Auth: a,
+					Send:            ep.Send,
+					AllToAllForward: cfg.AllToAllForward,
+				})
+				r.Preload(cfg.Records)
+				cl.nodes = append(cl.nodes, r)
+				cl.inboxes = append(cl.inboxes, ep.Inbox())
+				cl.ids = append(cl.ids, id)
+			}
+		}
+		cl.route = func(_ types.ClientID, b *types.Batch) types.NodeID {
+			return types.ReplicaNode(b.Initiator(), 0)
+		}
+		cl.fanout = func(b *types.Batch) []types.NodeID {
+			return shardPeers[b.Initiator()]
+		}
+
+	case ProtoSharper:
+		for s := 0; s < cfg.Shards; s++ {
+			region := simnet.ShardRegion(s)
+			for i := 0; i < cfg.ReplicasPerShard; i++ {
+				id := shardPeers[s][i]
+				ep := attach(id, region)
+				a, err := auth(cfg, kg, id)
+				if err != nil {
+					return nil, err
+				}
+				r := sharper.New(sharper.Options{
+					Config: tcfg, Shard: types.ShardID(s), Self: id,
+					Peers: shardPeers[s], Auth: a, Send: ep.Send,
+				})
+				r.Preload(cfg.Records)
+				cl.nodes = append(cl.nodes, r)
+				cl.inboxes = append(cl.inboxes, ep.Inbox())
+				cl.ids = append(cl.ids, id)
+			}
+		}
+		cl.route = func(_ types.ClientID, b *types.Batch) types.NodeID {
+			return types.ReplicaNode(b.Initiator(), 0)
+		}
+		cl.fanout = func(b *types.Batch) []types.NodeID {
+			return shardPeers[b.Initiator()]
+		}
+
+	case ProtoAHL:
+		// The reference committee is hosted in the first region (a single
+		// location, which is exactly why it centralizes WAN traffic).
+		for i, id := range committee {
+			ep := attach(id, simnet.ShardRegion(0))
+			a, err := auth(cfg, kg, id)
+			if err != nil {
+				return nil, err
+			}
+			r := ahl.NewCommittee(ahl.CommitteeOptions{
+				Config: tcfg, Self: id, Peers: committee, Auth: a, Send: ep.Send,
+				ShardPeers: shardPeers,
+			})
+			_ = i
+			cl.nodes = append(cl.nodes, r)
+			cl.inboxes = append(cl.inboxes, ep.Inbox())
+			cl.ids = append(cl.ids, id)
+		}
+		for s := 0; s < cfg.Shards; s++ {
+			region := simnet.ShardRegion(s)
+			for i := 0; i < cfg.ReplicasPerShard; i++ {
+				id := shardPeers[s][i]
+				ep := attach(id, region)
+				a, err := auth(cfg, kg, id)
+				if err != nil {
+					return nil, err
+				}
+				r := ahl.NewReplica(ahl.ReplicaOptions{
+					Config: tcfg, Shard: types.ShardID(s), Self: id,
+					Peers: shardPeers[s], Committee: committee, Auth: a, Send: ep.Send,
+				})
+				r.Preload(cfg.Records)
+				cl.nodes = append(cl.nodes, r)
+				cl.inboxes = append(cl.inboxes, ep.Inbox())
+				cl.ids = append(cl.ids, id)
+			}
+		}
+		cl.route = func(_ types.ClientID, b *types.Batch) types.NodeID {
+			if b.IsCrossShard() {
+				return committee[0]
+			}
+			return types.ReplicaNode(b.Initiator(), 0)
+		}
+		cl.fanout = func(b *types.Batch) []types.NodeID {
+			if b.IsCrossShard() {
+				return committee
+			}
+			return shardPeers[b.Initiator()]
+		}
+
+	default:
+		return nil, fmt.Errorf("harness: unknown protocol %q", cfg.Protocol)
+	}
+	return cl, nil
+}
+
+// buildReplicated constructs a single fully-replicated consensus group of
+// ReplicasPerShard nodes running one of the Figure 1 baselines, replicas
+// spread across the fifteen regions like the paper's geo-distributed
+// deployment.
+func buildReplicated(cfg Config) (*cluster, error) {
+	cfg.Shards = 1
+	cfg.CrossShardPct = 0
+	net := buildNetwork(cfg)
+	tcfg := typesConfig(cfg)
+	if err := tcfg.Validate(); err != nil {
+		return nil, err
+	}
+	kg := crypto.NewKeygen(cfg.Seed)
+	n := cfg.ReplicasPerShard
+	peers := make([]types.NodeID, n)
+	for i := 0; i < n; i++ {
+		peers[i] = types.ReplicaNode(0, i)
+		if !cfg.NoCrypto {
+			kg.Register(peers[i])
+		}
+	}
+	cl := &cluster{cfg: cfg, tcfg: tcfg, net: net}
+	for i := 0; i < n; i++ {
+		id := peers[i]
+		ep := net.Attach(id, simnet.Region(i%int(simnet.NumRegions)))
+		a, err := auth(cfg, kg, id)
+		if err != nil {
+			return nil, err
+		}
+		opts := protocols.Options{Config: tcfg, Self: id, Peers: peers, Auth: a, Send: ep.Send}
+		var nd node
+		switch cfg.Protocol {
+		case ProtoPBFT:
+			r := protocols.NewPBFT(opts)
+			r.Preload(cfg.Records)
+			nd = r
+		case ProtoZyzzyva:
+			r := protocols.NewZyzzyva(opts)
+			r.Preload(cfg.Records)
+			nd = r
+		case ProtoSBFT:
+			r := protocols.NewSBFT(opts)
+			r.Preload(cfg.Records)
+			nd = r
+		case ProtoPoE:
+			r := protocols.NewPoE(opts)
+			r.Preload(cfg.Records)
+			nd = r
+		case ProtoHotStuff:
+			r := protocols.NewHotStuff(opts)
+			r.Preload(cfg.Records)
+			nd = r
+		case ProtoRCC:
+			r := protocols.NewRCC(opts)
+			r.Preload(cfg.Records)
+			nd = r
+		default:
+			return nil, fmt.Errorf("harness: unknown baseline %q", cfg.Protocol)
+		}
+		cl.nodes = append(cl.nodes, nd)
+		cl.inboxes = append(cl.inboxes, ep.Inbox())
+		cl.ids = append(cl.ids, id)
+	}
+	switch cfg.Protocol {
+	case ProtoRCC:
+		// Multi-primary: clients spread load across every replica.
+		cl.route = func(c types.ClientID, _ *types.Batch) types.NodeID {
+			return peers[int(c)%n]
+		}
+	default:
+		cl.route = func(types.ClientID, *types.Batch) types.NodeID { return peers[0] }
+	}
+	cl.fanout = func(*types.Batch) []types.NodeID { return peers }
+	switch cfg.Protocol {
+	case ProtoZyzzyva:
+		cl.respNeed = n // all 3f+1 speculative responses must match
+	case ProtoPoE:
+		cl.respNeed = n - (n-1)/3 // nf matching speculative responses
+	}
+	return cl, nil
+}

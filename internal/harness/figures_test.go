@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureRender(t *testing.T) {
+	fig := Figure{
+		ID: "test", Title: "Example", XLabel: "x",
+		Series: []Series{
+			{Label: "a", Points: []Point{{X: 1, Throughput: 100, LatencyMS: 2.5}, {X: 2, Throughput: 200, LatencyMS: 5}}},
+			{Label: "b", Points: []Point{{X: 1, Throughput: 50, LatencyMS: 9}}},
+		},
+	}
+	out := fig.Render()
+	for _, want := range []string{"test", "Example", "a tput", "b tput", "100", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+	// Ragged series render placeholders, not panic.
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing placeholder for short series")
+	}
+	empty := Figure{ID: "e", Title: "none", XLabel: "x"}
+	if empty.Render() == "" {
+		t.Fatal("empty figure should still render a header")
+	}
+}
+
+func TestProfileBaseConfigSane(t *testing.T) {
+	for _, p := range []Profile{Quick, Full} {
+		cfg := p.BaseConfig()
+		applyDefaults(&cfg)
+		if cfg.Shards < 2 || cfg.ReplicasPerShard < 4 {
+			t.Fatalf("%s profile builds an invalid cluster shape", p.Name)
+		}
+		if cfg.LocalTimeout >= cfg.RemoteTimeout || cfg.RemoteTimeout >= cfg.TransmitTimeout {
+			t.Fatalf("%s profile violates timer ordering local < remote < transmit", p.Name)
+		}
+	}
+}
+
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	if _, err := Run(Config{Protocol: "nonsense"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}

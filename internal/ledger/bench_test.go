@@ -1,0 +1,33 @@
+package ledger
+
+import (
+	"testing"
+
+	"ringbft/internal/types"
+)
+
+func BenchmarkAppend100TxnBlock(b *testing.B) {
+	c := NewChain(0)
+	batch := &types.Batch{Involved: []types.ShardID{0}}
+	for i := 0; i < 100; i++ {
+		batch.Txns = append(batch.Txns, types.Txn{ID: types.TxnID{Client: 1, Seq: uint64(i)}})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Append(types.SeqNum(i+1), types.ReplicaNode(0, 0), batch)
+	}
+}
+
+func BenchmarkVerifyChain1000(b *testing.B) {
+	c := NewChain(0)
+	for i := 0; i < 1000; i++ {
+		c.Append(types.SeqNum(i+1), types.ReplicaNode(0, 0), testBatch(uint64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

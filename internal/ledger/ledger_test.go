@@ -1,0 +1,137 @@
+package ledger
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ringbft/internal/types"
+)
+
+func testBatch(seed uint64, shards ...types.ShardID) *types.Batch {
+	if len(shards) == 0 {
+		shards = []types.ShardID{0}
+	}
+	return &types.Batch{
+		Txns: []types.Txn{{
+			ID:     types.TxnID{Client: 1, Seq: seed},
+			Reads:  []types.Key{types.Key(seed)},
+			Writes: []types.Key{types.Key(seed)},
+			Delta:  types.Value(seed),
+		}},
+		Involved: shards,
+	}
+}
+
+func TestGenesisAndAppend(t *testing.T) {
+	c := NewChain(3)
+	if c.Height() != 0 {
+		t.Fatalf("fresh chain height %d, want 0", c.Height())
+	}
+	if c.Head().Seq != 0 {
+		t.Fatal("head of fresh chain is not genesis")
+	}
+	b := c.Append(1, types.ReplicaNode(3, 0), testBatch(1))
+	if c.Height() != 1 || c.Head() != b {
+		t.Fatal("append did not advance head")
+	}
+	if b.PrevHash != c.Block(0).Hash() {
+		t.Fatal("block not chained to genesis")
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenesisDistinctPerShard(t *testing.T) {
+	a, b := NewChain(0), NewChain(1)
+	if a.Head().Digest == b.Head().Digest {
+		t.Fatal("different shards share a genesis digest")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	c := NewChain(0)
+	for i := uint64(1); i <= 5; i++ {
+		c.Append(types.SeqNum(i), types.ReplicaNode(0, 0), testBatch(i))
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with a middle block's batch: Verify must fail.
+	c.Block(2).Batch.Txns[0].Delta = 999
+	if err := c.Verify(); err == nil {
+		t.Fatal("tampered chain verified (immutability broken)")
+	}
+}
+
+func TestVerifyDetectsBrokenLink(t *testing.T) {
+	c := NewChain(0)
+	c.Append(1, types.ReplicaNode(0, 0), testBatch(1))
+	c.Append(2, types.ReplicaNode(0, 0), testBatch(2))
+	c.Block(2).PrevHash = types.Digest{0xde, 0xad}
+	if err := c.Verify(); err == nil {
+		t.Fatal("broken hash link verified")
+	}
+}
+
+func TestBlockOutOfRange(t *testing.T) {
+	c := NewChain(0)
+	if c.Block(-1) != nil || c.Block(5) != nil {
+		t.Fatal("out-of-range Block not nil")
+	}
+}
+
+func TestCrossOrderFiltersSingleShard(t *testing.T) {
+	c := NewChain(0)
+	c.Append(1, types.ReplicaNode(0, 0), testBatch(1, 0))
+	c.Append(2, types.ReplicaNode(0, 0), testBatch(2, 0, 1))
+	c.Append(3, types.ReplicaNode(0, 0), testBatch(3, 0, 2))
+	c.Append(4, types.ReplicaNode(0, 0), testBatch(4, 0))
+	order := c.CrossOrder()
+	if len(order) != 2 {
+		t.Fatalf("CrossOrder has %d entries, want 2", len(order))
+	}
+	if order[0] != testBatch(2, 0, 1).Digest() || order[1] != testBatch(3, 0, 2).Digest() {
+		t.Fatal("CrossOrder content or order wrong")
+	}
+}
+
+// TestChainIntegrityProperty: any sequence of appended batches yields a
+// verifiable chain whose height equals the number of appends, and Blocks
+// returns them in order.
+func TestChainIntegrityProperty(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		c := NewChain(1)
+		for i, s := range seeds {
+			c.Append(types.SeqNum(i+1), types.ReplicaNode(1, 0), testBatch(uint64(s), 1))
+		}
+		if c.Height() != len(seeds) {
+			return false
+		}
+		if err := c.Verify(); err != nil {
+			return false
+		}
+		blocks := c.Blocks()
+		for i := 1; i < len(blocks); i++ {
+			if blocks[i].PrevHash != blocks[i-1].Hash() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashCoversFields(t *testing.T) {
+	b1 := &Block{Seq: 1, Digest: types.Digest{1}, TxnCount: 5}
+	b2 := &Block{Seq: 1, Digest: types.Digest{1}, TxnCount: 6}
+	if b1.Hash() == b2.Hash() {
+		t.Fatal("hash insensitive to TxnCount")
+	}
+	b3 := &Block{Seq: 2, Digest: types.Digest{1}, TxnCount: 5}
+	if b1.Hash() == b3.Hash() {
+		t.Fatal("hash insensitive to Seq")
+	}
+}

@@ -1,0 +1,460 @@
+// Package pbft implements the intra-shard Practical Byzantine Fault
+// Tolerance engine (Castro & Liskov) that RingBFT runs inside every shard
+// (Section 4.1), including batching, checkpoints, and view change. The
+// engine is a pure state machine: the hosting replica's event loop feeds it
+// messages and timer ticks, and it emits messages through a send callback
+// and consensus results through a committed callback. This is what makes
+// RingBFT a *meta* protocol (goal G2): the ring layer only consumes the
+// engine's commit certificates and never looks inside the phases.
+//
+// Message authentication follows the paper's split (Section 3): PrePrepare
+// and Prepare carry pairwise MACs; Commit, Checkpoint, ViewChange, and
+// NewView carry Ed25519 signatures, because nf signed Commit messages form
+// the transferable commit certificate A that Forward messages present to the
+// next shard (Fig 5 line 16).
+package pbft
+
+import (
+	"fmt"
+	"time"
+
+	"ringbft/internal/crypto"
+	"ringbft/internal/types"
+)
+
+// Callbacks connect the engine to its hosting replica.
+type Callbacks struct {
+	// Send transmits a message to one peer. Must never block.
+	Send func(to types.NodeID, m *types.Message)
+	// Committed fires exactly once per sequence number when the batch at
+	// that sequence gathers nf Commit messages. Calls may arrive out of
+	// sequence order: RingBFT's lock manager (π, k_max) restores order
+	// where it matters (Fig 5 lines 17-28). cert holds the nf signed
+	// Commit tuples proving the decision.
+	Committed func(seq types.SeqNum, batch *types.Batch, cert []types.Signed)
+	// ViewChanged fires when the replica installs a new view.
+	ViewChanged func(v types.View)
+}
+
+// entry is one slot of the consensus log.
+type entry struct {
+	view        types.View
+	digest      types.Digest
+	batch       *types.Batch
+	preprepared bool
+	prepares    map[types.NodeID]struct{}
+	commits     map[types.NodeID][]byte // sender -> DS over commit tuple
+	prepared    bool
+	committed   bool
+	firstSeen   time.Time
+}
+
+// Engine is one replica's PBFT state machine for one shard. Not safe for
+// concurrent use: exactly one goroutine (the replica event loop) may call
+// its methods.
+type Engine struct {
+	shard types.ShardID
+	self  types.NodeID
+	peers []types.NodeID // all replicas of the shard, index i = replica i
+	n, f  int
+	nf    int
+	auth  crypto.Authenticator
+	cb    Callbacks
+	now   func() time.Time
+
+	view    types.View
+	nextSeq types.SeqNum
+	log     map[types.SeqNum]*entry
+
+	stableSeq   types.SeqNum
+	window      types.SeqNum
+	checkpoints map[types.SeqNum]map[types.NodeID]types.Digest
+
+	// future stashes normal-case messages that arrived for a view we have
+	// not installed yet (e.g. a PrePrepare racing ahead of its NewView);
+	// they are replayed after the view installs. Bounded to keep Byzantine
+	// senders from ballooning memory.
+	future []*types.Message
+
+	// View-change state.
+	inViewChange bool
+	vcTarget     types.View
+	vcStarted    time.Time
+	vcTimeout    time.Duration
+	vcMsgs       map[types.View]map[types.NodeID]*types.Message
+	vcVotes      map[types.View]map[types.NodeID]struct{} // for f+1 join rule
+}
+
+// Options tunes an Engine.
+type Options struct {
+	Window      types.SeqNum  // log watermark window (default 512)
+	ViewTimeout time.Duration // new-view escalation timeout (default 250ms)
+	Clock       func() time.Time
+}
+
+// New creates an engine for replica self of a shard whose members are peers
+// (peers[i] must be replica index i; self must appear in peers).
+func New(shard types.ShardID, self types.NodeID, peers []types.NodeID, auth crypto.Authenticator, cb Callbacks, opts Options) *Engine {
+	if opts.Window == 0 {
+		opts.Window = 512
+	}
+	if opts.ViewTimeout == 0 {
+		opts.ViewTimeout = 250 * time.Millisecond
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	n := len(peers)
+	f := (n - 1) / 3
+	return &Engine{
+		shard:       shard,
+		self:        self,
+		peers:       peers,
+		n:           n,
+		f:           f,
+		nf:          n - f,
+		auth:        auth,
+		cb:          cb,
+		now:         opts.Clock,
+		nextSeq:     1,
+		log:         make(map[types.SeqNum]*entry),
+		window:      opts.Window,
+		vcTimeout:   opts.ViewTimeout,
+		checkpoints: make(map[types.SeqNum]map[types.NodeID]types.Digest),
+		vcMsgs:      make(map[types.View]map[types.NodeID]*types.Message),
+		vcVotes:     make(map[types.View]map[types.NodeID]struct{}),
+	}
+}
+
+// View returns the current view.
+func (e *Engine) View() types.View { return e.view }
+
+// Primary returns the primary of view v: replica v mod n.
+func (e *Engine) Primary(v types.View) types.NodeID { return e.peers[int(uint64(v)%uint64(e.n))] }
+
+// IsPrimary reports whether this replica is the primary of the current view.
+func (e *Engine) IsPrimary() bool { return e.Primary(e.view) == e.self }
+
+// InViewChange reports whether a view change is in progress.
+func (e *Engine) InViewChange() bool { return e.inViewChange }
+
+// StableSeq returns the last stable checkpoint sequence.
+func (e *Engine) StableSeq() types.SeqNum { return e.stableSeq }
+
+// NF returns the quorum size n-f.
+func (e *Engine) NF() int { return e.nf }
+
+// F returns the per-shard fault bound.
+func (e *Engine) F() int { return e.f }
+
+// Quorum reports whether the engine has committed seq.
+func (e *Engine) Quorum(seq types.SeqNum) bool {
+	ent, ok := e.log[seq]
+	return ok && ent.committed
+}
+
+// OldestUncommitted returns the first-seen time of the oldest log entry that
+// has been pre-prepared but not committed, and whether one exists. Hosts use
+// it to drive the local timer (view-change trigger, attack A2).
+func (e *Engine) OldestUncommitted() (time.Time, bool) {
+	var oldest time.Time
+	found := false
+	for _, ent := range e.log {
+		if ent.preprepared && !ent.committed {
+			if !found || ent.firstSeen.Before(oldest) {
+				oldest = ent.firstSeen
+				found = true
+			}
+		}
+	}
+	return oldest, found
+}
+
+func (e *Engine) getEntry(seq types.SeqNum) *entry {
+	ent, ok := e.log[seq]
+	if !ok {
+		ent = &entry{
+			prepares:  make(map[types.NodeID]struct{}),
+			commits:   make(map[types.NodeID][]byte),
+			firstSeen: e.now(),
+		}
+		e.log[seq] = ent
+	}
+	return ent
+}
+
+// Propose assigns the next sequence number to batch and broadcasts
+// PrePrepare. Only the current primary may call it; other callers receive an
+// error and must route the request to the primary instead (Fig 5 line 9).
+func (e *Engine) Propose(batch *types.Batch) (types.SeqNum, error) {
+	if e.inViewChange {
+		return 0, fmt.Errorf("pbft: view change in progress")
+	}
+	if !e.IsPrimary() {
+		return 0, fmt.Errorf("pbft: replica %v is not the primary of view %d", e.self, e.view)
+	}
+	if e.nextSeq > e.stableSeq+e.window {
+		return 0, fmt.Errorf("pbft: log window full (next %d, stable %d)", e.nextSeq, e.stableSeq)
+	}
+	seq := e.nextSeq
+	e.nextSeq++
+	d := batch.Digest()
+
+	ent := e.getEntry(seq)
+	ent.view = e.view
+	ent.digest = d
+	ent.batch = batch
+	ent.preprepared = true
+	// The primary's PrePrepare doubles as its Prepare vote.
+	ent.prepares[e.self] = struct{}{}
+
+	m := &types.Message{
+		Type: types.MsgPrePrepare, From: e.self, Shard: e.shard,
+		View: e.view, Seq: seq, Digest: d, Batch: batch,
+	}
+	e.broadcastMAC(m)
+	return seq, nil
+}
+
+// broadcastMAC sends a per-recipient MAC'd copy of m to every peer except
+// self (the MAC authenticator vector of PBFT).
+func (e *Engine) broadcastMAC(m *types.Message) {
+	for _, p := range e.peers {
+		if p == e.self {
+			continue
+		}
+		cp := *m
+		cp.MAC = e.auth.MAC(p, cp.SigBytes())
+		e.cb.Send(p, &cp)
+	}
+}
+
+// broadcastSigned signs m once and sends a copy to every peer except self.
+func (e *Engine) broadcastSigned(m *types.Message) {
+	m.Sig = e.auth.Sign(m.SigBytes())
+	for _, p := range e.peers {
+		if p == e.self {
+			continue
+		}
+		cp := *m
+		e.cb.Send(p, &cp)
+	}
+}
+
+func (e *Engine) isPeer(id types.NodeID) bool {
+	if id.Kind != e.peers[0].Kind || id.Shard != e.shard {
+		return false
+	}
+	return id.Index >= 0 && id.Index < e.n && e.peers[id.Index] == id
+}
+
+// OnMessage feeds one inbound intra-shard message to the state machine.
+// Malformed, unauthenticated, or out-of-window messages are dropped — a
+// well-formedness check is the first defence against Byzantine senders
+// (Section 3, "well-formed").
+func (e *Engine) OnMessage(m *types.Message) {
+	if m == nil || !e.isPeer(m.From) || m.From == e.self {
+		return
+	}
+	switch m.Type {
+	case types.MsgPrePrepare, types.MsgPrepare, types.MsgCommit:
+		// A message for a future view — or for the view currently being
+		// installed — is stashed and replayed once the view change lands,
+		// instead of being dropped (message order across a view change is
+		// not guaranteed by the network).
+		if m.View > e.view || (e.inViewChange && m.View == e.view) {
+			if len(e.future) < 8192 {
+				e.future = append(e.future, m)
+			}
+			return
+		}
+	}
+	switch m.Type {
+	case types.MsgPrePrepare:
+		e.onPrePrepare(m)
+	case types.MsgPrepare:
+		e.onPrepare(m)
+	case types.MsgCommit:
+		e.onCommit(m)
+	case types.MsgCheckpoint:
+		e.onCheckpoint(m)
+	case types.MsgViewChange:
+		e.onViewChange(m)
+	case types.MsgNewView:
+		e.onNewView(m)
+	}
+}
+
+func (e *Engine) inWindow(seq types.SeqNum) bool {
+	return seq > e.stableSeq && seq <= e.stableSeq+e.window
+}
+
+func (e *Engine) onPrePrepare(m *types.Message) {
+	if e.inViewChange || m.View != e.view || m.From != e.Primary(e.view) {
+		return
+	}
+	if !e.inWindow(m.Seq) || m.Batch == nil {
+		return
+	}
+	if err := e.auth.VerifyMAC(m.From, m.SigBytes(), m.MAC); err != nil {
+		return
+	}
+	if m.Batch.Digest() != m.Digest {
+		return
+	}
+	ent := e.getEntry(m.Seq)
+	// "r did not accept a k-th proposal from pS" (Fig 5 line 10): refuse a
+	// conflicting proposal at the same (view, seq).
+	if ent.preprepared && (ent.view != m.View || ent.digest != m.Digest) {
+		return
+	}
+	if ent.preprepared {
+		return // duplicate
+	}
+	ent.view = m.View
+	ent.digest = m.Digest
+	ent.batch = m.Batch
+	ent.preprepared = true
+	// Count the primary's PrePrepare as its Prepare, then vote ourselves.
+	ent.prepares[m.From] = struct{}{}
+	ent.prepares[e.self] = struct{}{}
+
+	prep := &types.Message{
+		Type: types.MsgPrepare, From: e.self, Shard: e.shard,
+		View: m.View, Seq: m.Seq, Digest: m.Digest,
+	}
+	e.broadcastMAC(prep)
+	e.maybePrepared(m.Seq, ent)
+}
+
+func (e *Engine) onPrepare(m *types.Message) {
+	if e.inViewChange || m.View != e.view || !e.inWindow(m.Seq) {
+		return
+	}
+	if err := e.auth.VerifyMAC(m.From, m.SigBytes(), m.MAC); err != nil {
+		return
+	}
+	ent := e.getEntry(m.Seq)
+	if ent.preprepared && ent.digest != m.Digest {
+		return
+	}
+	ent.prepares[m.From] = struct{}{}
+	e.maybePrepared(m.Seq, ent)
+}
+
+// maybePrepared transitions to prepared once the entry has a PrePrepare and
+// nf distinct Prepare votes, then broadcasts a signed Commit (Fig 5 lines
+// 12-13).
+func (e *Engine) maybePrepared(seq types.SeqNum, ent *entry) {
+	if ent.prepared || !ent.preprepared || len(ent.prepares) < e.nf {
+		return
+	}
+	ent.prepared = true
+	c := &types.Message{
+		Type: types.MsgCommit, From: e.self, Shard: e.shard,
+		View: ent.view, Seq: seq, Digest: ent.digest,
+	}
+	sig := e.auth.Sign(c.SigBytes())
+	ent.commits[e.self] = sig
+	c.Sig = sig
+	for _, p := range e.peers {
+		if p == e.self {
+			continue
+		}
+		cp := *c
+		e.cb.Send(p, &cp)
+	}
+	e.maybeCommitted(seq, ent)
+}
+
+func (e *Engine) onCommit(m *types.Message) {
+	if !e.inWindow(m.Seq) {
+		return
+	}
+	// Commits are accepted even during view change for newer views? No:
+	// PBFT discards them; retransmission and checkpoints recover.
+	if e.inViewChange || m.View != e.view {
+		return
+	}
+	if err := e.auth.Verify(m.From, m.SigBytes(), m.Sig); err != nil {
+		return
+	}
+	ent := e.getEntry(m.Seq)
+	if ent.preprepared && ent.digest != m.Digest {
+		return
+	}
+	if _, dup := ent.commits[m.From]; dup {
+		return
+	}
+	ent.commits[m.From] = m.Sig
+	e.maybeCommitted(m.Seq, ent)
+}
+
+// maybeCommitted fires the Committed callback once nf signed Commits match a
+// prepared entry, handing the host the commit certificate A (Fig 5 line 16).
+func (e *Engine) maybeCommitted(seq types.SeqNum, ent *entry) {
+	if ent.committed || !ent.prepared || len(ent.commits) < e.nf {
+		return
+	}
+	ent.committed = true
+	cert := make([]types.Signed, 0, len(ent.commits))
+	for from, sig := range ent.commits {
+		cert = append(cert, types.Signed{
+			From: from, Type: types.MsgCommit, Shard: e.shard,
+			View: ent.view, Seq: seq, Digest: ent.digest, Sig: sig,
+		})
+		if len(cert) == e.nf {
+			break
+		}
+	}
+	if e.cb.Committed != nil {
+		e.cb.Committed(seq, ent.batch, cert)
+	}
+}
+
+// VerifyCert checks a commit certificate allegedly produced by the replicas
+// of shard (as carried inside a Forward message): at least quorum distinct
+// valid signatures over identical (shard, view, seq, digest) Commit tuples.
+// Any replica of any shard can run this check given the public keys — this
+// is why cross-shard messages use DS, not MACs (non-repudiation, Section 3).
+func VerifyCert(auth crypto.Authenticator, shard types.ShardID, digest types.Digest, cert []types.Signed, quorum int) error {
+	if len(cert) < quorum {
+		return fmt.Errorf("pbft: certificate has %d signatures, need %d", len(cert), quorum)
+	}
+	seen := make(map[types.NodeID]struct{}, len(cert))
+	var view types.View
+	var seq types.SeqNum
+	valid := 0
+	for i := range cert {
+		s := &cert[i]
+		if s.Type != types.MsgCommit || s.Shard != shard || s.Digest != digest {
+			continue
+		}
+		if valid == 0 {
+			view, seq = s.View, s.Seq
+		} else if s.View != view || s.Seq != seq {
+			continue
+		}
+		if _, dup := seen[s.From]; dup {
+			continue
+		}
+		if s.From.Shard != shard {
+			continue
+		}
+		if err := auth.Verify(s.From, s.SigBytes(), s.Sig); err != nil {
+			continue
+		}
+		seen[s.From] = struct{}{}
+		valid++
+	}
+	if valid < quorum {
+		return fmt.Errorf("pbft: certificate has %d valid signatures, need %d", valid, quorum)
+	}
+	return nil
+}
+
+// ForceView installs view v directly, without running the view-change
+// protocol. It exists for multi-instance protocols (RCC) that statically
+// assign each instance a distinct primary before any traffic flows; calling
+// it on a log with in-flight proposals would violate safety.
+func (e *Engine) ForceView(v types.View) { e.view = v }

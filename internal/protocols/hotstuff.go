@@ -1,0 +1,174 @@
+package protocols
+
+import (
+	"context"
+
+	"ringbft/internal/types"
+)
+
+// HotStuffNode implements basic (non-chained) HotStuff's normal case (Yin et
+// al.): a stable leader drives three linear vote rounds — prepare,
+// pre-commit, commit — each a leader broadcast answered by replica votes to
+// the leader, followed by a decide broadcast. Linear message complexity,
+// but four sequential round trips per decision: at WAN latencies its
+// throughput per instance is latency-bound, which is why it sits low in
+// Figure 1 despite linearity. Independent sequence numbers pipeline freely.
+type HotStuffNode struct {
+	base
+	isLeader bool
+	nextSeq  types.SeqNum
+	slots    map[types.SeqNum]*hsSlot
+}
+
+const hsPhases = 3 // prepare, pre-commit, commit; then decide
+
+type hsSlot struct {
+	digest  types.Digest
+	batch   *types.Batch
+	phase   int // leader: current vote round being collected
+	votes   map[int]map[types.NodeID]struct{}
+	voted   map[int]bool // replica: phases already voted
+	decided bool
+}
+
+// NewHotStuff creates a HotStuff replica.
+func NewHotStuff(opts Options) *HotStuffNode {
+	return &HotStuffNode{
+		base:     newBase(opts),
+		isLeader: opts.Self.Index == 0,
+		slots:    make(map[types.SeqNum]*hsSlot),
+	}
+}
+
+// Run drives the replica until ctx is cancelled.
+func (h *HotStuffNode) Run(ctx context.Context, inbox <-chan *types.Message) {
+	runLoop(ctx, inbox, h.handle)
+}
+
+func (h *HotStuffNode) slot(seq types.SeqNum) *hsSlot {
+	sl, ok := h.slots[seq]
+	if !ok {
+		sl = &hsSlot{
+			votes: make(map[int]map[types.NodeID]struct{}),
+			voted: make(map[int]bool),
+			phase: 1,
+		}
+		h.slots[seq] = sl
+	}
+	return sl
+}
+
+func (h *HotStuffNode) handle(m *types.Message) {
+	if m == nil {
+		return
+	}
+	switch m.Type {
+	case types.MsgClientRequest:
+		h.onClientRequest(m)
+	case types.MsgHSPropose:
+		h.onPropose(m)
+	case types.MsgHSVote:
+		h.onVote(m)
+	}
+}
+
+func (h *HotStuffNode) onClientRequest(m *types.Message) {
+	if !h.isLeader || m.Batch == nil || len(m.Batch.Txns) == 0 {
+		return
+	}
+	d := m.Batch.Digest()
+	if res, ok := h.executed[d]; ok {
+		h.respond(types.ClientNode(m.Batch.Txns[0].ID.Client), d, res)
+		return
+	}
+	h.nextSeq++
+	sl := h.slot(h.nextSeq)
+	if sl.batch != nil {
+		return
+	}
+	sl.batch, sl.digest = m.Batch, d
+	h.broadcastPhase(h.nextSeq, sl, 1)
+}
+
+// broadcastPhase sends the leader's phase-k proposal (carrying the batch in
+// phase 1, the QC implicitly thereafter) and registers the leader's vote.
+func (h *HotStuffNode) broadcastPhase(seq types.SeqNum, sl *hsSlot, phase int) {
+	m := &types.Message{
+		Type: types.MsgHSPropose, From: h.self,
+		Seq: seq, Digest: sl.digest, Instance: phase,
+	}
+	if phase == 1 {
+		m.Batch = sl.batch
+	}
+	h.broadcastMAC(m)
+	if phase > hsPhases {
+		// Decide phase: leader executes.
+		h.decide(seq, sl)
+		return
+	}
+	sl.phase = phase
+	h.recordVote(seq, sl, phase, h.self)
+}
+
+func (h *HotStuffNode) onPropose(m *types.Message) {
+	if m.From != h.peers[0] || !h.verifyMAC(m) {
+		return
+	}
+	sl := h.slot(m.Seq)
+	if m.Instance == 1 {
+		if m.Batch == nil || m.Batch.Digest() != m.Digest {
+			return
+		}
+		if sl.batch == nil {
+			sl.batch, sl.digest = m.Batch, m.Digest
+		}
+	}
+	if sl.digest != m.Digest {
+		return
+	}
+	if m.Instance > hsPhases {
+		h.decide(m.Seq, sl)
+		return
+	}
+	if sl.voted[m.Instance] {
+		return
+	}
+	sl.voted[m.Instance] = true
+	v := &types.Message{
+		Type: types.MsgHSVote, From: h.self,
+		Seq: m.Seq, Digest: m.Digest, Instance: m.Instance,
+	}
+	v.MAC = h.auth.MAC(h.peers[0], v.SigBytes())
+	h.send(h.peers[0], v)
+}
+
+func (h *HotStuffNode) onVote(m *types.Message) {
+	if !h.isLeader || !h.isPeer(m.From) || !h.verifyMAC(m) {
+		return
+	}
+	sl := h.slot(m.Seq)
+	if sl.digest != m.Digest {
+		return
+	}
+	h.recordVote(m.Seq, sl, m.Instance, m.From)
+}
+
+func (h *HotStuffNode) recordVote(seq types.SeqNum, sl *hsSlot, phase int, from types.NodeID) {
+	vs, ok := sl.votes[phase]
+	if !ok {
+		vs = make(map[types.NodeID]struct{})
+		sl.votes[phase] = vs
+	}
+	vs[from] = struct{}{}
+	if phase == sl.phase && len(vs) >= h.nf {
+		h.broadcastPhase(seq, sl, phase+1)
+	}
+}
+
+func (h *HotStuffNode) decide(seq types.SeqNum, sl *hsSlot) {
+	if sl.decided || sl.batch == nil {
+		return
+	}
+	sl.decided = true
+	h.markReady(seq, sl.batch)
+}

@@ -1,0 +1,129 @@
+package protocols
+
+import (
+	"context"
+
+	"ringbft/internal/types"
+)
+
+// PoENode implements Proof-of-Execution's normal case (Gupta et al., EDBT
+// 2021): the primary proposes, replicas exchange one all-to-all Support
+// round (MACs, no signatures), and on nf supports execute *speculatively*
+// and answer the client — dropping PBFT's commit phase entirely. Clients
+// accept on nf matching responses.
+type PoENode struct {
+	base
+	isPrimary bool
+	nextSeq   types.SeqNum
+	slots     map[types.SeqNum]*poeSlot
+}
+
+type poeSlot struct {
+	digest   types.Digest
+	batch    *types.Batch
+	supports map[types.NodeID]struct{}
+	sent     bool
+	decided  bool
+}
+
+// NewPoE creates a PoE replica.
+func NewPoE(opts Options) *PoENode {
+	return &PoENode{
+		base:      newBase(opts),
+		isPrimary: opts.Self.Index == 0,
+		slots:     make(map[types.SeqNum]*poeSlot),
+	}
+}
+
+// Run drives the replica until ctx is cancelled.
+func (p *PoENode) Run(ctx context.Context, inbox <-chan *types.Message) {
+	runLoop(ctx, inbox, p.handle)
+}
+
+func (p *PoENode) slot(seq types.SeqNum) *poeSlot {
+	sl, ok := p.slots[seq]
+	if !ok {
+		sl = &poeSlot{supports: make(map[types.NodeID]struct{})}
+		p.slots[seq] = sl
+	}
+	return sl
+}
+
+func (p *PoENode) handle(m *types.Message) {
+	if m == nil {
+		return
+	}
+	switch m.Type {
+	case types.MsgClientRequest:
+		p.onClientRequest(m)
+	case types.MsgPoEPropose:
+		p.onPropose(m)
+	case types.MsgPoESupport:
+		p.onSupport(m)
+	}
+}
+
+func (p *PoENode) onClientRequest(m *types.Message) {
+	if !p.isPrimary || m.Batch == nil || len(m.Batch.Txns) == 0 {
+		return
+	}
+	d := m.Batch.Digest()
+	if res, ok := p.executed[d]; ok {
+		p.respond(types.ClientNode(m.Batch.Txns[0].ID.Client), d, res)
+		return
+	}
+	p.nextSeq++
+	sl := p.slot(p.nextSeq)
+	if sl.batch != nil {
+		return
+	}
+	sl.batch, sl.digest = m.Batch, d
+	pp := &types.Message{Type: types.MsgPoEPropose, From: p.self, Seq: p.nextSeq, Digest: d, Batch: m.Batch}
+	p.broadcastMAC(pp)
+	p.support(p.nextSeq, sl)
+}
+
+func (p *PoENode) onPropose(m *types.Message) {
+	if m.From != p.peers[0] || m.Batch == nil || !p.verifyMAC(m) || m.Batch.Digest() != m.Digest {
+		return
+	}
+	sl := p.slot(m.Seq)
+	if sl.batch != nil {
+		return
+	}
+	sl.batch, sl.digest = m.Batch, m.Digest
+	p.support(m.Seq, sl)
+}
+
+// support broadcasts this replica's Support vote (all-to-all, MACs only).
+func (p *PoENode) support(seq types.SeqNum, sl *poeSlot) {
+	if sl.sent {
+		return
+	}
+	sl.sent = true
+	sl.supports[p.self] = struct{}{}
+	sup := &types.Message{Type: types.MsgPoESupport, From: p.self, Seq: seq, Digest: sl.digest}
+	p.broadcastMAC(sup)
+	p.maybeDecide(seq, sl)
+}
+
+func (p *PoENode) onSupport(m *types.Message) {
+	if !p.isPeer(m.From) || !p.verifyMAC(m) {
+		return
+	}
+	sl := p.slot(m.Seq)
+	if !sl.digest.IsZero() && sl.digest != m.Digest {
+		return
+	}
+	sl.supports[m.From] = struct{}{}
+	p.maybeDecide(m.Seq, sl)
+}
+
+// maybeDecide speculatively executes once nf replicas support the proposal.
+func (p *PoENode) maybeDecide(seq types.SeqNum, sl *poeSlot) {
+	if sl.decided || sl.batch == nil || len(sl.supports) < p.nf {
+		return
+	}
+	sl.decided = true
+	p.markReady(seq, sl.batch)
+}

@@ -1,0 +1,106 @@
+package protocols
+
+import (
+	"context"
+
+	"ringbft/internal/types"
+)
+
+// ZyzzyvaNode implements Zyzzyva's speculative normal case (Kotla et al.):
+// the primary assigns a sequence number and broadcasts an order request;
+// replicas execute speculatively in order and respond to the client
+// directly. The client completes when all 3f+1 speculative responses match
+// (the harness requires n matching responses for Zyzzyva), which is why a
+// single slow or faulty replica stalls it — the fragility the PoE paper
+// targets. The client-driven commit-certificate path (2f+1 responses +
+// LocalCommit) is implemented for completeness.
+type ZyzzyvaNode struct {
+	base
+	isPrimary bool
+	nextSeq   types.SeqNum
+	seen      map[types.Digest]types.SeqNum
+	certAcked map[types.Digest]struct{}
+}
+
+// NewZyzzyva creates a Zyzzyva replica.
+func NewZyzzyva(opts Options) *ZyzzyvaNode {
+	return &ZyzzyvaNode{
+		base:      newBase(opts),
+		isPrimary: opts.Self.Index == 0,
+		seen:      make(map[types.Digest]types.SeqNum),
+		certAcked: make(map[types.Digest]struct{}),
+	}
+}
+
+// Run drives the replica until ctx is cancelled.
+func (z *ZyzzyvaNode) Run(ctx context.Context, inbox <-chan *types.Message) {
+	runLoop(ctx, inbox, z.handle)
+}
+
+func (z *ZyzzyvaNode) handle(m *types.Message) {
+	if m == nil {
+		return
+	}
+	switch m.Type {
+	case types.MsgClientRequest:
+		z.onClientRequest(m)
+	case types.MsgZyzOrderReq:
+		z.onOrderReq(m)
+	case types.MsgZyzCommitCert:
+		z.onCommitCert(m)
+	}
+}
+
+func (z *ZyzzyvaNode) onClientRequest(m *types.Message) {
+	if !z.isPrimary || m.Batch == nil || len(m.Batch.Txns) == 0 {
+		return
+	}
+	d := m.Batch.Digest()
+	if _, dup := z.seen[d]; dup {
+		return
+	}
+	z.nextSeq++
+	z.seen[d] = z.nextSeq
+	ord := &types.Message{
+		Type: types.MsgZyzOrderReq, From: z.self,
+		Seq: z.nextSeq, Digest: d, Batch: m.Batch,
+	}
+	z.broadcastMAC(ord)
+	// The primary executes speculatively too.
+	z.markReady(z.nextSeq, m.Batch)
+}
+
+func (z *ZyzzyvaNode) onOrderReq(m *types.Message) {
+	if m.From != z.peers[0] || m.Batch == nil || !z.verifyMAC(m) {
+		return
+	}
+	if m.Batch.Digest() != m.Digest {
+		return
+	}
+	if prev, dup := z.seen[m.Digest]; dup && prev != m.Seq {
+		return // conflicting order request
+	}
+	z.seen[m.Digest] = m.Seq
+	// Speculative execution in sequence order; the spec-response to the
+	// client is produced by base.execute.
+	z.markReady(m.Seq, m.Batch)
+}
+
+// onCommitCert handles the slow path: a client that gathered only 2f+1
+// matching speculative responses broadcasts a commit certificate; replicas
+// acknowledge with a local commit so the client can complete.
+func (z *ZyzzyvaNode) onCommitCert(m *types.Message) {
+	if m.From.Kind != types.KindClient {
+		return
+	}
+	if _, done := z.certAcked[m.Digest]; done {
+		return
+	}
+	if _, known := z.seen[m.Digest]; !known {
+		return
+	}
+	z.certAcked[m.Digest] = struct{}{}
+	ack := &types.Message{Type: types.MsgZyzLocalCommit, From: z.self, Digest: m.Digest}
+	ack.MAC = z.auth.MAC(m.From, ack.SigBytes())
+	z.send(m.From, ack)
+}

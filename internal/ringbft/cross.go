@@ -1,0 +1,287 @@
+package ringbft
+
+import (
+	"crypto/sha256"
+
+	"ringbft/internal/pbft"
+	"ringbft/internal/types"
+)
+
+func sha256Sum(b []byte) types.Digest { return types.Digest(sha256.Sum256(b)) }
+
+// sendForward implements Fig 5 line 19: after locking, replica r sends a
+// signed Forward — the batch, the nf-signature commit certificate A, and the
+// accumulated read sets — to the single replica of the next involved shard
+// with the same index (the linear communication primitive).
+func (r *Replica) sendForward(cs *cstState) {
+	next, _ := cs.batch.NextInRing(r.shard)
+	m := &types.Message{
+		Type: types.MsgForward, From: r.self, Shard: r.shard,
+		Seq: cs.seq, Digest: cs.digest,
+		Batch: cs.batch, Cert: cs.cert, WriteSets: cs.carried,
+	}
+	m.Sig = r.auth.Sign(m.SigBytes())
+	cs.forwardMsg = m
+	cs.forwardSentAt = r.clock()
+	r.sendRing(next, m)
+}
+
+// sendRing delivers a cross-shard message under the configured
+// communication primitive: one same-index replica (linear, the default) or
+// every replica of the next shard (all-to-all ablation).
+func (r *Replica) sendRing(next types.ShardID, m *types.Message) {
+	if !r.allToAll {
+		r.send(types.ReplicaNode(next, r.self.Index), m)
+		return
+	}
+	for i := 0; i < r.cfg.ReplicasPerShard; i++ {
+		r.send(types.ReplicaNode(next, i), m)
+	}
+}
+
+// onForward handles a Forward from the previous shard in ring order
+// (Fig 5 lines 29-39). The first same-index copy is re-shared locally
+// (line 30); the message is accepted once f+1 distinct previous-shard
+// replicas vouch for it (line 31), which by the linear communication
+// primitive guarantees at least one copy originated at a non-faulty sender.
+func (r *Replica) onForward(m *types.Message) {
+	b := m.Batch
+	if b == nil || len(b.Txns) == 0 || !b.IsCrossShard() {
+		return
+	}
+	d := b.Digest()
+	if d != m.Digest || !b.Involves(r.shard) {
+		return
+	}
+	if m.From.Kind != types.KindReplica || m.From.Shard != b.PrevInRing(r.shard) || m.Shard != m.From.Shard {
+		return
+	}
+	if r.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+		return
+	}
+	// The Forward must prove the previous shard replicated the batch:
+	// nf valid commit signatures from that shard (checked once per sender).
+	if err := pbft.VerifyCert(r.auth, m.From.Shard, d, m.Cert, r.cfg.NF()); err != nil {
+		return
+	}
+
+	cs := r.cst(d)
+	if cs.batch == nil {
+		// Adopt the batch as soon as one valid Forward is seen: the remote
+		// timer needs it to complain (Fig 6) even before f+1 copies arrive.
+		cs.batch = b
+	}
+	if _, dup := cs.fwdFrom[m.From]; dup {
+		// Retransmission of an already-counted copy: the previous shard is
+		// still waiting for evidence of progress. If we already executed,
+		// the lost message is our Execute — resend it down the ring.
+		if cs.executed {
+			r.sendExecute(cs)
+		}
+		return
+	}
+	cs.fwdFrom[m.From] = struct{}{}
+	if cs.fwdFirst.IsZero() {
+		cs.fwdFirst = r.clock() // arm the remote timer (Fig 6)
+	}
+	if m.From.Index == r.self.Index && !cs.fwdRelayed {
+		cs.fwdRelayed = true
+		for _, p := range r.peers {
+			if p != r.self {
+				r.send(p, m)
+			}
+		}
+	}
+	if cs.fwdAccepted || len(cs.fwdFrom) <= r.cfg.F() {
+		return
+	}
+	cs.fwdAccepted = true
+	cs.fwdFirst = r.clock() // re-anchor the remote timer for rotation 2
+	if cs.batch == nil {
+		cs.batch = b
+	}
+
+	if cs.locked {
+		// Second rotation (Fig 5 line 32): we are the first shard in ring
+		// order, our locks are held, and the Forward has travelled the full
+		// ring — every involved shard holds its locks. Execute.
+		cs.carried = m.WriteSets
+		r.executeCst(cs)
+		return
+	}
+	// First rotation at a non-initiator shard: adopt the accumulated read
+	// sets and replicate the batch locally (Fig 5 lines 38-39).
+	cs.carried = append([]types.WriteSet(nil), m.WriteSets...)
+	r.enqueueProposal(b, d)
+}
+
+// executeCst executes this shard's fragment with every dependency resolved
+// from the carried Σ, appends the block, releases locks, and passes the
+// Execute message down the ring (Fig 5 lines 33-37).
+func (r *Replica) executeCst(cs *cstState) {
+	if cs.executed || cs.batch == nil || !cs.locked {
+		return
+	}
+	remote := make(map[types.Key]types.Value)
+	for _, ws := range cs.carried {
+		for i, k := range ws.ReadKeys {
+			remote[k] = ws.ReadValues[i]
+		}
+	}
+	cs.results = r.executeBatch(cs.batch, remote)
+	cs.executed = true
+	r.executed[cs.digest] = cs.results
+	r.chain.Append(cs.seq, r.engine.Primary(r.engine.View()), cs.batch)
+
+	// Push this shard's updated write fragment into Σ (Fig 5 line 34).
+	out := types.WriteSet{Shard: r.shard}
+	for i := range cs.batch.Txns {
+		t := &cs.batch.Txns[i]
+		for _, k := range t.WritesAt(r.shard, r.cfg.Shards) {
+			out.Keys = append(out.Keys, k)
+			out.Values = append(out.Values, r.kv.Get(k))
+		}
+	}
+	cs.carried = append(cs.carried, out)
+
+	r.locks.Unlock(r.localKeys(cs.batch), lockOwner(cs.batch))
+	cs.released = true
+
+	r.sendExecute(cs)
+	r.drainLockQueue()
+}
+
+// sendExecute sends ⟨Execute(Δ, Σℑ)⟩ to the same-index replica of the next
+// involved shard (Fig 5 line 37).
+func (r *Replica) sendExecute(cs *cstState) {
+	next, _ := cs.batch.NextInRing(r.shard)
+	m := &types.Message{
+		Type: types.MsgExecute, From: r.self, Shard: r.shard,
+		Seq: cs.seq, Digest: cs.digest, WriteSets: cs.carried,
+	}
+	m.Sig = r.auth.Sign(m.SigBytes())
+	r.sendRing(next, m)
+}
+
+// onExecute handles the second-rotation Execute message (Fig 5 lines 40-44):
+// a shard that has not executed yet does so now (the carried Σ resolves its
+// dependencies); the initiator — which executed at the start of rotation 2 —
+// replies to the client instead.
+func (r *Replica) onExecute(m *types.Message) {
+	cs, ok := r.csts[m.Digest]
+	if !ok || cs.batch == nil {
+		// Either an unknown digest or this replica was kept in dark during
+		// local replication; it cannot execute and relies on checkpoints.
+		return
+	}
+	if m.From.Kind != types.KindReplica || m.From.Shard != cs.batch.PrevInRing(r.shard) {
+		return
+	}
+	if r.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+		return
+	}
+	if _, dup := cs.execFrom[m.From]; dup {
+		return
+	}
+	cs.execFrom[m.From] = struct{}{}
+	if m.From.Index == r.self.Index && !cs.execRelayed {
+		cs.execRelayed = true
+		for _, p := range r.peers {
+			if p != r.self {
+				r.send(p, m)
+			}
+		}
+	}
+	if cs.execAccepted || len(cs.execFrom) <= r.cfg.F() {
+		return
+	}
+	cs.execAccepted = true
+
+	if cs.executed {
+		if r.shard == cs.batch.Initiator() {
+			// Execution completed across all shards; answer the client
+			// (Section 4.3.7).
+			if !cs.replied {
+				cs.replied = true
+				r.respond(clientOf(cs.batch), cs.digest, cs.results)
+			}
+			return
+		}
+		// Already executed but not the initiator (fast-path shard):
+		// keep the rotation moving.
+		r.sendExecute(cs)
+		return
+	}
+	cs.carried = m.WriteSets
+	if cs.locked {
+		r.executeCst(cs)
+	}
+}
+
+// onRemoteView handles the remote view-change protocol of Fig 6: replicas of
+// the next shard, starved of Forward messages, ask this shard to replace its
+// primary. f+1 distinct complainants trigger a local view change.
+func (r *Replica) onRemoteView(m *types.Message) {
+	b := m.Batch
+	if b == nil || !b.Involves(r.shard) {
+		return
+	}
+	d := b.Digest()
+	if d != m.Digest {
+		return
+	}
+	next, _ := b.NextInRing(r.shard)
+	if m.From.Kind != types.KindReplica || m.From.Shard != next {
+		return
+	}
+	if r.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+		return
+	}
+	cs := r.cst(d)
+	if cs.remoteComplaints == nil {
+		cs.remoteComplaints = make(map[types.NodeID]struct{})
+	}
+	if _, dup := cs.remoteComplaints[m.From]; dup {
+		return
+	}
+	cs.remoteComplaints[m.From] = struct{}{}
+	if m.From.Index == r.self.Index && !cs.remoteRelayed {
+		cs.remoteRelayed = true
+		for _, p := range r.peers {
+			if p != r.self {
+				r.send(p, m)
+			}
+		}
+	}
+	if len(cs.remoteComplaints) <= r.cfg.F() || cs.remoteHandled {
+		return
+	}
+	cs.remoteHandled = true
+	r.remoteViews++
+	// Make sure the (possibly new) primary has the batch to propose, then
+	// support the view change (Fig 6 lines 5-6).
+	if cs.batch == nil {
+		cs.batch = b
+	}
+	if _, done := r.proposed[d]; !done {
+		if _, ok := r.awaitingProposal[d]; !ok {
+			r.awaitingProposal[d] = &pendingProposal{batch: b, since: r.clock()}
+		}
+	}
+	if cs.executed || cs.locked {
+		// We already replicated it; the complaint is about lost messages,
+		// not a faulty primary. Retransmit instead of view-changing: the
+		// Forward (first rotation) and, if we already executed, the Execute
+		// carrying Σ (second rotation).
+		if cs.forwardMsg != nil {
+			r.retransmits++
+			r.send(types.ReplicaNode(next, r.self.Index), cs.forwardMsg)
+		}
+		if cs.executed {
+			r.retransmits++
+			r.sendExecute(cs)
+		}
+		return
+	}
+	r.engine.StartViewChange(r.engine.View() + 1)
+}

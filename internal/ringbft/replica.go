@@ -1,0 +1,533 @@
+// Package ringbft implements the paper's primary contribution: the RingBFT
+// meta-protocol for sharded-replicated permissioned blockchains (Section 4).
+//
+// Each shard runs an intra-shard PBFT engine (package pbft) unchanged; this
+// package adds the cross-shard machinery on top:
+//
+//   - ring order: cross-shard transactions visit their involved shards in
+//     ascending shard-identifier order, initiated by the lowest;
+//   - sequence-ordered data locking with the π pending list and k_max
+//     watermark (Fig 5 lines 14-28, Example 4.4), which yields deadlock
+//     freedom (Theorem 6.2);
+//   - the linear communication primitive: replica i of a shard talks only
+//     to replica i of the next shard, and receivers locally re-share and
+//     accept on f+1 matching copies (Section 4.3.6);
+//   - process–forward–retransmit: Forward messages carry the batch, the nf
+//     signed Commit certificate, and the accumulated read sets; Execute
+//     messages drive the second rotation carrying Σ (Section 4.3.7);
+//   - recovery: local timers (PBFT view change), remote view change
+//     (Fig 6), and Forward retransmission (Section 5.1.1).
+package ringbft
+
+import (
+	"context"
+	"encoding/binary"
+	"time"
+
+	"ringbft/internal/crypto"
+	"ringbft/internal/ledger"
+	"ringbft/internal/pbft"
+	"ringbft/internal/store"
+	"ringbft/internal/types"
+)
+
+// Sender abstracts the network so replicas run over simnet or tcpnet.
+type Sender func(to types.NodeID, m *types.Message)
+
+// Replica is one RingBFT replica: a PBFT participant of its shard plus the
+// ring layer. Drive it with Run, or feed it directly with HandleMessage and
+// HandleTick from a deterministic test harness.
+type Replica struct {
+	cfg      types.Config
+	shard    types.ShardID
+	self     types.NodeID
+	peers    []types.NodeID
+	auth     crypto.Authenticator
+	send     Sender
+	clock    func() time.Time
+	allToAll bool
+
+	engine *pbft.Engine
+	kv     *store.KV
+	locks  *store.LockTable
+	chain  *ledger.Chain
+
+	// Lock-order state (Fig 5): lockQueue holds committed entries awaiting
+	// lock acquisition strictly in sequence order; kmax is the highest
+	// sequence that acquired locks.
+	kmax      types.SeqNum
+	lockQueue map[types.SeqNum]*logEntry
+
+	// csts tracks every cross-shard transaction this replica has seen, by
+	// batch digest.
+	csts map[types.Digest]*cstState
+
+	// executed caches results of executed batches so retransmitted client
+	// requests are answered from the log (attack A1).
+	executed map[types.Digest][]types.Value
+
+	// awaitingProposal maps digests the primary must propose (client
+	// requests and accepted Forwards). The watchdog view-changes if the
+	// primary sits on them; a new primary proposes them on promotion.
+	awaitingProposal map[types.Digest]*pendingProposal
+	proposed         map[types.Digest]struct{}
+	proposeQueue     []*types.Batch // backpressure buffer for window-full
+
+	// Rolling digest over the contiguous committed prefix, used as the
+	// checkpoint state digest (deterministic across replicas even when
+	// non-conflicting executions interleave differently; Section 7).
+	prefixDigest   types.Digest
+	lastCheckpoint types.SeqNum
+
+	// Metrics (read via Stats after the run).
+	executedTxns  int64
+	executedCross int64
+	viewChanges   int64
+	retransmits   int64
+	remoteViews   int64
+}
+
+type logEntry struct {
+	seq   types.SeqNum
+	batch *types.Batch
+	cert  []types.Signed
+}
+
+type pendingProposal struct {
+	batch *types.Batch
+	since time.Time
+}
+
+// cstState is the per-replica lifecycle of one cross-shard batch.
+type cstState struct {
+	digest types.Digest
+	batch  *types.Batch
+	seq    types.SeqNum
+	cert   []types.Signed
+
+	locked   bool
+	executed bool
+	released bool
+	replied  bool
+
+	// Linear-communication accounting for inbound Forward / Execute.
+	fwdFrom     map[types.NodeID]struct{}
+	fwdRelayed  bool
+	fwdAccepted bool
+	fwdFirst    time.Time // remote timer anchor (Fig 6)
+	remoteSent  bool
+
+	execFrom     map[types.NodeID]struct{}
+	execRelayed  bool
+	execAccepted bool
+
+	remoteComplaints map[types.NodeID]struct{} // RemoteView senders (Fig 6)
+	remoteRelayed    bool
+	remoteHandled    bool
+
+	carried []types.WriteSet // accumulated read/write sets (Σ)
+	results []types.Value
+
+	forwardSentAt time.Time // transmit timer anchor (Section 5.1.1)
+	forwardMsg    *types.Message
+	nextProgress  bool // evidence the next shard progressed; stops retransmission
+}
+
+// Options configures a Replica.
+type Options struct {
+	Config types.Config
+	Shard  types.ShardID
+	Self   types.NodeID
+	Peers  []types.NodeID // replicas of Shard; Peers[i].Index == i
+	Auth   crypto.Authenticator
+	Send   Sender
+	Clock  func() time.Time
+	Window types.SeqNum // pbft log window override (0 = default)
+	// AllToAllForward disables the linear communication primitive for
+	// ablation benchmarks: Forward/Execute go to every replica of the next
+	// shard instead of only the same-index one (quadratic cross-shard
+	// traffic, the pattern Section 4.3.6 is designed to avoid).
+	AllToAllForward bool
+}
+
+// New creates a RingBFT replica with a preloaded store partition.
+func New(opts Options) *Replica {
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	r := &Replica{
+		cfg:              opts.Config,
+		shard:            opts.Shard,
+		self:             opts.Self,
+		peers:            opts.Peers,
+		auth:             opts.Auth,
+		send:             opts.Send,
+		clock:            opts.Clock,
+		kv:               store.NewKV(),
+		locks:            store.NewLockTable(),
+		chain:            ledger.NewChain(opts.Shard),
+		lockQueue:        make(map[types.SeqNum]*logEntry),
+		csts:             make(map[types.Digest]*cstState),
+		executed:         make(map[types.Digest][]types.Value),
+		awaitingProposal: make(map[types.Digest]*pendingProposal),
+		proposed:         make(map[types.Digest]struct{}),
+		allToAll:         opts.AllToAllForward,
+	}
+	r.engine = pbft.New(opts.Shard, opts.Self, opts.Peers, opts.Auth, pbft.Callbacks{
+		Send:        func(to types.NodeID, m *types.Message) { r.send(to, m) },
+		Committed:   r.onCommitted,
+		ViewChanged: r.onViewChanged,
+	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Window: opts.Window})
+	return r
+}
+
+// Preload installs n records of this shard's partition (see store.KV.Preload).
+func (r *Replica) Preload(records int) { r.kv.Preload(r.shard, r.cfg.Shards, records) }
+
+// Store returns the replica's key-value partition (for inspection).
+func (r *Replica) Store() *store.KV { return r.kv }
+
+// Chain returns the replica's ledger.
+func (r *Replica) Chain() *ledger.Chain { return r.chain }
+
+// Engine exposes the intra-shard PBFT engine (for tests and fault drivers).
+func (r *Replica) Engine() *pbft.Engine { return r.engine }
+
+// Shard returns the replica's shard.
+func (r *Replica) Shard() types.ShardID { return r.shard }
+
+// ID returns the replica's node id.
+func (r *Replica) ID() types.NodeID { return r.self }
+
+// Stats is a snapshot of replica counters.
+type Stats struct {
+	ExecutedTxns  int64
+	ExecutedCross int64
+	ViewChanges   int64
+	Retransmits   int64
+	RemoteViews   int64
+	LockedKeys    int
+	LedgerHeight  int
+	KMax          types.SeqNum
+}
+
+// Stats returns a snapshot of the replica's counters. Call only from the
+// replica's own goroutine or after Run returns.
+func (r *Replica) Stats() Stats {
+	return Stats{
+		ExecutedTxns:  r.executedTxns,
+		ExecutedCross: r.executedCross,
+		ViewChanges:   r.viewChanges,
+		Retransmits:   r.retransmits,
+		RemoteViews:   r.remoteViews,
+		LockedKeys:    r.locks.Count(),
+		LedgerHeight:  r.chain.Height(),
+		KMax:          r.kmax,
+	}
+}
+
+// Run drives the replica's event loop until ctx is cancelled: inbox
+// messages, plus a periodic tick for the three timers (local, remote,
+// transmit; Section 5).
+func (r *Replica) Run(ctx context.Context, inbox <-chan *types.Message) {
+	tickEvery := r.cfg.LocalTimeout / 4
+	if tickEvery <= 0 {
+		tickEvery = 25 * time.Millisecond
+	}
+	ticker := time.NewTicker(tickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m, ok := <-inbox:
+			if !ok {
+				return
+			}
+			r.HandleMessage(m)
+		case <-ticker.C:
+			r.HandleTick(r.clock())
+		}
+	}
+}
+
+// HandleMessage dispatches one inbound message. Exported so deterministic
+// test harnesses can drive replicas without goroutines.
+func (r *Replica) HandleMessage(m *types.Message) {
+	if m == nil {
+		return
+	}
+	switch m.Type {
+	case types.MsgClientRequest:
+		r.onClientRequest(m)
+	case types.MsgPrePrepare, types.MsgPrepare, types.MsgCommit,
+		types.MsgCheckpoint, types.MsgViewChange, types.MsgNewView:
+		r.engine.OnMessage(m)
+		r.tryProposeQueued()
+	case types.MsgForward:
+		r.onForward(m)
+	case types.MsgExecute:
+		r.onExecute(m)
+	case types.MsgRemoteView:
+		r.onRemoteView(m)
+	}
+}
+
+// onClientRequest implements Fig 5 lines 4-9 plus the attack-A1 rules: a
+// non-primary forwards to its primary and arms the watchdog; an executed
+// request is answered from the cache; a request whose initiator is another
+// shard is routed to that shard's primary.
+func (r *Replica) onClientRequest(m *types.Message) {
+	if m.Batch == nil || len(m.Batch.Txns) == 0 {
+		return
+	}
+	d := m.Batch.Digest()
+	if m.Digest != (types.Digest{}) && m.Digest != d {
+		return // malformed: digest does not match content
+	}
+	if res, ok := r.executed[d]; ok {
+		r.respond(clientOf(m.Batch), d, res)
+		return
+	}
+	if !m.Batch.Involves(r.shard) || m.Batch.Initiator() != r.shard {
+		// Route to the primary of the first shard in ring order.
+		init := m.Batch.Initiator()
+		fwd := *m
+		fwd.From = r.self
+		r.send(types.ReplicaNode(init, 0), &fwd)
+		return
+	}
+	r.enqueueProposal(m.Batch, d)
+}
+
+// enqueueProposal registers a batch the current primary must order. The
+// primary proposes immediately (window permitting); backups arm the local
+// timer so a primary that sits on the request is replaced (attack A1/A2).
+func (r *Replica) enqueueProposal(b *types.Batch, d types.Digest) {
+	if _, done := r.proposed[d]; done {
+		return
+	}
+	if _, ok := r.awaitingProposal[d]; !ok {
+		r.awaitingProposal[d] = &pendingProposal{batch: b, since: r.clock()}
+	}
+	if r.engine.IsPrimary() && !r.engine.InViewChange() {
+		r.propose(b, d)
+	}
+}
+
+func (r *Replica) propose(b *types.Batch, d types.Digest) {
+	if _, done := r.proposed[d]; done {
+		return
+	}
+	if _, err := r.engine.Propose(b); err != nil {
+		// Window full or view change: park it for the tick to retry.
+		r.proposeQueue = append(r.proposeQueue, b)
+		return
+	}
+	r.proposed[d] = struct{}{}
+}
+
+func (r *Replica) tryProposeQueued() {
+	if !r.engine.IsPrimary() || r.engine.InViewChange() {
+		return
+	}
+	for len(r.proposeQueue) > 0 {
+		b := r.proposeQueue[0]
+		d := b.Digest()
+		if _, done := r.proposed[d]; done {
+			r.proposeQueue = r.proposeQueue[1:]
+			continue
+		}
+		if _, err := r.engine.Propose(b); err != nil {
+			return // still blocked
+		}
+		r.proposed[d] = struct{}{}
+		r.proposeQueue = r.proposeQueue[1:]
+	}
+}
+
+// onCommitted is the engine's commit callback (may fire out of sequence
+// order): enqueue for in-order locking and drain (Fig 5 lines 14-28).
+func (r *Replica) onCommitted(seq types.SeqNum, batch *types.Batch, cert []types.Signed) {
+	d := batch.Digest()
+	delete(r.awaitingProposal, d)
+	r.proposed[d] = struct{}{}
+	r.lockQueue[seq] = &logEntry{seq: seq, batch: batch, cert: cert}
+	r.drainLockQueue()
+}
+
+// drainLockQueue acquires locks strictly in sequence order. The entry at
+// k_max+1 blocks the queue while its data is locked by an earlier
+// transaction (head-of-line, Example 4.4) — the ring order makes this
+// deadlock-free (Theorem 6.2).
+func (r *Replica) drainLockQueue() {
+	for {
+		ent, ok := r.lockQueue[r.kmax+1]
+		if !ok {
+			return
+		}
+		keys := r.localKeys(ent.batch)
+		owner := lockOwner(ent.batch)
+		if !r.locks.TryLock(keys, owner) {
+			return
+		}
+		delete(r.lockQueue, r.kmax+1)
+		r.kmax++
+		r.advancePrefix(ent.batch)
+		r.afterLocked(ent)
+	}
+}
+
+// advancePrefix folds the committed batch digest into the rolling prefix
+// digest and emits a checkpoint every CheckpointInterval sequences.
+func (r *Replica) advancePrefix(b *types.Batch) {
+	d := b.Digest()
+	var buf [72]byte
+	copy(buf[:32], r.prefixDigest[:])
+	copy(buf[32:64], d[:])
+	binary.BigEndian.PutUint64(buf[64:], uint64(r.kmax))
+	r.prefixDigest = sha256Sum(buf[:])
+	interval := r.cfg.CheckpointInterval
+	if interval > 0 && r.kmax >= r.lastCheckpoint+interval {
+		r.lastCheckpoint = r.kmax
+		r.engine.MakeCheckpoint(r.kmax, r.prefixDigest)
+	}
+}
+
+// afterLocked runs once a committed batch holds its locks: single-shard
+// batches execute and answer the client; cross-shard batches read their
+// local fragment and forward along the ring.
+func (r *Replica) afterLocked(ent *logEntry) {
+	b := ent.batch
+	if len(b.Txns) == 0 { // no-op filler from a view change
+		r.locks.Unlock(r.localKeys(b), lockOwner(b))
+		return
+	}
+	d := b.Digest()
+	if !b.IsCrossShard() {
+		results := r.executeBatch(b, nil)
+		r.locks.Unlock(r.localKeys(b), lockOwner(b))
+		r.executed[d] = results
+		r.chain.Append(ent.seq, r.engine.Primary(r.engine.View()), b)
+		r.respond(clientOf(b), d, results)
+		r.drainLockQueue()
+		return
+	}
+
+	cs := r.cst(d)
+	cs.batch = b
+	cs.seq = ent.seq
+	cs.cert = ent.cert
+	cs.locked = true
+
+	// Accumulate this shard's read fragment into the carried Σ so that by
+	// the end of rotation 1 the initiator holds every read value the
+	// transaction needs (complex cst, Section 8.8).
+	ws := r.localReadSet(b)
+	cs.carried = append(cs.carried, ws)
+	r.sendForward(cs)
+}
+
+// executeBatch applies every transaction's local fragment. remote supplies
+// cross-shard read values (nil for single-shard batches).
+func (r *Replica) executeBatch(b *types.Batch, remote map[types.Key]types.Value) []types.Value {
+	results := make([]types.Value, len(b.Txns))
+	for i := range b.Txns {
+		v, err := r.kv.ExecuteTxn(&b.Txns[i], r.shard, r.cfg.Shards, remote)
+		if err != nil {
+			// A missing dependency means Σ accumulation is broken; execute
+			// deterministically to a sentinel so replicas stay aligned.
+			v = 0
+		}
+		results[i] = v
+	}
+	r.executedTxns += int64(len(b.Txns))
+	if b.IsCrossShard() {
+		r.executedCross += int64(len(b.Txns))
+	}
+	return results
+}
+
+// localReadSet snapshots this shard's read fragment of the batch.
+func (r *Replica) localReadSet(b *types.Batch) types.WriteSet {
+	ws := types.WriteSet{Shard: r.shard}
+	for i := range b.Txns {
+		ks, vs := r.kv.ReadLocal(&b.Txns[i], r.shard, r.cfg.Shards)
+		ws.ReadKeys = append(ws.ReadKeys, ks...)
+		ws.ReadValues = append(ws.ReadValues, vs...)
+	}
+	return ws
+}
+
+// localKeys returns every key of the batch owned by this shard (read and
+// write sets both lock; Fig 5 line 18 locks the data-fragment).
+func (r *Replica) localKeys(b *types.Batch) []types.Key {
+	var keys []types.Key
+	for i := range b.Txns {
+		t := &b.Txns[i]
+		keys = append(keys, t.ReadsAt(r.shard, r.cfg.Shards)...)
+		keys = append(keys, t.WritesAt(r.shard, r.cfg.Shards)...)
+	}
+	return keys
+}
+
+func (r *Replica) respond(client types.NodeID, d types.Digest, results []types.Value) {
+	// View rides along so clients can re-target the current primary after a
+	// view change (standard PBFT client behaviour).
+	m := &types.Message{
+		Type: types.MsgResponse, From: r.self, Shard: r.shard,
+		View: r.engine.View(), Digest: d, Results: results,
+	}
+	m.MAC = r.auth.MAC(client, m.SigBytes())
+	r.send(client, m)
+}
+
+func (r *Replica) cst(d types.Digest) *cstState {
+	cs, ok := r.csts[d]
+	if !ok {
+		cs = &cstState{
+			digest:   d,
+			fwdFrom:  make(map[types.NodeID]struct{}),
+			execFrom: make(map[types.NodeID]struct{}),
+		}
+		r.csts[d] = cs
+	}
+	return cs
+}
+
+// onViewChanged: a newly promoted primary proposes everything still waiting
+// (client requests and accepted Forwards whose proposal the old primary
+// suppressed).
+func (r *Replica) onViewChanged(types.View) {
+	r.viewChanges++
+	if !r.engine.IsPrimary() {
+		return
+	}
+	for d, p := range r.awaitingProposal {
+		if _, done := r.proposed[d]; !done {
+			r.propose(p.batch, d)
+		}
+	}
+	r.tryProposeQueued()
+}
+
+// clientOf returns the client every replica answers for a batch: the issuer
+// recorded in the transactions themselves, so backups can respond without
+// having seen the original client message (the PrePrepare carries the batch).
+func clientOf(b *types.Batch) types.NodeID {
+	return types.ClientNode(b.Txns[0].ID.Client)
+}
+
+// lockOwner derives the lock-owner token from the batch digest.
+func lockOwner(b *types.Batch) uint64 {
+	d := b.Digest()
+	return binary.BigEndian.Uint64(d[:8])
+}
+
+// ViewChangeCount returns the number of view changes this replica installed.
+// Safe to call only after Run has returned (or from the replica goroutine).
+func (r *Replica) ViewChangeCount() int64 { return r.viewChanges }
+
+// RetransmitCount returns the number of Forward retransmissions performed.
+// Safe to call only after Run has returned (or from the replica goroutine).
+func (r *Replica) RetransmitCount() int64 { return r.retransmits }

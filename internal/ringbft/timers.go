@@ -1,0 +1,80 @@
+package ringbft
+
+import (
+	"time"
+
+	"ringbft/internal/types"
+)
+
+// HandleTick drives the three timers of Section 5 ("Triggering of Timers"),
+// ordered local < remote < transmit:
+//
+//   - local timer: a request the primary failed to propose, or a proposal
+//     that failed to commit, within LocalTimeout triggers a PBFT view
+//     change (attacks A1/A2);
+//   - remote timer: a Forward seen from fewer than f+1 previous-shard
+//     replicas within RemoteTimeout triggers a RemoteView complaint to the
+//     previous shard (partial communication attack C2, Fig 6);
+//   - transmit timer: a successfully replicated cst whose onward progress
+//     is unobserved within TransmitTimeout has its Forward retransmitted
+//     (no-communication attack C1, Section 5.1.1).
+func (r *Replica) HandleTick(now time.Time) {
+	r.engine.Tick(now)
+	r.tryProposeQueued()
+
+	// Local timer, case 1: the primary is sitting on a request.
+	if !r.engine.InViewChange() {
+		for _, p := range r.awaitingProposal {
+			if now.Sub(p.since) > r.cfg.LocalTimeout {
+				p.since = now // re-arm so escalation is paced
+				if !r.engine.IsPrimary() {
+					r.engine.StartViewChange(r.engine.View() + 1)
+					break
+				}
+			}
+		}
+	}
+	// Local timer, case 2: a proposal is stuck mid-consensus.
+	if !r.engine.InViewChange() {
+		if oldest, ok := r.engine.OldestUncommitted(); ok && now.Sub(oldest) > r.cfg.LocalTimeout {
+			r.engine.StartViewChange(r.engine.View() + 1)
+		}
+	}
+
+	for _, cs := range r.csts {
+		// Remote timer (Fig 6), two starvation modes: (a) first rotation —
+		// we saw at least one Forward copy but fewer than f+1 within the
+		// timeout; (b) second rotation — consensus and locks are done but
+		// the Execute carrying Σ from the previous shard never arrived.
+		starving := (!cs.fwdAccepted && !cs.fwdFirst.IsZero()) ||
+			(cs.fwdAccepted && cs.locked && !cs.executed)
+		if starving && !cs.fwdFirst.IsZero() && now.Sub(cs.fwdFirst) > r.cfg.RemoteTimeout {
+			cs.fwdFirst = now // re-arm
+			if cs.batch != nil {
+				r.sendRemoteView(cs)
+			}
+		}
+		// Transmit timer: retransmit the Forward until the ring shows
+		// progress (this replica executing proves the rotation completed).
+		if cs.locked && !cs.executed && cs.forwardMsg != nil &&
+			now.Sub(cs.forwardSentAt) > r.cfg.TransmitTimeout {
+			cs.forwardSentAt = now
+			r.retransmits++
+			next, _ := cs.batch.NextInRing(r.shard)
+			r.send(types.ReplicaNode(next, r.self.Index), cs.forwardMsg)
+		}
+	}
+}
+
+// sendRemoteView complains to the same-index replica of the previous shard
+// that this replica is starved of Forward messages (Fig 6 lines 1-2).
+func (r *Replica) sendRemoteView(cs *cstState) {
+	prev := cs.batch.PrevInRing(r.shard)
+	m := &types.Message{
+		Type: types.MsgRemoteView, From: r.self, Shard: r.shard,
+		Digest: cs.digest, Batch: cs.batch,
+	}
+	m.Sig = r.auth.Sign(m.SigBytes())
+	r.remoteViews++
+	r.send(types.ReplicaNode(prev, r.self.Index), m)
+}

@@ -1,0 +1,106 @@
+package simnet
+
+import "time"
+
+// Region is one of the fifteen GCP regions of the paper's deployment
+// (Section 8): Oregon, Iowa, Montreal, Netherlands, Taiwan, Sydney,
+// Singapore, South Carolina, North Virginia, Los Angeles, Las Vegas,
+// London, Belgium, Tokyo, Hong Kong. Shard i is placed in region i mod 15,
+// matching the paper's "choice of the shards is in the order we have
+// mentioned above".
+type Region int
+
+// The fifteen deployment regions, in the paper's order.
+const (
+	Oregon Region = iota
+	Iowa
+	Montreal
+	Netherlands
+	Taiwan
+	Sydney
+	Singapore
+	SouthCarolina
+	NorthVirginia
+	LosAngeles
+	LasVegas
+	London
+	Belgium
+	Tokyo
+	HongKong
+	NumRegions // = 15
+)
+
+var regionNames = [...]string{
+	"oregon", "iowa", "montreal", "netherlands", "taiwan", "sydney",
+	"singapore", "south-carolina", "north-virginia", "los-angeles",
+	"las-vegas", "london", "belgium", "tokyo", "hong-kong",
+}
+
+func (r Region) String() string {
+	if r >= 0 && int(r) < len(regionNames) {
+		return regionNames[r]
+	}
+	return "unknown"
+}
+
+// rttMS is an approximate inter-region round-trip-time matrix in
+// milliseconds, assembled from published GCP inter-region measurements.
+// Only relative magnitudes matter for reproducing the paper's shapes: LAN
+// (~0.5 ms) vs. intra-continent (~20-60 ms) vs. trans-Pacific/Atlantic
+// (~100-300 ms). The matrix is symmetric with a small same-region RTT.
+var rttMS = [NumRegions][NumRegions]float64{
+	//              ORE   IOW   MON   NET   TAI   SYD   SIN   SCA   NVA   LAX   LAS   LON   BEL   TOK   HKG
+	Oregon:        {0.5, 36, 62, 136, 118, 162, 168, 68, 60, 26, 22, 128, 132, 90, 132},
+	Iowa:          {36, 0.5, 28, 102, 150, 188, 200, 32, 26, 40, 36, 94, 98, 122, 164},
+	Montreal:      {62, 28, 0.5, 82, 180, 210, 216, 32, 24, 66, 62, 74, 78, 148, 190},
+	Netherlands:   {136, 102, 82, 0.5, 252, 272, 164, 92, 84, 140, 136, 8, 6, 222, 200},
+	Taiwan:        {118, 150, 180, 252, 0.5, 130, 46, 184, 176, 130, 134, 244, 248, 34, 12},
+	Sydney:        {162, 188, 210, 272, 130, 0.5, 92, 204, 198, 144, 150, 264, 268, 104, 124},
+	Singapore:     {168, 200, 216, 164, 46, 92, 0.5, 226, 218, 178, 182, 156, 160, 68, 34},
+	SouthCarolina: {68, 32, 32, 92, 184, 204, 226, 0.5, 12, 58, 56, 84, 88, 154, 196},
+	NorthVirginia: {60, 26, 24, 84, 176, 198, 218, 12, 0.5, 56, 52, 76, 80, 146, 188},
+	LosAngeles:    {26, 40, 66, 140, 130, 144, 178, 58, 56, 0.5, 8, 132, 136, 100, 142},
+	LasVegas:      {22, 36, 62, 136, 134, 150, 182, 56, 52, 8, 0.5, 128, 132, 104, 146},
+	London:        {128, 94, 74, 8, 244, 264, 156, 84, 76, 132, 128, 0.5, 8, 214, 192},
+	Belgium:       {132, 98, 78, 6, 248, 268, 160, 88, 80, 136, 132, 8, 0.5, 218, 196},
+	Tokyo:         {90, 122, 148, 222, 34, 104, 68, 154, 146, 100, 104, 214, 218, 0.5, 42},
+	HongKong:      {132, 164, 190, 200, 12, 124, 34, 196, 188, 142, 146, 192, 196, 42, 0.5},
+}
+
+// RTT returns the approximate round-trip time between two regions.
+func RTT(a, b Region) time.Duration {
+	return time.Duration(rttMS[a][b] * float64(time.Millisecond))
+}
+
+// LatencyModel maps a (from, to) region pair to a one-way network delay.
+type LatencyModel interface {
+	Delay(from, to Region) time.Duration
+}
+
+// WANLatency is the default latency model: one-way delay = RTT/2 scaled by
+// Scale. Scale < 1 compresses wall-clock time so geo-scale experiments run
+// in milliseconds instead of minutes; all links compress equally, preserving
+// the WAN/LAN ratio that separates the protocols (DESIGN.md §3).
+type WANLatency struct {
+	Scale float64
+}
+
+// Delay implements LatencyModel.
+func (w WANLatency) Delay(from, to Region) time.Duration {
+	s := w.Scale
+	if s <= 0 {
+		s = 1
+	}
+	return time.Duration(float64(RTT(from, to)) / 2 * s)
+}
+
+// FixedLatency delivers every message after the same delay; useful for unit
+// tests and for LAN-style deployments.
+type FixedLatency struct{ D time.Duration }
+
+// Delay implements LatencyModel.
+func (f FixedLatency) Delay(from, to Region) time.Duration { return f.D }
+
+// ShardRegion returns the region hosting shard s under the paper's
+// placement: shards are assigned to the fifteen regions in order.
+func ShardRegion(s int) Region { return Region(s % int(NumRegions)) }

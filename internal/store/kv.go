@@ -1,0 +1,148 @@
+// Package store implements each shard's data substrate: a YCSB-style
+// key-value table with deterministic read-modify-write execution, and the
+// per-key lock table RingBFT uses to lock read-write sets in transactional
+// sequence order (Fig 5 lines 17-28).
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"ringbft/internal/types"
+)
+
+// KV is one shard's partition of the YCSB table. Safe for concurrent use,
+// though each replica's event loop is the only writer in practice.
+type KV struct {
+	mu   sync.RWMutex
+	data map[types.Key]types.Value
+}
+
+// NewKV returns an empty table.
+func NewKV() *KV {
+	return &KV{data: make(map[types.Key]types.Value)}
+}
+
+// Preload installs n records owned by shard s in a system of z shards with
+// initial values equal to their key, mirroring the paper's identical YCSB
+// table initialization at every replica (Section 8, "Benchmark").
+func (kv *KV) Preload(s types.ShardID, z int, n int) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	for i := 0; i < n; i++ {
+		k := types.Key(uint64(s) + uint64(i)*uint64(z))
+		kv.data[k] = types.Value(k)
+	}
+}
+
+// Get returns the value of k (zero if absent).
+func (kv *KV) Get(k types.Key) types.Value {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.data[k]
+}
+
+// Set writes v at k.
+func (kv *KV) Set(k types.Key, v types.Value) {
+	kv.mu.Lock()
+	kv.data[k] = v
+	kv.mu.Unlock()
+}
+
+// Len returns the number of records.
+func (kv *KV) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.data)
+}
+
+// ExecuteTxn applies the shard-local fragment of t at shard s deterministically:
+//
+//	combined = Δ + Σ(values of all reads, local and remote)
+//	for every local write key k: data[k] += combined
+//
+// remote maps read keys owned by other shards to the values carried in Σ
+// (Execute messages / accumulated Forward read sets). The returned result is
+// the combined operand, identical at every shard, so clients can match f+1
+// identical responses. Missing remote reads return an error — execution must
+// never guess at dependency values (determinism requirement, Section 3).
+func (kv *KV) ExecuteTxn(t *types.Txn, s types.ShardID, z int, remote map[types.Key]types.Value) (types.Value, error) {
+	combined := t.Delta
+	for _, k := range t.Reads {
+		if types.OwnerShard(k, z) == s {
+			combined += kv.Get(k)
+		} else {
+			v, ok := remote[k]
+			if !ok {
+				return 0, fmt.Errorf("store: missing remote read %d for txn %v at shard %d", k, t.ID, s)
+			}
+			combined += v
+		}
+	}
+	kv.mu.Lock()
+	for _, k := range t.Writes {
+		if types.OwnerShard(k, z) == s {
+			kv.data[k] += combined
+		}
+	}
+	kv.mu.Unlock()
+	return combined, nil
+}
+
+// ReadLocal returns the current values of the reads of t owned by shard s,
+// in key order, for accumulation into Forward read sets.
+func (kv *KV) ReadLocal(t *types.Txn, s types.ShardID, z int) ([]types.Key, []types.Value) {
+	var ks []types.Key
+	var vs []types.Value
+	for _, k := range t.Reads {
+		if types.OwnerShard(k, z) == s {
+			ks = append(ks, k)
+			vs = append(vs, kv.Get(k))
+		}
+	}
+	return ks, vs
+}
+
+// Digest folds the table into a single state digest for checkpoints. The
+// fold is a commutative accumulation (sum of key*value mixes) so it is
+// order-independent and cheap; collisions are irrelevant for the simulated
+// checkpoint agreement, which compares honest replicas' identical states.
+func (kv *KV) Digest() types.Digest {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	var acc [4]uint64
+	for k, v := range kv.data {
+		x := uint64(k)*0x9E3779B97F4A7C15 ^ uint64(v)*0xC2B2AE3D27D4EB4F
+		acc[k%4] += x
+	}
+	var d types.Digest
+	for i, a := range acc {
+		for j := 0; j < 8; j++ {
+			d[i*8+j] = byte(a >> (8 * j))
+		}
+	}
+	return d
+}
+
+// ExecuteTxnPartial applies the shard-local fragment of t treating missing
+// remote reads as zero instead of failing. The AHL and Sharper baselines use
+// it: neither ships remote read values (supporting complex cross-shard
+// transactions "remains an open problem" for them, Section 8.8), so their
+// execution is best-effort over locally available data. Deterministic across
+// replicas, which is all their response matching needs.
+func (kv *KV) ExecuteTxnPartial(t *types.Txn, s types.ShardID, z int) types.Value {
+	combined := t.Delta
+	for _, k := range t.Reads {
+		if types.OwnerShard(k, z) == s {
+			combined += kv.Get(k)
+		}
+	}
+	kv.mu.Lock()
+	for _, k := range t.Writes {
+		if types.OwnerShard(k, z) == s {
+			kv.data[k] += combined
+		}
+	}
+	kv.mu.Unlock()
+	return combined
+}

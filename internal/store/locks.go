@@ -1,0 +1,58 @@
+package store
+
+import "ringbft/internal/types"
+
+// LockTable is a shard-local exclusive lock table over keys. RingBFT
+// acquires locks in transactional sequence order (k_max + π list, Fig 5), so
+// the table itself only needs all-or-nothing TryLock semantics: ordering
+// policy lives in the protocol layer.
+type LockTable struct {
+	held map[types.Key]uint64 // key -> owner token
+}
+
+// NewLockTable returns an empty lock table.
+func NewLockTable() *LockTable {
+	return &LockTable{held: make(map[types.Key]uint64)}
+}
+
+// Available reports whether every key in keys is unlocked or already held by
+// owner (re-entrancy: a batch's read and write sets may overlap).
+func (lt *LockTable) Available(keys []types.Key, owner uint64) bool {
+	for _, k := range keys {
+		if o, ok := lt.held[k]; ok && o != owner {
+			return false
+		}
+	}
+	return true
+}
+
+// TryLock atomically acquires all keys for owner, or none of them.
+// It returns true on success.
+func (lt *LockTable) TryLock(keys []types.Key, owner uint64) bool {
+	if !lt.Available(keys, owner) {
+		return false
+	}
+	for _, k := range keys {
+		lt.held[k] = owner
+	}
+	return true
+}
+
+// Unlock releases every key held by owner among keys. Releasing keys not
+// held by owner is a no-op, making release idempotent under retransmission.
+func (lt *LockTable) Unlock(keys []types.Key, owner uint64) {
+	for _, k := range keys {
+		if o, ok := lt.held[k]; ok && o == owner {
+			delete(lt.held, k)
+		}
+	}
+}
+
+// HeldBy returns the owner token of k, and whether k is locked.
+func (lt *LockTable) HeldBy(k types.Key) (uint64, bool) {
+	o, ok := lt.held[k]
+	return o, ok
+}
+
+// Count returns the number of currently locked keys.
+func (lt *LockTable) Count() int { return len(lt.held) }

@@ -1,0 +1,207 @@
+// Package tcpnet is the real-network transport: length-prefixed gob frames
+// over TCP connections from the standard library's net package. It exposes
+// the same Send/Inbox shape as the in-process simulator (package simnet), so
+// the ringbft.Replica runs unchanged in a multi-process deployment
+// (cmd/ringbft-node, cmd/ringbft-client). Connections are dialed lazily,
+// cached, and redialed on failure — BFT protocols tolerate lost messages, so
+// sends never block or retry aggressively.
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ringbft/internal/types"
+)
+
+// maxFrame bounds one serialized message (guards against corrupt peers).
+const maxFrame = 64 << 20
+
+// Transport is one node's attachment to the TCP network.
+type Transport struct {
+	self  types.NodeID
+	addrs map[types.NodeID]string
+
+	ln    net.Listener
+	inbox chan *types.Message
+
+	mu    sync.Mutex
+	conns map[types.NodeID]*conn
+
+	closed  sync.Once
+	closing chan struct{}
+}
+
+type conn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// New starts a Transport for node self listening on listenAddr; addrs maps
+// every peer (and this node) to its dialable address.
+func New(self types.NodeID, listenAddr string, addrs map[types.NodeID]string) (*Transport, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", listenAddr, err)
+	}
+	t := &Transport{
+		self:    self,
+		addrs:   addrs,
+		ln:      ln,
+		inbox:   make(chan *types.Message, 1<<14),
+		conns:   make(map[types.NodeID]*conn),
+		closing: make(chan struct{}),
+	}
+	go t.accept()
+	return t, nil
+}
+
+// Inbox returns the channel of inbound messages.
+func (t *Transport) Inbox() <-chan *types.Message { return t.inbox }
+
+// Addr returns the transport's bound listen address.
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// Close shuts the listener and all connections.
+func (t *Transport) Close() {
+	t.closed.Do(func() {
+		close(t.closing)
+		t.ln.Close()
+		t.mu.Lock()
+		for _, c := range t.conns {
+			c.c.Close()
+		}
+		t.conns = map[types.NodeID]*conn{}
+		t.mu.Unlock()
+	})
+}
+
+func (t *Transport) accept() {
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closing:
+				return
+			default:
+				continue
+			}
+		}
+		go t.readLoop(c)
+	}
+}
+
+// readLoop decodes length-prefixed gob frames into the inbox until EOF.
+func (t *Transport) readLoop(c net.Conn) {
+	defer c.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		var m types.Message
+		if err := gobDecode(buf, &m); err != nil {
+			continue // malformed frame from a (possibly Byzantine) peer
+		}
+		select {
+		case t.inbox <- &m:
+		case <-t.closing:
+			return
+		default:
+			// Inbox overflow: drop, like a saturated kernel socket buffer.
+		}
+	}
+}
+
+// Send transmits m to node to. Errors (unknown peer, dial/write failure) are
+// swallowed after tearing down the cached connection: the caller is a BFT
+// protocol whose timers recover from message loss.
+func (t *Transport) Send(to types.NodeID, m *types.Message) {
+	if to == t.self {
+		select {
+		case t.inbox <- m:
+		default:
+		}
+		return
+	}
+	addr, ok := t.addrs[to]
+	if !ok {
+		return
+	}
+	cn, err := t.connTo(to, addr)
+	if err != nil {
+		return
+	}
+	if err := cn.write(m); err != nil {
+		t.dropConn(to, cn)
+	}
+}
+
+func (t *Transport) connTo(to types.NodeID, addr string) (*conn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	nc, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &conn{c: nc}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing, ok := t.conns[to]; ok {
+		nc.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+func (t *Transport) dropConn(to types.NodeID, c *conn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	c.c.Close()
+}
+
+// write frames one message: a fresh gob encoding per frame (self-contained,
+// so frames survive reordering across reconnects) behind a 4-byte length.
+func (c *conn) write(m *types.Message) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.c.Write(buf.Bytes())
+	return err
+}
+
+func gobDecode(buf []byte, m *types.Message) error {
+	return gob.NewDecoder(bytes.NewReader(buf)).Decode(m)
+}

@@ -1,0 +1,112 @@
+package tcpnet
+
+import (
+	"testing"
+	"time"
+
+	"ringbft/internal/types"
+)
+
+func pair(t *testing.T) (*Transport, *Transport, types.NodeID, types.NodeID) {
+	t.Helper()
+	a, b := types.ReplicaNode(0, 0), types.ReplicaNode(0, 1)
+	ta, err := New(a, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := New(b, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := map[types.NodeID]string{a: ta.Addr(), b: tb.Addr()}
+	ta.addrs, tb.addrs = addrs, addrs
+	t.Cleanup(ta.Close)
+	t.Cleanup(tb.Close)
+	return ta, tb, a, b
+}
+
+func waitMsg(t *testing.T, tr *Transport) *types.Message {
+	t.Helper()
+	select {
+	case m := <-tr.Inbox():
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("no message within 5s")
+		return nil
+	}
+}
+
+func TestSendReceive(t *testing.T) {
+	ta, tb, a, b := pair(t)
+	m := &types.Message{
+		Type: types.MsgPrePrepare, From: a, Seq: 7,
+		Batch: &types.Batch{
+			Txns:     []types.Txn{{ID: types.TxnID{Client: 1, Seq: 1}, Reads: []types.Key{3}, Writes: []types.Key{3}, Delta: 9}},
+			Involved: []types.ShardID{0},
+		},
+	}
+	m.Digest = m.Batch.Digest()
+	ta.Send(b, m)
+	got := waitMsg(t, tb)
+	if got.Type != m.Type || got.Seq != 7 || got.From != a {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	if got.Batch == nil || got.Batch.Digest() != m.Digest {
+		t.Fatal("batch did not survive the wire")
+	}
+}
+
+func TestManyFramesInOrder(t *testing.T) {
+	ta, tb, a, b := pair(t)
+	const k = 500
+	for i := 0; i < k; i++ {
+		ta.Send(b, &types.Message{Type: types.MsgPrepare, From: a, Seq: types.SeqNum(i)})
+	}
+	for i := 0; i < k; i++ {
+		m := waitMsg(t, tb)
+		if m.Seq != types.SeqNum(i) {
+			t.Fatalf("frame %d arrived as seq %d (TCP must preserve order)", i, m.Seq)
+		}
+	}
+}
+
+func TestLoopbackSend(t *testing.T) {
+	ta, _, a, _ := pair(t)
+	ta.Send(a, &types.Message{Type: types.MsgCommit, From: a})
+	if m := waitMsg(t, ta); m.Type != types.MsgCommit {
+		t.Fatal("loopback lost")
+	}
+}
+
+func TestSendToUnknownPeerNoop(t *testing.T) {
+	ta, _, a, _ := pair(t)
+	ta.Send(types.ReplicaNode(9, 9), &types.Message{Type: types.MsgCommit, From: a}) // must not panic
+}
+
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	ta, tb, a, b := pair(t)
+	ta.Send(b, &types.Message{Type: types.MsgPrepare, From: a, Seq: 1})
+	waitMsg(t, tb)
+	// Restart b on the same address.
+	addr := tb.Addr()
+	tb.Close()
+	tb2, err := New(b, addr, ta.addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb2.Close()
+	// First send may hit the dead cached conn; the transport drops it and
+	// the retry path (a second send, as a timer would do) reconnects.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ta.Send(b, &types.Message{Type: types.MsgPrepare, From: a, Seq: 2})
+		select {
+		case m := <-tb2.Inbox():
+			if m.Seq == 2 {
+				return
+			}
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	t.Fatal("transport never reconnected")
+}

@@ -1,0 +1,44 @@
+package topology
+
+import (
+	"testing"
+
+	"ringbft/internal/types"
+)
+
+func validJSON() []byte {
+	return []byte(`{
+		"shards": 1, "replicasPerShard": 4, "seed": 7,
+		"nodes": {"0/0":"h:1","0/1":"h:2","0/2":"h:3","0/3":"h:4"}
+	}`)
+}
+
+func TestParseValid(t *testing.T) {
+	topo, err := Parse(validJSON(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Records != 4096 {
+		t.Fatalf("Records default %d, want 4096", topo.Records)
+	}
+	addrs := topo.Addrs()
+	if addrs[types.ReplicaNode(0, 2)] != "h:3" {
+		t.Fatal("address mapping wrong")
+	}
+	if _, err := topo.Keygen().Ring(types.ReplicaNode(0, 3)); err != nil {
+		t.Fatal("keygen did not register all replicas")
+	}
+}
+
+func TestParseRejectsBadShapes(t *testing.T) {
+	for _, raw := range []string{
+		`{"shards":0,"replicasPerShard":4,"nodes":{}}`,
+		`{"shards":1,"replicasPerShard":3,"nodes":{}}`,
+		`{"shards":1,"replicasPerShard":4,"nodes":{"0/0":"a"}}`,
+		`not json`,
+	} {
+		if _, err := Parse([]byte(raw), "test"); err == nil {
+			t.Fatalf("accepted bad topology: %s", raw)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package types
+
+import "time"
+
+// Config captures the shape of a sharded-replicated deployment and the
+// protocol timers. One Config is shared by all replicas of a cluster.
+type Config struct {
+	Shards           int // z = |𝔖|
+	ReplicasPerShard int // n = |ℜS|; fault tolerance requires n >= 3f+1
+
+	BatchSize int // transactions per consensus batch (paper default 100)
+
+	// CheckpointInterval is the number of sequence numbers between
+	// checkpoint broadcasts (attack A3: replicas in dark catch up).
+	CheckpointInterval SeqNum
+
+	// Timers (Section 5, "Triggering of Timers"): local < remote < transmit.
+	LocalTimeout    time.Duration // view-change trigger
+	RemoteTimeout   time.Duration // remote view-change trigger (Fig 6)
+	TransmitTimeout time.Duration // Forward retransmission (Section 5.1.1)
+	ClientTimeout   time.Duration // client broadcast-on-timeout (attack A1)
+}
+
+// F returns f, the maximum number of Byzantine replicas tolerated per shard:
+// the largest f with n >= 3f+1.
+func (c *Config) F() int { return (c.ReplicasPerShard - 1) / 3 }
+
+// NF returns nf = n - f, the quorum size used for Prepare/Commit
+// certificates and view changes.
+func (c *Config) NF() int { return c.ReplicasPerShard - c.F() }
+
+// Validate reports a non-nil error when the configuration cannot host a
+// Byzantine quorum system.
+func (c *Config) Validate() error {
+	switch {
+	case c.Shards < 1:
+		return errConfig("Shards must be >= 1")
+	case c.ReplicasPerShard < 4:
+		return errConfig("ReplicasPerShard must be >= 4 (n >= 3f+1 with f >= 1)")
+	case c.BatchSize < 1:
+		return errConfig("BatchSize must be >= 1")
+	}
+	return nil
+}
+
+type errConfig string
+
+func (e errConfig) Error() string { return "types: invalid config: " + string(e) }
+
+// DefaultConfig returns a Config with the paper's standard settings scaled
+// for in-process simulation: batching enabled, PBFT quorum timers ordered
+// local < remote < transmit.
+func DefaultConfig(shards, replicasPerShard int) Config {
+	return Config{
+		Shards:             shards,
+		ReplicasPerShard:   replicasPerShard,
+		BatchSize:          100,
+		CheckpointInterval: 64,
+		LocalTimeout:       250 * time.Millisecond,
+		RemoteTimeout:      500 * time.Millisecond,
+		TransmitTimeout:    time.Second,
+		ClientTimeout:      2 * time.Second,
+	}
+}

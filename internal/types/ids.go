@@ -1,0 +1,86 @@
+// Package types defines the transactions, batches, identifiers, and wire
+// messages shared by every protocol in this repository: the RingBFT
+// meta-protocol, the intra-shard PBFT engine, and the AHL / Sharper /
+// single-primary baselines.
+package types
+
+import "fmt"
+
+// ShardID identifies a shard. Shards are logically arranged in a ring in
+// increasing ShardID order (the paper's id(S); Section 3, "Ring Order").
+type ShardID int
+
+// ClientID identifies a client of the system.
+type ClientID int
+
+// NodeKind distinguishes the three kinds of network endpoints.
+type NodeKind uint8
+
+const (
+	// KindReplica is a consensus replica belonging to a shard.
+	KindReplica NodeKind = iota
+	// KindClient is a client endpoint.
+	KindClient
+	// KindCommittee is a member of AHL's reference committee.
+	KindCommittee
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindReplica:
+		return "replica"
+	case KindClient:
+		return "client"
+	case KindCommittee:
+		return "committee"
+	default:
+		return "unknown"
+	}
+}
+
+// NodeID is the address of one endpoint on the network: a replica of a
+// shard, a reference-committee member, or a client.
+type NodeID struct {
+	Kind  NodeKind
+	Shard ShardID // shard for replicas; unused for clients and committee
+	Index int     // replica index within the shard, committee index, or client number
+}
+
+// ReplicaNode returns the NodeID of replica index i of shard s.
+func ReplicaNode(s ShardID, i int) NodeID {
+	return NodeID{Kind: KindReplica, Shard: s, Index: i}
+}
+
+// ClientNode returns the NodeID of client c.
+func ClientNode(c ClientID) NodeID {
+	return NodeID{Kind: KindClient, Index: int(c)}
+}
+
+// CommitteeShard is the pseudo shard identifier of AHL's reference
+// committee; it never collides with a real shard.
+const CommitteeShard ShardID = -1
+
+// CommitteeNode returns the NodeID of reference-committee member i (AHL).
+func CommitteeNode(i int) NodeID {
+	return NodeID{Kind: KindCommittee, Shard: CommitteeShard, Index: i}
+}
+
+func (n NodeID) String() string {
+	switch n.Kind {
+	case KindReplica:
+		return fmt.Sprintf("s%d/r%d", n.Shard, n.Index)
+	case KindClient:
+		return fmt.Sprintf("c%d", n.Index)
+	case KindCommittee:
+		return fmt.Sprintf("rc/r%d", n.Index)
+	default:
+		return fmt.Sprintf("?%d/%d", n.Shard, n.Index)
+	}
+}
+
+// View is a PBFT view number. The primary of view v in a shard of n
+// replicas is replica v mod n.
+type View uint64
+
+// SeqNum is a consensus sequence number within one shard's log.
+type SeqNum uint64

@@ -1,0 +1,222 @@
+package types
+
+import "encoding/binary"
+
+// MsgType discriminates wire messages.
+type MsgType uint8
+
+// Message types used by RingBFT, the intra-shard PBFT engine, and the
+// baseline protocols. The byte sizes in comments are the message sizes the
+// paper reports for its standard configuration (Section 8) and are used by
+// the simulator's bandwidth accounting.
+const (
+	MsgClientRequest MsgType = iota // client -> primary: ⟨Tℑ⟩c
+	MsgPrePrepare                   // 5408 B
+	MsgPrepare                      // 216 B
+	MsgCommit                       // 269 B
+	MsgCheckpoint                   // 164 B
+	MsgViewChange
+	MsgNewView
+	MsgForward    // 6147 B: cst + commit certificate, shard -> next shard
+	MsgExecute    // 1732 B: Δ + Σℑ, second rotation
+	MsgRemoteView // remote view-change request (Fig 6)
+	MsgResponse   // replica -> client
+
+	// AHL (reference committee + 2PC)
+	MsgAHLPrepare  // committee -> shard: prepare(T) (2PC phase 1)
+	MsgAHLVote     // shard -> committee: vote commit/abort
+	MsgAHLDecision // committee -> shard: global decision
+
+	// Sharper (initiator primary, global all-to-all)
+	MsgSharperPropose // initiator primary -> involved primaries
+	MsgSharperPrepare // cross-shard all-to-all prepare
+	MsgSharperCommit  // cross-shard all-to-all commit
+
+	// Single-primary baselines (Figure 1)
+	MsgZyzOrderReq    // Zyzzyva: primary order request
+	MsgZyzSpecResp    // Zyzzyva: speculative response to client
+	MsgZyzCommitCert  // Zyzzyva: client-assembled commit certificate
+	MsgZyzLocalCommit // Zyzzyva: replica ack of a commit certificate
+	MsgSbftPrepare    // SBFT: replica -> collector partial signature
+	MsgSbftFullPrep   // SBFT: collector -> replicas aggregated prepare
+	MsgSbftSignShare  // SBFT: replica -> collector commit share
+	MsgSbftFullCommit // SBFT: collector -> replicas aggregated commit
+	MsgHSPropose      // HotStuff: leader proposal (generic phase)
+	MsgHSVote         // HotStuff: replica vote -> leader
+	MsgPoEPropose     // PoE: primary propose
+	MsgPoESupport     // PoE: support (prepare) message
+	MsgPoECertify     // PoE: certify message
+
+	msgTypeCount
+)
+
+var msgTypeNames = [...]string{
+	"ClientRequest", "PrePrepare", "Prepare", "Commit", "Checkpoint",
+	"ViewChange", "NewView", "Forward", "Execute", "RemoteView", "Response",
+	"AHLPrepare", "AHLVote", "AHLDecision",
+	"SharperPropose", "SharperPrepare", "SharperCommit",
+	"ZyzOrderReq", "ZyzSpecResp", "ZyzCommitCert", "ZyzLocalCommit",
+	"SbftPrepare", "SbftFullPrep", "SbftSignShare", "SbftFullCommit",
+	"HSPropose", "HSVote", "PoEPropose", "PoESupport", "PoECertify",
+}
+
+func (t MsgType) String() string {
+	if int(t) < len(msgTypeNames) {
+		return msgTypeNames[t]
+	}
+	return "Invalid"
+}
+
+// Message is the single wire-message struct shared by every protocol.
+// A union struct (rather than one type per message) keeps the simulated
+// network, the gob codec, and the authenticators simple; unused fields are
+// nil/zero and cost nothing in-process.
+type Message struct {
+	Type   MsgType
+	From   NodeID
+	View   View
+	Seq    SeqNum
+	Shard  ShardID // shard whose log (View,Seq) refers to
+	Digest Digest
+
+	// Payloads.
+	Batch     *Batch     // PrePrepare, Forward, ClientRequest, SharperPropose, ...
+	WriteSets []WriteSet // Execute: accumulated Σℑ of shards earlier in ring order
+	Cert      []Signed   // Forward: DS commit certificate (nf signed Commits)
+	Results   []Value    // Response: per-txn results
+	Decision  bool       // AHLDecision / AHLVote: commit (true) or abort
+	Instance  int        // RCC: concurrent instance id; Zyzzyva/HotStuff phase reuse
+
+	// View-change payloads (PBFT view change; Castro & Liskov).
+	StableSeq SeqNum          // last stable checkpoint sequence
+	Prepared  []PreparedProof // P set: proofs of prepared batches after StableSeq
+	ViewMsgs  []Signed        // NewView: nf ViewChange messages justifying the view
+
+	// Authenticators filled by the node runtime.
+	MAC []byte // intra-shard HMAC (cheap, no non-repudiation)
+	Sig []byte // cross-shard Ed25519 signature (non-repudiation)
+}
+
+// Signed is a compact, transferable proof that node From authenticated the
+// canonical bytes of a (Type, Shard, View, Seq, Digest) tuple with a digital
+// signature. Sets of nf such proofs form the commit certificates carried by
+// Forward messages (Fig 5 line 16) and view-change justifications.
+type Signed struct {
+	From   NodeID
+	Type   MsgType
+	Shard  ShardID
+	View   View
+	Seq    SeqNum
+	Digest Digest
+	Sig    []byte
+}
+
+// PreparedProof is an element of a view-change message's P set: a batch that
+// prepared at (View, Seq) with its pre-prepare digest. The batch itself rides
+// along so the new primary can re-propose it.
+type PreparedProof struct {
+	View   View
+	Seq    SeqNum
+	Digest Digest
+	Batch  *Batch
+}
+
+// SigBytes returns the canonical byte string that is MAC'd or signed for a
+// message: type, shard, view, sequence, digest, and sender. Signing a fixed
+// canonical tuple (rather than a full serialization) mirrors PBFT practice
+// and keeps signatures verifiable independent of codec details.
+func SigBytes(t MsgType, shard ShardID, v View, s SeqNum, d Digest, from NodeID) []byte {
+	buf := make([]byte, 0, 1+8*4+32+8)
+	buf = append(buf, byte(t))
+	var tmp [8]byte
+	put := func(x uint64) {
+		binary.BigEndian.PutUint64(tmp[:], x)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint64(shard))
+	put(uint64(v))
+	put(uint64(s))
+	buf = append(buf, d[:]...)
+	buf = append(buf, byte(from.Kind))
+	put(uint64(from.Shard))
+	put(uint64(from.Index))
+	return buf
+}
+
+// SigBytes returns the canonical authenticated bytes of m.
+func (m *Message) SigBytes() []byte {
+	return SigBytes(m.Type, m.Shard, m.View, m.Seq, m.Digest, m.From)
+}
+
+// SigBytes returns the canonical bytes the signature in s covers.
+func (s *Signed) SigBytes() []byte {
+	return SigBytes(s.Type, s.Shard, s.View, s.Seq, s.Digest, s.From)
+}
+
+// Paper-reported message sizes in bytes at batch size 100 (Section 8,
+// "Standard Settings"). Batches scale the body linearly around these
+// calibration points; fixed header overhead is kept.
+const (
+	sizePrePrepare = 5408
+	sizePrepare    = 216
+	sizeCommit     = 269
+	sizeForward    = 6147
+	sizeCheckpoint = 164
+	sizeExecute    = 1732
+	sizeHeader     = 96
+	calibBatch     = 100
+)
+
+// WireSize estimates the serialized size of m in bytes for the simulator's
+// bandwidth/byte accounting, anchored to the message sizes the paper reports.
+func (m *Message) WireSize() int {
+	nTxns := 0
+	if m.Batch != nil {
+		nTxns = len(m.Batch.Txns)
+	}
+	scale := func(calibrated int) int {
+		body := calibrated - sizeHeader
+		if body < 0 {
+			body = calibrated
+		}
+		return sizeHeader + body*max(nTxns, 1)/calibBatch
+	}
+	switch m.Type {
+	case MsgClientRequest:
+		return scale(sizePrePrepare - 300)
+	case MsgPrePrepare, MsgSharperPropose, MsgZyzOrderReq, MsgHSPropose, MsgPoEPropose, MsgAHLPrepare:
+		return scale(sizePrePrepare)
+	case MsgPrepare, MsgSbftPrepare, MsgHSVote, MsgPoESupport, MsgAHLVote:
+		return sizePrepare
+	case MsgCommit, MsgSbftSignShare, MsgPoECertify, MsgZyzLocalCommit, MsgAHLDecision:
+		return sizeCommit
+	case MsgCheckpoint:
+		return sizeCheckpoint
+	case MsgForward:
+		return scale(sizeForward) + 64*len(m.Cert)
+	case MsgExecute:
+		ws := 0
+		for i := range m.WriteSets {
+			ws += 16 * (len(m.WriteSets[i].Keys) + len(m.WriteSets[i].ReadKeys))
+		}
+		return sizeExecute + ws
+	case MsgRemoteView:
+		return sizeCommit
+	case MsgResponse, MsgZyzSpecResp:
+		return sizeHeader + 8*len(m.Results)
+	case MsgSharperPrepare, MsgSharperCommit:
+		return sizeCommit
+	case MsgZyzCommitCert, MsgSbftFullPrep, MsgSbftFullCommit:
+		return sizeCommit + 64*len(m.Cert)
+	case MsgViewChange:
+		n := sizeHeader
+		for range m.Prepared {
+			n += sizePrePrepare
+		}
+		return n
+	case MsgNewView:
+		return sizeHeader + sizeCommit*len(m.ViewMsgs)
+	default:
+		return sizeHeader
+	}
+}

@@ -1,0 +1,196 @@
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Key is a record key in the sharded YCSB-style table. Ownership is
+// determined by OwnerShard: the table is range/hash partitioned so that each
+// shard manages a unique partition of the data (Section 3).
+type Key uint64
+
+// OwnerShard returns the shard that owns key k in a system of z shards.
+func OwnerShard(k Key, z int) ShardID {
+	if z <= 0 {
+		return 0
+	}
+	return ShardID(uint64(k) % uint64(z))
+}
+
+// Value is a record value. YCSB read-modify-write transactions update values
+// deterministically so every non-faulty replica computes identical state.
+type Value uint64
+
+// TxnID uniquely identifies a client transaction.
+type TxnID struct {
+	Client ClientID
+	Seq    uint64
+}
+
+// Txn is a deterministic transaction: its read and write sets are known
+// prior to consensus (Section 3, "Deterministic Transactions"). Execution
+// semantics are read-modify-write: every write key's new value is
+// f(old value, Delta, sum of all read values), which gives cross-shard data
+// dependencies their teeth — a shard cannot compute its writes without the
+// read values shipped from remote shards (complex cst, Section 8.8).
+type Txn struct {
+	ID     TxnID
+	Reads  []Key // keys read; may span shards (remote reads => complex cst)
+	Writes []Key // keys written; owner shards form the involved set with Reads
+	Delta  Value // client-supplied operand folded into each write
+}
+
+// InvolvedShards returns the sorted set of shards a transaction touches in a
+// system of z shards. The first element is the initiator shard (lowest ring
+// identifier among involved shards; Section 4.2.1).
+func (t *Txn) InvolvedShards(z int) []ShardID {
+	seen := make(map[ShardID]struct{}, 4)
+	for _, k := range t.Reads {
+		seen[OwnerShard(k, z)] = struct{}{}
+	}
+	for _, k := range t.Writes {
+		seen[OwnerShard(k, z)] = struct{}{}
+	}
+	out := make([]ShardID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadsAt returns the subset of t.Reads owned by shard s.
+func (t *Txn) ReadsAt(s ShardID, z int) []Key {
+	var out []Key
+	for _, k := range t.Reads {
+		if OwnerShard(k, z) == s {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// WritesAt returns the subset of t.Writes owned by shard s.
+func (t *Txn) WritesAt(s ShardID, z int) []Key {
+	var out []Key
+	for _, k := range t.Writes {
+		if OwnerShard(k, z) == s {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Digest is a SHA-256 digest of a batch or message (the paper's Δ).
+type Digest [32]byte
+
+// IsZero reports whether d is the all-zero digest.
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// Batch is the unit of consensus: the primary aggregates client transactions
+// into a batch and runs consensus on the batch (Section 7, "Blockchain").
+// All transactions in one batch access the same set of shards, so a batch is
+// either entirely single-shard or entirely cross-shard with one involved set.
+type Batch struct {
+	Txns     []Txn
+	Involved []ShardID // sorted ring order; len==1 => single-shard batch
+}
+
+// IsCrossShard reports whether the batch involves more than one shard.
+func (b *Batch) IsCrossShard() bool { return len(b.Involved) > 1 }
+
+// Initiator returns the first involved shard in ring order — the shard whose
+// primary starts consensus on this batch.
+func (b *Batch) Initiator() ShardID {
+	if len(b.Involved) == 0 {
+		return 0
+	}
+	return b.Involved[0]
+}
+
+// NextInRing returns the involved shard that follows s in ring order, and
+// whether s is the last involved shard (in which case the successor wraps to
+// the initiator, completing a rotation). Mirrors NextInRingOrder(ℑ) of Fig 5.
+func (b *Batch) NextInRing(s ShardID) (next ShardID, wrapped bool) {
+	for i, sh := range b.Involved {
+		if sh == s {
+			if i+1 < len(b.Involved) {
+				return b.Involved[i+1], false
+			}
+			return b.Involved[0], true
+		}
+	}
+	return b.Initiator(), false
+}
+
+// PrevInRing returns the involved shard that precedes s in ring order.
+func (b *Batch) PrevInRing(s ShardID) ShardID {
+	for i, sh := range b.Involved {
+		if sh == s {
+			if i == 0 {
+				return b.Involved[len(b.Involved)-1]
+			}
+			return b.Involved[i-1]
+		}
+	}
+	return b.Initiator()
+}
+
+// Involves reports whether shard s is in the batch's involved set.
+func (b *Batch) Involves(s ShardID) bool {
+	for _, sh := range b.Involved {
+		if sh == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Digest computes the batch digest Δ = H(batch) over a canonical binary
+// encoding. Collision resistance of SHA-256 gives message integrity
+// (Section 3, "Authenticated Communication").
+func (b *Batch) Digest() Digest {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(len(b.Txns)))
+	for i := range b.Txns {
+		t := &b.Txns[i]
+		writeU64(uint64(t.ID.Client))
+		writeU64(t.ID.Seq)
+		writeU64(uint64(len(t.Reads)))
+		for _, k := range t.Reads {
+			writeU64(uint64(k))
+		}
+		writeU64(uint64(len(t.Writes)))
+		for _, k := range t.Writes {
+			writeU64(uint64(k))
+		}
+		writeU64(uint64(t.Delta))
+	}
+	writeU64(uint64(len(b.Involved)))
+	for _, s := range b.Involved {
+		writeU64(uint64(s))
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// WriteSet is one shard's executed write set for a batch: the paper's Σℑ
+// fragment shipped inside Execute messages so downstream shards can resolve
+// read dependencies of complex cross-shard transactions.
+type WriteSet struct {
+	Shard  ShardID
+	Keys   []Key
+	Values []Value
+	// ReadKeys/ReadValues carry this shard's read results forward so later
+	// shards in ring order can satisfy remote-read dependencies.
+	ReadKeys   []Key
+	ReadValues []Value
+}

@@ -1,0 +1,15 @@
+package workload
+
+import "testing"
+
+func BenchmarkNextBatch100(b *testing.B) {
+	g := New(Config{
+		Shards: 15, ActiveRecords: 40000, CrossShardPct: 0.3,
+		InvolvedShards: 15, BatchSize: 100, Seed: 1,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NextBatch(1)
+	}
+}

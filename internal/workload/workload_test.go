@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"testing"
+
+	"ringbft/internal/types"
+)
+
+func TestSingleShardBatches(t *testing.T) {
+	g := New(Config{Shards: 4, ActiveRecords: 1000, CrossShardPct: 0, BatchSize: 10, Seed: 1})
+	for i := 0; i < 50; i++ {
+		b := g.NextBatch(1)
+		if b.IsCrossShard() {
+			t.Fatal("0% cross-shard produced a cst")
+		}
+		if len(b.Txns) != 10 {
+			t.Fatalf("batch size %d, want 10", len(b.Txns))
+		}
+		s := b.Involved[0]
+		for _, tx := range b.Txns {
+			for _, k := range append(tx.Reads, tx.Writes...) {
+				if types.OwnerShard(k, 4) != s {
+					t.Fatalf("single-shard txn touches foreign key %d", k)
+				}
+			}
+		}
+	}
+}
+
+func TestCrossShardRate(t *testing.T) {
+	g := New(Config{Shards: 4, ActiveRecords: 1000, CrossShardPct: 0.5, InvolvedShards: 3, BatchSize: 1, Seed: 2})
+	cross := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if g.NextBatch(1).IsCrossShard() {
+			cross++
+		}
+	}
+	rate := float64(cross) / n
+	if rate < 0.42 || rate > 0.58 {
+		t.Fatalf("cross-shard rate %.2f, want ~0.5", rate)
+	}
+}
+
+func TestInvolvedSetConsecutiveAndSorted(t *testing.T) {
+	g := New(Config{Shards: 6, ActiveRecords: 1000, CrossShardPct: 1, InvolvedShards: 3, BatchSize: 1, Seed: 3})
+	for i := 0; i < 100; i++ {
+		b := g.NextBatch(1)
+		if len(b.Involved) != 3 {
+			t.Fatalf("involved %d shards, want 3", len(b.Involved))
+		}
+		for j := 1; j < len(b.Involved); j++ {
+			if b.Involved[j] <= b.Involved[j-1] {
+				t.Fatal("involved set not in ring order")
+			}
+		}
+		// Consecutive modulo z: the set {s, s+1, s+2} mod 6 for some s.
+		present := map[types.ShardID]bool{}
+		for _, s := range b.Involved {
+			present[s] = true
+		}
+		found := false
+		for s := 0; s < 6; s++ {
+			if present[types.ShardID(s)] && present[types.ShardID((s+1)%6)] && present[types.ShardID((s+2)%6)] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("involved set %v is not consecutive", b.Involved)
+		}
+	}
+}
+
+func TestOneKeyPerInvolvedShard(t *testing.T) {
+	// "if a transaction accesses three regions, then it accesses three
+	// key-value pairs" (Section 8).
+	g := New(Config{Shards: 5, ActiveRecords: 1000, CrossShardPct: 1, InvolvedShards: 3, BatchSize: 1, Seed: 4})
+	b := g.NextBatch(1)
+	tx := b.Txns[0]
+	if len(tx.Writes) != 3 {
+		t.Fatalf("txn writes %d keys, want 3", len(tx.Writes))
+	}
+	seen := map[types.ShardID]int{}
+	for _, k := range tx.Writes {
+		seen[types.OwnerShard(k, 5)]++
+	}
+	for _, s := range b.Involved {
+		if seen[s] != 1 {
+			t.Fatalf("shard %d has %d write keys, want 1", s, seen[s])
+		}
+	}
+}
+
+func TestRemoteReadsAdded(t *testing.T) {
+	g := New(Config{Shards: 3, ActiveRecords: 1000, CrossShardPct: 1, InvolvedShards: 3, BatchSize: 1, RemoteReads: 8, Seed: 5})
+	tx := g.NextBatch(1).Txns[0]
+	if len(tx.Reads) != 3+8 {
+		t.Fatalf("txn has %d reads, want 11 (3 RMW + 8 dependencies)", len(tx.Reads))
+	}
+	// All dependency reads stay inside the involved set.
+	for _, k := range tx.Reads {
+		owner := types.OwnerShard(k, 3)
+		found := false
+		for _, s := range tx.InvolvedShards(3) {
+			if s == owner {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("read %d outside involved shards", k)
+		}
+	}
+}
+
+func TestTxnIDsMonotonicPerClient(t *testing.T) {
+	g := New(Config{Shards: 2, ActiveRecords: 100, BatchSize: 3, Seed: 6})
+	var last uint64
+	for i := 0; i < 10; i++ {
+		for _, tx := range g.NextBatch(7).Txns {
+			if tx.ID.Client != 7 {
+				t.Fatalf("txn client %d, want 7", tx.ID.Client)
+			}
+			if tx.ID.Seq <= last {
+				t.Fatal("txn sequence not monotonic")
+			}
+			last = tx.ID.Seq
+		}
+	}
+}
+
+func TestStripeDisjointAcrossClients(t *testing.T) {
+	cfg := Config{Shards: 2, ActiveRecords: 1000, CrossShardPct: 0, BatchSize: 5, Stripe: true, Clients: 10, Seed: 7}
+	g1, g2 := New(cfg), New(cfg)
+	keys1 := map[types.Key]bool{}
+	for i := 0; i < 20; i++ {
+		for _, tx := range g1.NextBatch(1).Txns {
+			for _, k := range tx.Writes {
+				keys1[k] = true
+			}
+		}
+	}
+	for i := 0; i < 20; i++ {
+		for _, tx := range g2.NextBatch(2).Txns {
+			for _, k := range tx.Writes {
+				if keys1[k] {
+					t.Fatalf("striped clients 1 and 2 share key %d", k)
+				}
+			}
+		}
+	}
+}
+
+func TestStripeSequentialNoSelfConflictWithinWindow(t *testing.T) {
+	cfg := Config{Shards: 1, ActiveRecords: 1000, CrossShardPct: 0, BatchSize: 4, Stripe: true, Clients: 10, Seed: 8}
+	g := New(cfg)
+	seen := map[types.Key]bool{}
+	// A window of consecutive batches must not repeat keys while the
+	// cursor has not wrapped the stripe (stripe = 100 records here).
+	for i := 0; i < 20; i++ { // 20 batches x 4 keys = 80 < 100
+		for _, tx := range g.NextBatch(3).Txns {
+			for _, k := range tx.Writes {
+				if seen[k] {
+					t.Fatalf("key %d repeated within stripe window", k)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(Config{Shards: 1, ActiveRecords: 10000, BatchSize: 1, Zipf: true, Seed: 9})
+	counts := map[types.Key]int{}
+	for i := 0; i < 5000; i++ {
+		counts[g.NextBatch(1).Txns[0].Writes[0]]++
+	}
+	// The hottest key must be dramatically hotter than uniform (0.5 avg).
+	maxN := 0
+	for _, n := range counts {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN < 50 {
+		t.Fatalf("hottest key seen %d times; Zipf skew not applied", maxN)
+	}
+}
+
+func TestConfigClamping(t *testing.T) {
+	g := New(Config{Shards: 0, ActiveRecords: 0, BatchSize: 0, InvolvedShards: 99, CrossShardPct: 1})
+	b := g.NextBatch(1)
+	if len(b.Txns) != 1 {
+		t.Fatalf("clamped batch size produced %d txns", len(b.Txns))
+	}
+}

@@ -1,0 +1,403 @@
+// Package ringbft is the public API of this repository: a from-scratch Go
+// implementation of RingBFT — Resilient Consensus over Sharded Ring Topology
+// (Rahnama, Gupta, Sogani, Krishnan, Sadoghi; EDBT 2022) — together with the
+// substrates the paper's evaluation depends on: an intra-shard PBFT engine,
+// a simulated 15-region WAN, per-shard blockchains, a YCSB-style workload
+// generator, the AHL and Sharper sharding baselines, and the single-primary
+// baselines of Figure 1 (Zyzzyva, SBFT, PoE, HotStuff, RCC).
+//
+// Two entry points:
+//
+//   - Cluster embeds a complete RingBFT deployment in-process: shards of
+//     replicas over the simulated network, with synchronous Submit for
+//     transactions. This is what applications and the examples use.
+//
+//   - RunExperiment / the Fig* functions drive the benchmark harness that
+//     regenerates every figure of the paper's evaluation (see EXPERIMENTS.md
+//     and cmd/ringbft-bench).
+package ringbft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringbft/internal/crypto"
+	"ringbft/internal/harness"
+	"ringbft/internal/ledger"
+	"ringbft/internal/ringbft"
+	"ringbft/internal/simnet"
+	"ringbft/internal/types"
+)
+
+// Re-exported core types, so users of the library never import internal
+// packages.
+type (
+	// Txn is a deterministic read-modify-write transaction (known
+	// read/write sets, Section 3 of the paper).
+	Txn = types.Txn
+	// TxnID identifies a transaction.
+	TxnID = types.TxnID
+	// Key is a record key; ownership is hash-partitioned across shards.
+	Key = types.Key
+	// Value is a record value.
+	Value = types.Value
+	// ShardID identifies a shard; ring order is ascending ShardID.
+	ShardID = types.ShardID
+	// ClientID identifies a client.
+	ClientID = types.ClientID
+	// Digest is a SHA-256 batch/message digest.
+	Digest = types.Digest
+	// Batch is the unit of consensus.
+	Batch = types.Batch
+	// Block is one block of a shard's partial blockchain.
+	Block = ledger.Block
+
+	// ExperimentConfig parameterizes one benchmark run.
+	ExperimentConfig = harness.Config
+	// ExperimentResult carries one benchmark run's metrics.
+	ExperimentResult = harness.Result
+	// Protocol selects the system under test in experiments.
+	Protocol = harness.Protocol
+	// Figure is a reproduced plot (series of throughput/latency points).
+	Figure = harness.Figure
+	// Profile scales an experiment suite (Quick vs Full).
+	Profile = harness.Profile
+)
+
+// Experiment protocols.
+const (
+	RingBFT  = harness.ProtoRingBFT
+	AHL      = harness.ProtoAHL
+	Sharper  = harness.ProtoSharper
+	PBFT     = harness.ProtoPBFT
+	Zyzzyva  = harness.ProtoZyzzyva
+	SBFT     = harness.ProtoSBFT
+	PoE      = harness.ProtoPoE
+	HotStuff = harness.ProtoHotStuff
+	RCC      = harness.ProtoRCC
+)
+
+// Experiment profiles.
+var (
+	Quick = harness.Quick
+	Full  = harness.Full
+)
+
+// RunExperiment executes one benchmark configuration and returns metrics.
+func RunExperiment(cfg ExperimentConfig) (ExperimentResult, error) { return harness.Run(cfg) }
+
+// Figure generators (one per paper figure; see DESIGN.md §4).
+var (
+	Fig1                  = harness.Fig1
+	Fig8Shards            = harness.Fig8Shards
+	Fig8Replicas          = harness.Fig8Replicas
+	Fig8CrossRate         = harness.Fig8CrossRate
+	Fig8BatchSize         = harness.Fig8BatchSize
+	Fig8Involved          = harness.Fig8Involved
+	Fig8Clients           = harness.Fig8Clients
+	Fig9                  = harness.Fig9
+	Fig10                 = harness.Fig10
+	AblationLinearForward = harness.AblationLinearForward
+	AblationCrypto        = harness.AblationCrypto
+)
+
+// ClusterConfig shapes an embedded RingBFT deployment.
+type ClusterConfig struct {
+	Shards           int // number of shards (ring length); default 3
+	ReplicasPerShard int // n per shard, n >= 3f+1; default 4
+	Records          int // records preloaded per shard; default 4096
+
+	// LatencyScale > 0 runs over the 15-region WAN model compressed by the
+	// given factor; 0 uses a uniform sub-millisecond LAN latency.
+	LatencyScale float64
+	// NoCrypto disables MACs and signatures (testing only).
+	NoCrypto bool
+	Seed     int64
+
+	// SubmitTimeout bounds one synchronous Submit (default 10s).
+	SubmitTimeout time.Duration
+}
+
+// Cluster is an embedded RingBFT deployment: z shards × n replicas running
+// over the in-process network, plus a client port for Submit.
+type Cluster struct {
+	cfg      ClusterConfig
+	tcfg     types.Config
+	net      *simnet.Network
+	replicas []*ringbft.Replica
+	inboxes  []<-chan *types.Message
+
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	started atomic.Bool
+	stopped atomic.Bool
+
+	clientSeq atomic.Int64
+}
+
+// NewCluster builds (but does not start) a RingBFT cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 3
+	}
+	if cfg.ReplicasPerShard <= 0 {
+		cfg.ReplicasPerShard = 4
+	}
+	if cfg.Records <= 0 {
+		cfg.Records = 4096
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.SubmitTimeout <= 0 {
+		cfg.SubmitTimeout = 10 * time.Second
+	}
+	tcfg := types.DefaultConfig(cfg.Shards, cfg.ReplicasPerShard)
+	// Embedded clusters serve interactive Submits: rebroadcast quickly when
+	// the contacted replica is silent (e.g. a crashed primary) so recovery
+	// latency is dominated by the view change, not the client timer.
+	tcfg.ClientTimeout = 500 * time.Millisecond
+	if err := tcfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	var lat simnet.LatencyModel = simnet.FixedLatency{D: 200 * time.Microsecond}
+	if cfg.LatencyScale > 0 {
+		lat = simnet.WANLatency{Scale: cfg.LatencyScale}
+	}
+	net := simnet.New(simnet.Options{Latency: lat, Seed: cfg.Seed})
+
+	kg := crypto.NewKeygen(cfg.Seed)
+	shardPeers := make([][]types.NodeID, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		peers := make([]types.NodeID, cfg.ReplicasPerShard)
+		for i := range peers {
+			peers[i] = types.ReplicaNode(types.ShardID(s), i)
+			if !cfg.NoCrypto {
+				kg.Register(peers[i])
+			}
+		}
+		shardPeers[s] = peers
+	}
+
+	c := &Cluster{cfg: cfg, tcfg: tcfg, net: net}
+	for s := 0; s < cfg.Shards; s++ {
+		for i := 0; i < cfg.ReplicasPerShard; i++ {
+			id := shardPeers[s][i]
+			ep := net.Attach(id, simnet.ShardRegion(s))
+			var a crypto.Authenticator = crypto.NopAuth{}
+			if !cfg.NoCrypto {
+				ring, err := kg.Ring(id)
+				if err != nil {
+					return nil, err
+				}
+				a = ring
+			}
+			r := ringbft.New(ringbft.Options{
+				Config: tcfg, Shard: types.ShardID(s), Self: id,
+				Peers: shardPeers[s], Auth: a, Send: ep.Send,
+			})
+			r.Preload(cfg.Records)
+			c.replicas = append(c.replicas, r)
+			c.inboxes = append(c.inboxes, ep.Inbox())
+		}
+	}
+	return c, nil
+}
+
+// Start launches every replica's event loop.
+func (c *Cluster) Start() {
+	if !c.started.CompareAndSwap(false, true) {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	for i, r := range c.replicas {
+		c.wg.Add(1)
+		go func(r *ringbft.Replica, in <-chan *types.Message) {
+			defer c.wg.Done()
+			r.Run(ctx, in)
+		}(r, c.inboxes[i])
+	}
+}
+
+// Stop terminates the cluster. Idempotent.
+func (c *Cluster) Stop() {
+	if !c.started.Load() || !c.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	c.cancel()
+	c.wg.Wait()
+	c.net.Close()
+}
+
+// Shards returns the number of shards.
+func (c *Cluster) Shards() int { return c.cfg.Shards }
+
+// F returns the per-shard fault bound f.
+func (c *Cluster) F() int { return c.tcfg.F() }
+
+// OwnerShard returns the shard owning key k.
+func (c *Cluster) OwnerShard(k Key) ShardID { return types.OwnerShard(k, c.cfg.Shards) }
+
+// KeyOf returns the record key with index idx on shard s (the inverse of the
+// hash partitioning used by the preloaded table).
+func (c *Cluster) KeyOf(s ShardID, idx uint64) Key {
+	return Key(uint64(s) + idx*uint64(c.cfg.Shards))
+}
+
+// ErrTimeout is returned when a Submit misses its deadline.
+var ErrTimeout = errors.New("ringbft: submit timed out")
+
+// Submit runs one batch of transactions through consensus and returns their
+// results once f+1 matching replica responses arrive. Transaction IDs are
+// stamped by the cluster; the involved-shard set is derived from the
+// transactions' read/write sets. Safe for concurrent use — each call acts as
+// an independent client.
+func (c *Cluster) Submit(ctx context.Context, txns ...Txn) ([]Value, error) {
+	if !c.started.Load() {
+		return nil, errors.New("ringbft: cluster not started")
+	}
+	if len(txns) == 0 {
+		return nil, errors.New("ringbft: empty batch")
+	}
+	clientID := types.ClientID(c.clientSeq.Add(1))
+	self := types.ClientNode(clientID)
+	ep := c.net.Attach(self, simnet.Region(int(clientID)%int(simnet.NumRegions)))
+
+	involvedSet := make(map[ShardID]struct{})
+	for i := range txns {
+		txns[i].ID = TxnID{Client: clientID, Seq: uint64(i + 1)}
+		for _, s := range txns[i].InvolvedShards(c.cfg.Shards) {
+			involvedSet[s] = struct{}{}
+		}
+	}
+	involved := make([]ShardID, 0, len(involvedSet))
+	for s := range involvedSet {
+		involved = append(involved, s)
+	}
+	sort.Slice(involved, func(i, j int) bool { return involved[i] < involved[j] })
+	if len(involved) == 0 {
+		return nil, errors.New("ringbft: transactions touch no keys")
+	}
+
+	b := &Batch{Txns: txns, Involved: involved}
+	d := b.Digest()
+	req := &types.Message{Type: types.MsgClientRequest, From: self, Batch: b, Digest: d}
+	ep.Send(types.ReplicaNode(b.Initiator(), 0), req)
+
+	deadline := time.NewTimer(c.cfg.SubmitTimeout)
+	defer deadline.Stop()
+	rebroadcast := time.NewTicker(c.tcfg.ClientTimeout)
+	defer rebroadcast.Stop()
+
+	need := c.tcfg.F() + 1
+	votes := make(map[types.NodeID]struct{})
+	var result []Value
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-deadline.C:
+			return nil, fmt.Errorf("%w after %v", ErrTimeout, c.cfg.SubmitTimeout)
+		case <-rebroadcast.C:
+			// Attack A1: the client cannot wait on the primary forever.
+			for i := 0; i < c.cfg.ReplicasPerShard; i++ {
+				ep.Send(types.ReplicaNode(b.Initiator(), i), req)
+			}
+		case m := <-ep.Inbox():
+			if m.Type != types.MsgResponse || m.Digest != d {
+				continue
+			}
+			votes[m.From] = struct{}{}
+			result = m.Results
+			if len(votes) >= need {
+				return result, nil
+			}
+		}
+	}
+}
+
+// Ledger returns a snapshot of the blockchain of one replica of shard s
+// (replica index idx). Call while the cluster is quiescent or accept a
+// point-in-time snapshot.
+func (c *Cluster) Ledger(s ShardID, idx int) []*Block {
+	r := c.replica(s, idx)
+	if r == nil {
+		return nil
+	}
+	return r.Chain().Blocks()
+}
+
+// VerifyLedgers walks every replica's blockchain, checking hash chains and
+// Merkle roots, and confirms that all replicas of each shard agree on their
+// chain prefix. It is the integrity check of Section 7.
+func (c *Cluster) VerifyLedgers() error {
+	for s := 0; s < c.cfg.Shards; s++ {
+		var chains [][]*Block
+		for i := 0; i < c.cfg.ReplicasPerShard; i++ {
+			r := c.replica(ShardID(s), i)
+			if err := r.Chain().Verify(); err != nil {
+				return fmt.Errorf("shard %d replica %d: %w", s, i, err)
+			}
+			chains = append(chains, r.Chain().Blocks())
+		}
+		// Replicas of one shard may interleave non-conflicting cross-shard
+		// blocks differently near the head (Section 7 permits this across
+		// ledgers; execution acceptance times differ per replica), so the
+		// agreement check is on content: every block of the shortest chain
+		// appears in each longer chain.
+		shortest := chains[0]
+		for _, ch := range chains[1:] {
+			if len(ch) < len(shortest) {
+				shortest = ch
+			}
+		}
+		for i, ch := range chains {
+			have := make(map[Digest]struct{}, len(ch))
+			for _, b := range ch {
+				have[b.Digest] = struct{}{}
+			}
+			for _, b := range shortest {
+				if _, ok := have[b.Digest]; !ok {
+					return fmt.Errorf("shard %d: replica %d is missing block seq %d", s, i, b.Seq)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Read returns the committed value of key k as seen by replica idx of its
+// owner shard.
+func (c *Cluster) Read(k Key, idx int) Value {
+	r := c.replica(c.OwnerShard(k), idx)
+	if r == nil {
+		return 0
+	}
+	return r.Store().Get(k)
+}
+
+// CrashReplica drops all traffic to and from one replica (e.g. a primary,
+// to demonstrate view change). Revive with ReviveReplica.
+func (c *Cluster) CrashReplica(s ShardID, idx int) {
+	c.net.SetCrashed(types.ReplicaNode(s, idx), true)
+}
+
+// ReviveReplica restores a crashed replica's connectivity.
+func (c *Cluster) ReviveReplica(s ShardID, idx int) {
+	c.net.SetCrashed(types.ReplicaNode(s, idx), false)
+}
+
+func (c *Cluster) replica(s ShardID, idx int) *ringbft.Replica {
+	i := int(s)*c.cfg.ReplicasPerShard + idx
+	if i < 0 || i >= len(c.replicas) {
+		return nil
+	}
+	return c.replicas[i]
+}

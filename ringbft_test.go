@@ -1,0 +1,131 @@
+package ringbft
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func startCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestClusterSubmitSingleShard(t *testing.T) {
+	c := startCluster(t, ClusterConfig{Shards: 3, ReplicasPerShard: 4})
+	k := c.KeyOf(1, 10)
+	before := c.Read(k, 0)
+	res, err := c.Submit(context.Background(), Txn{
+		Reads: []Key{k}, Writes: []Key{k}, Delta: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("got %d results, want 1", len(res))
+	}
+	want := before + 5 + before
+	// combined = Δ + read(k); write adds combined to k.
+	if got := res[0]; got != before+5 {
+		t.Fatalf("result = %d, want %d", got, before+5)
+	}
+	// Give replicas a moment to apply, then check state on every replica.
+	time.Sleep(100 * time.Millisecond)
+	for i := 0; i < 4; i++ {
+		if got := c.Read(k, i); got != want {
+			t.Fatalf("replica %d: value = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestClusterSubmitCrossShard(t *testing.T) {
+	c := startCluster(t, ClusterConfig{Shards: 3, ReplicasPerShard: 4})
+	k0, k2 := c.KeyOf(0, 7), c.KeyOf(2, 9)
+	v0, v2 := c.Read(k0, 0), c.Read(k2, 0)
+	res, err := c.Submit(context.Background(), Txn{
+		Reads: []Key{k0, k2}, Writes: []Key{k0, k2}, Delta: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := Value(3) + v0 + v2
+	if res[0] != combined {
+		t.Fatalf("result = %d, want %d", res[0], combined)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if got := c.Read(k0, 1); got != v0+combined {
+		t.Fatalf("k0 = %d, want %d", got, v0+combined)
+	}
+	if got := c.Read(k2, 1); got != v2+combined {
+		t.Fatalf("k2 = %d, want %d", got, v2+combined)
+	}
+	if err := c.VerifyLedgers(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterConcurrentSubmits(t *testing.T) {
+	c := startCluster(t, ClusterConfig{Shards: 2, ReplicasPerShard: 4})
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			k := c.KeyOf(ShardID(i%2), uint64(100+i))
+			_, err := c.Submit(context.Background(), Txn{Reads: []Key{k}, Writes: []Key{k}, Delta: 1})
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.VerifyLedgers(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterViewChangeOnPrimaryCrash(t *testing.T) {
+	c := startCluster(t, ClusterConfig{Shards: 1, ReplicasPerShard: 4, SubmitTimeout: 20 * time.Second})
+	c.CrashReplica(0, 0)
+	k := c.KeyOf(0, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if _, err := c.Submit(ctx, Txn{Reads: []Key{k}, Writes: []Key{k}, Delta: 2}); err != nil {
+		t.Fatalf("submit after primary crash: %v", err)
+	}
+}
+
+func TestClusterLedgerGrowth(t *testing.T) {
+	c := startCluster(t, ClusterConfig{Shards: 2, ReplicasPerShard: 4})
+	k := c.KeyOf(0, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Submit(context.Background(), Txn{Reads: []Key{k}, Writes: []Key{k}, Delta: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	blocks := c.Ledger(0, 0)
+	if len(blocks) < 4 { // genesis + 3
+		t.Fatalf("ledger has %d blocks, want >= 4", len(blocks))
+	}
+	if blocks[0].Seq != 0 {
+		t.Fatal("first block is not genesis")
+	}
+}
+
+func TestSubmitEmptyBatchRejected(t *testing.T) {
+	c := startCluster(t, ClusterConfig{Shards: 1, ReplicasPerShard: 4})
+	if _, err := c.Submit(context.Background()); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := c.Submit(context.Background(), Txn{Delta: 1}); err == nil {
+		t.Fatal("keyless txn accepted")
+	}
+}
