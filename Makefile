@@ -1,0 +1,22 @@
+# Tier-1 verify is `make verify` (build + vet + test). `make bench` runs the
+# micro-benchmarks, including the internal/sched executor comparison whose
+# reference numbers live in internal/sched/bench_baseline.json.
+
+GO ?= go
+
+.PHONY: build test vet bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 300ms ./internal/sched/ ./internal/store/
+	$(GO) test -run XXX -bench . -benchtime 200ms ./internal/pbft/ ./internal/crypto/ ./internal/ledger/ ./internal/workload/
+
+verify: build vet test

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure to regenerate: all, fig1, fig8-shards, fig8-replicas, fig8-cross, fig8-batch, fig8-involved, fig8-clients, fig9, fig10, ablation-linear, ablation-crypto, custom")
+		figure  = flag.String("figure", "all", "figure to regenerate: all, fig1, fig8-shards, fig8-replicas, fig8-cross, fig8-batch, fig8-involved, fig8-clients, fig9, fig10, ablation-linear, ablation-crypto, ablation-exec, custom")
 		profile = flag.String("profile", "quick", "experiment scale: quick or full")
 
 		// custom run flags
@@ -34,6 +34,7 @@ func main() {
 		cross    = flag.Float64("cross", 0.3, "custom: cross-shard fraction [0,1]")
 		involved = flag.Int("involved", 0, "custom: involved shards per cst (0 = all)")
 		batch    = flag.Int("batch", 50, "custom: batch size")
+		workers  = flag.Int("execworkers", 0, "custom: parallel execution workers per replica (0 = sequential)")
 		clients  = flag.Int("clients", 8, "custom: concurrent clients")
 		duration = flag.Duration("duration", time.Second, "custom: measurement window")
 		latScale = flag.Float64("latscale", 0.05, "custom: WAN latency compression factor")
@@ -61,6 +62,7 @@ func main() {
 		{"fig10", harness.Fig10},
 		{"ablation-linear", harness.AblationLinearForward},
 		{"ablation-crypto", harness.AblationCrypto},
+		{"ablation-exec", harness.AblationExecWorkers},
 	}
 
 	switch *figure {
@@ -72,6 +74,7 @@ func main() {
 			CrossShardPct:    *cross,
 			InvolvedShards:   *involved,
 			BatchSize:        *batch,
+			ExecWorkers:      *workers,
 			Clients:          *clients,
 			Duration:         *duration,
 			LatencyScale:     *latScale,

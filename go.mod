@@ -1,0 +1,3 @@
+module ringbft
+
+go 1.24

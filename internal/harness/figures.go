@@ -360,6 +360,27 @@ func AblationLinearForward(p Profile) (Figure, error) {
 	return fig, nil
 }
 
+// AblationExecWorkers compares sequential batch execution against the
+// dependency-aware parallel executor (internal/sched) at increasing worker
+// counts, on large single-shard batches where intra-batch parallelism is
+// the whole story. Raw executor speedups are reported by
+// BenchmarkExecuteBatch in internal/sched; this figure shows how much of
+// that survives end-to-end, behind consensus and the simulated WAN.
+func AblationExecWorkers(p Profile) (Figure, error) {
+	fig := Figure{ID: "ablation-exec", Title: "Sequential vs parallel batch execution", XLabel: "exec workers"}
+	pts, err := sweep(p.BaseConfig(), []int{0, 2, 4, 8}, func(c *Config, w int) {
+		c.Protocol = ProtoRingBFT
+		c.CrossShardPct = 0
+		c.BatchSize = 4 * p.BatchSize
+		c.ExecWorkers = w
+	})
+	if err != nil {
+		return fig, err
+	}
+	fig.Series = append(fig.Series, Series{Label: "ringbft", Points: pts})
+	return fig, nil
+}
+
 // AblationCrypto compares the paper's MAC+DS mix against signatures-off
 // (NopAuth) to isolate authentication cost (DESIGN.md §5).
 func AblationCrypto(p Profile) (Figure, error) {

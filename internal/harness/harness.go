@@ -54,6 +54,10 @@ type Config struct {
 	Shards           int
 	ReplicasPerShard int
 	BatchSize        int
+	// ExecWorkers sizes the dependency-aware parallel batch executor on
+	// every replica (internal/sched); 0 = sequential execution. A/B this
+	// knob to measure intra-batch execution parallelism.
+	ExecWorkers int
 
 	CrossShardPct  float64 // fraction of cross-shard batches
 	InvolvedShards int     // shards per cst
@@ -273,6 +277,7 @@ func applyDefaults(cfg *Config) {
 func typesConfig(cfg Config) types.Config {
 	tc := types.DefaultConfig(cfg.Shards, cfg.ReplicasPerShard)
 	tc.BatchSize = cfg.BatchSize
+	tc.ExecWorkers = cfg.ExecWorkers
 	tc.LocalTimeout = cfg.LocalTimeout
 	tc.RemoteTimeout = cfg.RemoteTimeout
 	tc.TransmitTimeout = cfg.TransmitTimeout

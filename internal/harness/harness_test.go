@@ -35,6 +35,34 @@ func TestRingBFTSingleShardThroughput(t *testing.T) {
 	}
 }
 
+// TestParallelExecutionAllProtocols runs every sharded protocol with the
+// dependency-aware parallel executor enabled: all of them must still make
+// progress (the sched layer guarantees results identical to sequential;
+// equivalence itself is proven by internal/sched and internal/ringbft).
+func TestParallelExecutionAllProtocols(t *testing.T) {
+	for _, p := range []Protocol{ProtoRingBFT, ProtoSharper, ProtoAHL} {
+		res, err := Run(Config{
+			Protocol:         p,
+			Shards:           3,
+			ReplicasPerShard: 4,
+			BatchSize:        10,
+			ExecWorkers:      4,
+			CrossShardPct:    0.5,
+			InvolvedShards:   3,
+			Clients:          4,
+			ClientWindow:     2,
+			Warmup:           150 * time.Millisecond,
+			Duration:         400 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("%s with ExecWorkers=4: %v", p, err)
+		}
+		if res.Txns == 0 {
+			t.Fatalf("%s with ExecWorkers=4 committed nothing: %+v", p, res)
+		}
+	}
+}
+
 func TestRingBFTCrossShardThroughput(t *testing.T) {
 	res := smoke(t, ProtoRingBFT, 1.0)
 	if res.Txns == 0 {

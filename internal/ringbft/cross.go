@@ -128,7 +128,7 @@ func (r *Replica) executeCst(cs *cstState) {
 			remote[k] = ws.ReadValues[i]
 		}
 	}
-	cs.results = r.executeBatch(cs.batch, remote)
+	cs.results = r.executeBatch(cs.batch, remote, cs.plan)
 	cs.executed = true
 	r.executed[cs.digest] = cs.results
 	r.chain.Append(cs.seq, r.engine.Primary(r.engine.View()), cs.batch)

@@ -27,6 +27,7 @@ import (
 	"ringbft/internal/crypto"
 	"ringbft/internal/ledger"
 	"ringbft/internal/pbft"
+	"ringbft/internal/sched"
 	"ringbft/internal/store"
 	"ringbft/internal/types"
 )
@@ -51,6 +52,7 @@ type Replica struct {
 	kv     *store.KV
 	locks  *store.LockTable
 	chain  *ledger.Chain
+	exec   *sched.Executor
 
 	// Lock-order state (Fig 5): lockQueue holds committed entries awaiting
 	// lock acquisition strictly in sequence order; kmax is the highest
@@ -82,6 +84,7 @@ type Replica struct {
 	// Metrics (read via Stats after the run).
 	executedTxns  int64
 	executedCross int64
+	execErrors    int64
 	viewChanges   int64
 	retransmits   int64
 	remoteViews   int64
@@ -128,6 +131,11 @@ type cstState struct {
 	carried []types.WriteSet // accumulated read/write sets (Σ)
 	results []types.Value
 
+	// plan is the conflict schedule precomputed while the Forward rotates
+	// (sched.BuildPlan depends only on batch content), so commit-time
+	// execution pays only the parallel run. Nil when ExecWorkers <= 1.
+	plan *sched.Plan
+
 	forwardSentAt time.Time // transmit timer anchor (Section 5.1.1)
 	forwardMsg    *types.Message
 	nextProgress  bool // evidence the next shard progressed; stops retransmission
@@ -165,6 +173,7 @@ func New(opts Options) *Replica {
 		clock:            opts.Clock,
 		kv:               store.NewKV(),
 		locks:            store.NewLockTable(),
+		exec:             sched.New(opts.Config.ExecWorkers),
 		chain:            ledger.NewChain(opts.Shard),
 		lockQueue:        make(map[types.SeqNum]*logEntry),
 		csts:             make(map[types.Digest]*cstState),
@@ -203,12 +212,17 @@ func (r *Replica) ID() types.NodeID { return r.self }
 type Stats struct {
 	ExecutedTxns  int64
 	ExecutedCross int64
-	ViewChanges   int64
-	Retransmits   int64
-	RemoteViews   int64
-	LockedKeys    int
-	LedgerHeight  int
-	KMax          types.SeqNum
+	// ExecErrors counts transactions whose execution failed (missing remote
+	// read in Σ) and fell back to the deterministic sentinel result 0. Any
+	// non-zero value means Σ accumulation is broken; happy-path tests assert
+	// it stays 0.
+	ExecErrors   int64
+	ViewChanges  int64
+	Retransmits  int64
+	RemoteViews  int64
+	LockedKeys   int
+	LedgerHeight int
+	KMax         types.SeqNum
 }
 
 // Stats returns a snapshot of the replica's counters. Call only from the
@@ -217,6 +231,7 @@ func (r *Replica) Stats() Stats {
 	return Stats{
 		ExecutedTxns:  r.executedTxns,
 		ExecutedCross: r.executedCross,
+		ExecErrors:    r.execErrors,
 		ViewChanges:   r.viewChanges,
 		Retransmits:   r.retransmits,
 		RemoteViews:   r.remoteViews,
@@ -405,7 +420,7 @@ func (r *Replica) afterLocked(ent *logEntry) {
 	}
 	d := b.Digest()
 	if !b.IsCrossShard() {
-		results := r.executeBatch(b, nil)
+		results := r.executeBatch(b, nil, nil)
 		r.locks.Unlock(r.localKeys(b), lockOwner(b))
 		r.executed[d] = results
 		r.chain.Append(ent.seq, r.engine.Primary(r.engine.View()), b)
@@ -419,6 +434,10 @@ func (r *Replica) afterLocked(ent *logEntry) {
 	cs.seq = ent.seq
 	cs.cert = ent.cert
 	cs.locked = true
+	if r.exec.Workers() > 1 && cs.plan == nil {
+		// Schedule now, while the Forward/Execute rotations hide the cost.
+		cs.plan = sched.BuildPlan(b.Txns, r.shard, r.cfg.Shards)
+	}
 
 	// Accumulate this shard's read fragment into the carried Σ so that by
 	// the end of rotation 1 the initiator holds every read value the
@@ -428,19 +447,25 @@ func (r *Replica) afterLocked(ent *logEntry) {
 	r.sendForward(cs)
 }
 
-// executeBatch applies every transaction's local fragment. remote supplies
-// cross-shard read values (nil for single-shard batches).
-func (r *Replica) executeBatch(b *types.Batch, remote map[types.Key]types.Value) []types.Value {
-	results := make([]types.Value, len(b.Txns))
-	for i := range b.Txns {
-		v, err := r.kv.ExecuteTxn(&b.Txns[i], r.shard, r.cfg.Shards, remote)
-		if err != nil {
-			// A missing dependency means Σ accumulation is broken; execute
-			// deterministically to a sentinel so replicas stay aligned.
-			v = 0
-		}
-		results[i] = v
+// executeBatch applies every transaction's local fragment through the
+// dependency-aware executor (sequential when ExecWorkers <= 1). remote
+// supplies cross-shard read values (nil for single-shard batches); plan is
+// an optional precomputed schedule (nil = plan inline). A failing
+// transaction (missing dependency = broken Σ accumulation) executes
+// deterministically to the sentinel 0 so replicas stay aligned, and is
+// counted in Stats.ExecErrors.
+func (r *Replica) executeBatch(b *types.Batch, remote map[types.Key]types.Value, plan *sched.Plan) []types.Value {
+	apply := func(i int) (types.Value, error) {
+		return r.kv.ExecuteTxn(&b.Txns[i], r.shard, r.cfg.Shards, remote)
 	}
+	var results []types.Value
+	var errs int64
+	if plan != nil {
+		results, errs = r.exec.ExecutePlan(plan, apply)
+	} else {
+		results, errs = r.exec.ExecuteBatch(b.Txns, r.shard, r.cfg.Shards, apply)
+	}
+	r.execErrors += errs
 	r.executedTxns += int64(len(b.Txns))
 	if b.IsCrossShard() {
 		r.executedCross += int64(len(b.Txns))

@@ -26,10 +26,15 @@ type routed struct {
 	m        *types.Message
 }
 
-func newCluster(t *testing.T, z, n int) *cluster {
+func newCluster(t *testing.T, z, n int) *cluster { return newClusterExec(t, z, n, 0) }
+
+// newClusterExec builds a cluster whose replicas run the dependency-aware
+// parallel executor with the given worker count (0 = sequential).
+func newClusterExec(t *testing.T, z, n, execWorkers int) *cluster {
 	t.Helper()
 	cfg := types.DefaultConfig(z, n)
 	cfg.BatchSize = 2
+	cfg.ExecWorkers = execWorkers
 	c := &cluster{
 		t: t, cfg: cfg,
 		replicas: make(map[types.NodeID]*Replica),
@@ -117,6 +122,18 @@ func (c *cluster) submit(client types.ClientID, b *types.Batch) {
 	c.pump()
 }
 
+// assertNoExecErrors fails the test when any replica mapped an execution
+// error to the sentinel result 0 — on the happy path that means Σ
+// accumulation silently broke.
+func (c *cluster) assertNoExecErrors() {
+	c.t.Helper()
+	for id, r := range c.replicas {
+		if n := r.Stats().ExecErrors; n != 0 {
+			c.t.Fatalf("replica %v recorded %d exec errors (broken Σ accumulation)", id, n)
+		}
+	}
+}
+
 // responses counts matching client responses for a digest.
 func (c *cluster) responses(client types.ClientID, d types.Digest) int {
 	n := 0
@@ -164,6 +181,7 @@ func TestSingleShardExecution(t *testing.T) {
 			t.Fatalf("replica %v (uninvolved) ledger height = %d, want 0", id, r.Chain().Height())
 		}
 	}
+	c.assertNoExecErrors()
 }
 
 func TestCrossShardTwoShards(t *testing.T) {
@@ -195,6 +213,7 @@ func TestCrossShardTwoShards(t *testing.T) {
 			t.Fatalf("replica %v still holds %d locks", id, n)
 		}
 	}
+	c.assertNoExecErrors()
 }
 
 func TestCrossShardAllShards(t *testing.T) {
@@ -209,6 +228,7 @@ func TestCrossShardAllShards(t *testing.T) {
 			t.Fatalf("replica %v height %d, want 1 (all shards involved)", id, r.Chain().Height())
 		}
 	}
+	c.assertNoExecErrors()
 }
 
 // TestComplexCSTRemoteReads: a transaction whose write on shard 0 depends on
@@ -240,6 +260,7 @@ func TestComplexCSTRemoteReads(t *testing.T) {
 			t.Fatalf("replica %v k0 = %d, want %d (remote reads lost)", id, got, types.Value(k0)+combined)
 		}
 	}
+	c.assertNoExecErrors()
 }
 
 // TestConflictingCSTsSameOrder (Theorem 6.2/6.3): two conflicting
@@ -285,6 +306,70 @@ func TestConflictingCSTsSameOrder(t *testing.T) {
 	for id, r := range c.replicas {
 		if n := r.Stats().LockedKeys; n != 0 {
 			t.Fatalf("replica %v leaked %d locks", id, n)
+		}
+	}
+	c.assertNoExecErrors()
+}
+
+// TestParallelExecutionMatchesSequentialCluster drives the same workload —
+// conflicting cross-shard batches plus complex remote-read transactions —
+// through a sequential cluster and one running the dependency-aware
+// executor with 4 workers, and requires identical client results and
+// identical store digests at every replica (the determinism bar of
+// internal/sched, proven end-to-end through consensus).
+func TestParallelExecutionMatchesSequentialCluster(t *testing.T) {
+	const z, n = 3, 4
+	run := func(workers int) (map[types.NodeID]types.Digest, map[types.Digest][]types.Value) {
+		c := newClusterExec(t, z, n, workers)
+		shards := []types.ShardID{0, 1, 2}
+		var digests []types.Digest
+		for i := uint64(0); i < 4; i++ {
+			b := mkBatch(types.ClientID(i+1), 1, z, shards, 2+i%2) // overlapping keys conflict
+			digests = append(digests, b.Digest())
+			c.submit(types.ClientID(i+1), b)
+		}
+		cx := types.Txn{
+			ID:     types.TxnID{Client: 9, Seq: 1},
+			Reads:  []types.Key{types.Key(0 + 7*z), types.Key(1 + 7*z), types.Key(2 + 7*z)},
+			Writes: []types.Key{types.Key(0 + 7*z)},
+			Delta:  11,
+		}
+		bx := &types.Batch{Txns: []types.Txn{cx}, Involved: shards}
+		digests = append(digests, bx.Digest())
+		c.submit(9, bx)
+
+		c.assertNoExecErrors()
+		states := make(map[types.NodeID]types.Digest)
+		results := make(map[types.Digest][]types.Value)
+		for id, r := range c.replicas {
+			states[id] = r.Store().Digest()
+			for _, d := range digests {
+				if res, ok := r.executed[d]; ok {
+					results[d] = res
+				}
+			}
+		}
+		return states, results
+	}
+	seqStates, seqResults := run(0)
+	parStates, parResults := run(4)
+	for id, want := range seqStates {
+		if parStates[id] != want {
+			t.Fatalf("replica %v: parallel store digest diverged from sequential", id)
+		}
+	}
+	for d, want := range seqResults {
+		got, ok := parResults[d]
+		if !ok {
+			t.Fatalf("batch %x executed sequentially but not in parallel cluster", d[:4])
+		}
+		if len(got) != len(want) {
+			t.Fatalf("batch %x: %d results vs %d", d[:4], len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch %x result[%d] = %d, want %d", d[:4], i, got[i], want[i])
+			}
 		}
 	}
 }

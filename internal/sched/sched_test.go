@@ -1,0 +1,258 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ringbft/internal/store"
+	"ringbft/internal/types"
+)
+
+// randTxns generates n transactions with read/write sets drawn from a
+// keyspace of span keys owned by shard s in a system of z shards, plus
+// remote keys when z > 1. Small spans force heavy overlap.
+func randTxns(rng *rand.Rand, n, span, z int, s types.ShardID) []types.Txn {
+	localKey := func() types.Key {
+		return types.Key(uint64(s) + uint64(rng.Intn(span))*uint64(z))
+	}
+	txns := make([]types.Txn, n)
+	for i := range txns {
+		t := &txns[i]
+		t.ID = types.TxnID{Client: 1, Seq: uint64(i + 1)}
+		t.Delta = types.Value(rng.Intn(100))
+		for r := rng.Intn(4); r >= 0; r-- {
+			t.Reads = append(t.Reads, localKey())
+		}
+		for w := rng.Intn(3); w >= 0; w-- {
+			t.Writes = append(t.Writes, localKey())
+		}
+		if z > 1 && rng.Intn(2) == 0 {
+			// A remote read owned by the next shard over.
+			remote := types.Key(uint64((s+1)%types.ShardID(z)) + uint64(rng.Intn(span))*uint64(z))
+			t.Reads = append(t.Reads, remote)
+		}
+	}
+	return txns
+}
+
+// conflict reports whether a and b conflict on keys owned by shard s.
+func conflict(a, b *types.Txn, s types.ShardID, z int) bool {
+	writes := make(map[types.Key]struct{})
+	reads := make(map[types.Key]struct{})
+	for _, k := range a.Writes {
+		if types.OwnerShard(k, z) == s {
+			writes[k] = struct{}{}
+		}
+	}
+	for _, k := range a.Reads {
+		if types.OwnerShard(k, z) == s {
+			reads[k] = struct{}{}
+		}
+	}
+	for _, k := range b.Writes {
+		if types.OwnerShard(k, z) != s {
+			continue
+		}
+		if _, ok := writes[k]; ok {
+			return true
+		}
+		if _, ok := reads[k]; ok {
+			return true
+		}
+	}
+	for _, k := range b.Reads {
+		if types.OwnerShard(k, z) != s {
+			continue
+		}
+		if _, ok := writes[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLayersInvariants checks the three structural guarantees of Layers on
+// randomized batches: every index appears exactly once, transactions within
+// a layer are pairwise conflict-free, and conflicting transactions keep
+// batch order across strictly increasing layers.
+func TestLayersInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const z = 3
+	const s = types.ShardID(1)
+	for trial := 0; trial < 200; trial++ {
+		txns := randTxns(rng, 1+rng.Intn(40), 1+rng.Intn(12), z, s)
+		layers := Layers(txns, s, z)
+
+		layerOf := make(map[int]int)
+		for li, layer := range layers {
+			for _, i := range layer {
+				if _, dup := layerOf[i]; dup {
+					t.Fatalf("trial %d: txn %d scheduled twice", trial, i)
+				}
+				layerOf[i] = li
+			}
+		}
+		if len(layerOf) != len(txns) {
+			t.Fatalf("trial %d: scheduled %d of %d txns", trial, len(layerOf), len(txns))
+		}
+		for i := range txns {
+			for j := i + 1; j < len(txns); j++ {
+				if !conflict(&txns[i], &txns[j], s, z) {
+					continue
+				}
+				if layerOf[i] >= layerOf[j] {
+					t.Fatalf("trial %d: conflicting txns %d (layer %d) and %d (layer %d) not ordered",
+						trial, i, layerOf[i], j, layerOf[j])
+				}
+			}
+		}
+		for li, layer := range layers {
+			for a := 0; a < len(layer); a++ {
+				for b := a + 1; b < len(layer); b++ {
+					i, j := layer[a], layer[b]
+					if conflict(&txns[i], &txns[j], s, z) {
+						t.Fatalf("trial %d: layer %d holds conflicting txns %d and %d", trial, li, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the equivalence property test of the
+// issue: across randomized batches with overlapping read/write sets and
+// 1..8 workers, parallel execution must produce the same results slice and
+// the same store digest as plain sequential execution.
+func TestParallelMatchesSequential(t *testing.T) {
+	const records = 256
+	for _, tc := range []struct {
+		z int
+		s types.ShardID
+	}{{1, 0}, {3, 1}} {
+		for workers := 1; workers <= 8; workers++ {
+			t.Run(fmt.Sprintf("z=%d/workers=%d", tc.z, workers), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(workers)*100 + int64(tc.z)))
+				for trial := 0; trial < 25; trial++ {
+					txns := randTxns(rng, 1+rng.Intn(60), 1+rng.Intn(16), tc.z, tc.s)
+
+					// Remote reads resolve from a fixed carried-Σ snapshot.
+					remote := make(map[types.Key]types.Value)
+					for i := range txns {
+						for _, k := range txns[i].Reads {
+							if types.OwnerShard(k, tc.z) != tc.s {
+								remote[k] = types.Value(k) * 3
+							}
+						}
+					}
+
+					seqKV := store.NewKV()
+					seqKV.Preload(tc.s, tc.z, records)
+					want := make([]types.Value, len(txns))
+					for i := range txns {
+						v, err := seqKV.ExecuteTxn(&txns[i], tc.s, tc.z, remote)
+						if err != nil {
+							t.Fatalf("trial %d: sequential reference failed: %v", trial, err)
+						}
+						want[i] = v
+					}
+
+					parKV := store.NewKV()
+					parKV.Preload(tc.s, tc.z, records)
+					got, errs := New(workers).ExecuteBatch(txns, tc.s, tc.z, func(i int) (types.Value, error) {
+						return parKV.ExecuteTxn(&txns[i], tc.s, tc.z, remote)
+					})
+					if errs != 0 {
+						t.Fatalf("trial %d: %d exec errors", trial, errs)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("trial %d: result[%d] = %d, want %d", trial, i, got[i], want[i])
+						}
+					}
+					if parKV.Digest() != seqKV.Digest() {
+						t.Fatalf("trial %d: parallel digest diverged from sequential", trial)
+					}
+
+					// Precomputed-plan path (the replica's cross-shard
+					// route) must be equivalent too.
+					planKV := store.NewKV()
+					planKV.Preload(tc.s, tc.z, records)
+					plan := BuildPlan(txns, tc.s, tc.z)
+					got2, errs2 := New(workers).ExecutePlan(plan, func(i int) (types.Value, error) {
+						return planKV.ExecuteTxn(&txns[i], tc.s, tc.z, remote)
+					})
+					if errs2 != 0 {
+						t.Fatalf("trial %d: %d exec errors (planned)", trial, errs2)
+					}
+					for i := range want {
+						if got2[i] != want[i] {
+							t.Fatalf("trial %d: planned result[%d] = %d, want %d", trial, i, got2[i], want[i])
+						}
+					}
+					if planKV.Digest() != seqKV.Digest() {
+						t.Fatalf("trial %d: planned digest diverged from sequential", trial)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestExecuteBatchCountsErrors: failing transactions yield the sentinel 0
+// and are counted, in both the sequential and the parallel path.
+func TestExecuteBatchCountsErrors(t *testing.T) {
+	txns := randTxns(rand.New(rand.NewSource(5)), 40, 8, 1, 0)
+	errBoom := errors.New("boom")
+	for _, workers := range []int{0, 4} {
+		got, errs := New(workers).ExecuteBatch(txns, 0, 1, func(i int) (types.Value, error) {
+			if i%5 == 0 {
+				return 99, errBoom
+			}
+			return types.Value(i), nil
+		})
+		wantErrs := int64((len(txns) + 4) / 5)
+		if errs != wantErrs {
+			t.Fatalf("workers=%d: errs = %d, want %d", workers, errs, wantErrs)
+		}
+		for i, v := range got {
+			want := types.Value(i)
+			if i%5 == 0 {
+				want = 0
+			}
+			if v != want {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, want)
+			}
+		}
+	}
+}
+
+// TestSequentialFastPathZeroWorkers: worker counts <= 1 never spawn
+// goroutines and still produce correct results (smoke for the default
+// config path every seed test runs through).
+func TestSequentialFastPathZeroWorkers(t *testing.T) {
+	txns := randTxns(rand.New(rand.NewSource(9)), 30, 4, 1, 0)
+	kv := store.NewKV()
+	kv.Preload(0, 1, 64)
+	ref := store.NewKV()
+	ref.Preload(0, 1, 64)
+	got, errs := New(0).ExecuteBatch(txns, 0, 1, func(i int) (types.Value, error) {
+		return kv.ExecuteTxn(&txns[i], 0, 1, nil)
+	})
+	if errs != 0 {
+		t.Fatalf("errs = %d", errs)
+	}
+	for i := range txns {
+		want, err := ref.ExecuteTxn(&txns[i], 0, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("result[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+	if kv.Digest() != ref.Digest() {
+		t.Fatal("digest diverged")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"ringbft/internal/crypto"
 	"ringbft/internal/ledger"
 	"ringbft/internal/pbft"
+	"ringbft/internal/sched"
 	"ringbft/internal/store"
 	"ringbft/internal/types"
 )
@@ -55,6 +56,7 @@ type Replica struct {
 	tracker *pbft.CheckpointTracker
 	kv      *store.KV
 	chain   *ledger.Chain
+	exec    *sched.Executor
 
 	// Local execution pipeline: committed entries execute strictly in local
 	// sequence order; a cross-shard entry blocks until its global all-to-all
@@ -109,6 +111,7 @@ func New(opts Options) *Replica {
 		clock:    opts.Clock,
 		kv:       store.NewKV(),
 		chain:    ledger.NewChain(opts.Shard),
+		exec:     sched.New(opts.Config.ExecWorkers),
 		entries:  make(map[types.SeqNum]*entry),
 		global:   make(map[types.Digest]*globalState),
 		executed: make(map[types.Digest][]types.Value),
@@ -525,10 +528,9 @@ func (r *Replica) drainExec() {
 			continue
 		}
 		d := b.Digest()
-		results := make([]types.Value, len(b.Txns))
-		for i := range b.Txns {
-			results[i] = r.kv.ExecuteTxnPartial(&b.Txns[i], r.shard, r.cfg.Shards)
-		}
+		results, _ := r.exec.ExecuteBatch(b.Txns, r.shard, r.cfg.Shards, func(i int) (types.Value, error) {
+			return r.kv.ExecuteTxnPartial(&b.Txns[i], r.shard, r.cfg.Shards), nil
+		})
 		r.executed[d] = results
 		r.chain.Append(e.seq, r.engine.Primary(r.engine.View()), b)
 		if b.Initiator() == r.shard {

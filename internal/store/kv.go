@@ -11,49 +11,86 @@ import (
 	"ringbft/internal/types"
 )
 
-// KV is one shard's partition of the YCSB table. Safe for concurrent use,
-// though each replica's event loop is the only writer in practice.
-type KV struct {
+// kvStripeCount shards the table's lock space. Power of two so the stripe
+// index is a shift off a Fibonacci hash; 64 stripes keep contention
+// negligible for the scheduler's worker counts (≤ CPU cores) while Digest
+// still snapshots the full table by holding every stripe briefly.
+// kvStripeShift selects the top kvStripeBits bits of the hash; the
+// compile-time guard below keeps the three constants in lockstep when
+// tuning the stripe count.
+const (
+	kvStripeCount = 64
+	kvStripeBits  = 6
+	kvStripeShift = 64 - kvStripeBits
+)
+
+var _ [kvStripeCount - 1<<kvStripeBits]struct{} // 1<<kvStripeBits == kvStripeCount
+var _ [1<<kvStripeBits - kvStripeCount]struct{}
+
+type kvStripe struct {
 	mu   sync.RWMutex
 	data map[types.Key]types.Value
 }
 
+// KV is one shard's partition of the YCSB table. Locks are striped by key so
+// the dependency-aware batch executor (package sched) can run independent
+// transactions concurrently: readers and writers of different keys proceed
+// in parallel, and the scheduler guarantees concurrent transactions never
+// share a key, so per-key locking preserves sequential semantics.
+type KV struct {
+	stripes [kvStripeCount]kvStripe
+}
+
 // NewKV returns an empty table.
 func NewKV() *KV {
-	return &KV{data: make(map[types.Key]types.Value)}
+	kv := &KV{}
+	for i := range kv.stripes {
+		kv.stripes[i].data = make(map[types.Key]types.Value)
+	}
+	return kv
+}
+
+func (kv *KV) stripe(k types.Key) *kvStripe {
+	return &kv.stripes[(uint64(k)*0x9E3779B97F4A7C15)>>kvStripeShift]
 }
 
 // Preload installs n records owned by shard s in a system of z shards with
 // initial values equal to their key, mirroring the paper's identical YCSB
 // table initialization at every replica (Section 8, "Benchmark").
 func (kv *KV) Preload(s types.ShardID, z int, n int) {
-	kv.mu.Lock()
-	defer kv.mu.Unlock()
 	for i := 0; i < n; i++ {
 		k := types.Key(uint64(s) + uint64(i)*uint64(z))
-		kv.data[k] = types.Value(k)
+		kv.Set(k, types.Value(k))
 	}
 }
 
 // Get returns the value of k (zero if absent).
 func (kv *KV) Get(k types.Key) types.Value {
-	kv.mu.RLock()
-	defer kv.mu.RUnlock()
-	return kv.data[k]
+	st := kv.stripe(k)
+	st.mu.RLock()
+	v := st.data[k]
+	st.mu.RUnlock()
+	return v
 }
 
 // Set writes v at k.
 func (kv *KV) Set(k types.Key, v types.Value) {
-	kv.mu.Lock()
-	kv.data[k] = v
-	kv.mu.Unlock()
+	st := kv.stripe(k)
+	st.mu.Lock()
+	st.data[k] = v
+	st.mu.Unlock()
 }
 
 // Len returns the number of records.
 func (kv *KV) Len() int {
-	kv.mu.RLock()
-	defer kv.mu.RUnlock()
-	return len(kv.data)
+	n := 0
+	for i := range kv.stripes {
+		st := &kv.stripes[i]
+		st.mu.RLock()
+		n += len(st.data)
+		st.mu.RUnlock()
+	}
+	return n
 }
 
 // ExecuteTxn applies the shard-local fragment of t at shard s deterministically:
@@ -66,6 +103,9 @@ func (kv *KV) Len() int {
 // the combined operand, identical at every shard, so clients can match f+1
 // identical responses. Missing remote reads return an error — execution must
 // never guess at dependency values (determinism requirement, Section 3).
+//
+// Writes lock one stripe per key: safe under the sched executor, which only
+// runs transactions with disjoint local read/write sets concurrently.
 func (kv *KV) ExecuteTxn(t *types.Txn, s types.ShardID, z int, remote map[types.Key]types.Value) (types.Value, error) {
 	combined := t.Delta
 	for _, k := range t.Reads {
@@ -79,14 +119,20 @@ func (kv *KV) ExecuteTxn(t *types.Txn, s types.ShardID, z int, remote map[types.
 			combined += v
 		}
 	}
-	kv.mu.Lock()
-	for _, k := range t.Writes {
-		if types.OwnerShard(k, z) == s {
-			kv.data[k] += combined
-		}
-	}
-	kv.mu.Unlock()
+	kv.applyWrites(t, s, z, combined)
 	return combined, nil
+}
+
+func (kv *KV) applyWrites(t *types.Txn, s types.ShardID, z int, combined types.Value) {
+	for _, k := range t.Writes {
+		if types.OwnerShard(k, z) != s {
+			continue
+		}
+		st := kv.stripe(k)
+		st.mu.Lock()
+		st.data[k] += combined
+		st.mu.Unlock()
+	}
 }
 
 // ReadLocal returns the current values of the reads of t owned by shard s,
@@ -107,13 +153,26 @@ func (kv *KV) ReadLocal(t *types.Txn, s types.ShardID, z int) ([]types.Key, []ty
 // fold is a commutative accumulation (sum of key*value mixes) so it is
 // order-independent and cheap; collisions are irrelevant for the simulated
 // checkpoint agreement, which compares honest replicas' identical states.
+// All stripes are read-locked for the duration, which keeps the fold from
+// racing individual writes — but a multi-key transaction releases each
+// write stripe as it goes, so callers must not run Digest concurrently
+// with batch execution (every replica calls it from its event loop, after
+// the executor's layers have joined).
 func (kv *KV) Digest() types.Digest {
-	kv.mu.RLock()
-	defer kv.mu.RUnlock()
+	for i := range kv.stripes {
+		kv.stripes[i].mu.RLock()
+	}
+	defer func() {
+		for i := range kv.stripes {
+			kv.stripes[i].mu.RUnlock()
+		}
+	}()
 	var acc [4]uint64
-	for k, v := range kv.data {
-		x := uint64(k)*0x9E3779B97F4A7C15 ^ uint64(v)*0xC2B2AE3D27D4EB4F
-		acc[k%4] += x
+	for i := range kv.stripes {
+		for k, v := range kv.stripes[i].data {
+			x := uint64(k)*0x9E3779B97F4A7C15 ^ uint64(v)*0xC2B2AE3D27D4EB4F
+			acc[k%4] += x
+		}
 	}
 	var d types.Digest
 	for i, a := range acc {
@@ -137,12 +196,6 @@ func (kv *KV) ExecuteTxnPartial(t *types.Txn, s types.ShardID, z int) types.Valu
 			combined += kv.Get(k)
 		}
 	}
-	kv.mu.Lock()
-	for _, k := range t.Writes {
-		if types.OwnerShard(k, z) == s {
-			kv.data[k] += combined
-		}
-	}
-	kv.mu.Unlock()
+	kv.applyWrites(t, s, z, combined)
 	return combined
 }

@@ -10,6 +10,14 @@ type Config struct {
 
 	BatchSize int // transactions per consensus batch (paper default 100)
 
+	// ExecWorkers is the worker-pool size of the dependency-aware batch
+	// executor (package sched): committed batches are layered by conflicts
+	// between read/write sets and each layer's independent transactions run
+	// concurrently. 0 or 1 selects the sequential fast path. Results and
+	// state digests are identical either way, so replicas of one shard may
+	// even mix settings.
+	ExecWorkers int
+
 	// CheckpointInterval is the number of sequence numbers between
 	// checkpoint broadcasts (attack A3: replicas in dark catch up).
 	CheckpointInterval SeqNum

@@ -104,6 +104,7 @@ var (
 	Fig10                 = harness.Fig10
 	AblationLinearForward = harness.AblationLinearForward
 	AblationCrypto        = harness.AblationCrypto
+	AblationExecWorkers   = harness.AblationExecWorkers
 )
 
 // ClusterConfig shapes an embedded RingBFT deployment.
@@ -111,6 +112,13 @@ type ClusterConfig struct {
 	Shards           int // number of shards (ring length); default 3
 	ReplicasPerShard int // n per shard, n >= 3f+1; default 4
 	Records          int // records preloaded per shard; default 4096
+
+	// ExecWorkers enables the dependency-aware parallel batch executor on
+	// every replica (internal/sched): committed batches are layered by
+	// read/write-set conflicts and independent transactions run
+	// concurrently, with results identical to sequential execution.
+	// 0 or 1 = sequential.
+	ExecWorkers int
 
 	// LatencyScale > 0 runs over the 15-region WAN model compressed by the
 	// given factor; 0 uses a uniform sub-millisecond LAN latency.
@@ -158,6 +166,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg.SubmitTimeout = 10 * time.Second
 	}
 	tcfg := types.DefaultConfig(cfg.Shards, cfg.ReplicasPerShard)
+	tcfg.ExecWorkers = cfg.ExecWorkers
 	// Embedded clusters serve interactive Submits: rebroadcast quickly when
 	// the contacted replica is silent (e.g. a crashed primary) so recovery
 	// latency is dominated by the view change, not the client timer.
