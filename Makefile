@@ -1,10 +1,13 @@
-# Tier-1 verify is `make verify` (build + vet + test). `make bench` runs the
-# micro-benchmarks, including the internal/sched executor comparison whose
-# reference numbers live in internal/sched/bench_baseline.json.
+# Tier-1 verify is `make verify` (build + vet + test + race-checked crypto
+# and pbft, whose pooled/cached fast paths are the concurrency-sensitive
+# code). `make bench` runs the micro-benchmarks; `make bench-crypto` runs
+# just the authentication fast-path benchmarks whose reference numbers live
+# in internal/crypto/bench_baseline.json (the sched executor baseline is in
+# internal/sched/bench_baseline.json).
 
 GO ?= go
 
-.PHONY: build test vet bench verify
+.PHONY: build test vet bench bench-crypto race-crypto verify
 
 build:
 	$(GO) build ./...
@@ -19,4 +22,11 @@ bench:
 	$(GO) test -run XXX -bench . -benchtime 300ms ./internal/sched/ ./internal/store/
 	$(GO) test -run XXX -bench . -benchtime 200ms ./internal/pbft/ ./internal/crypto/ ./internal/ledger/ ./internal/workload/
 
-verify: build vet test
+bench-crypto:
+	$(GO) test -run XXX -bench 'BenchmarkMAC|BenchmarkAppendMAC|BenchmarkVerifyMAC|BenchmarkSign|BenchmarkVerifySignature|BenchmarkSignVerify' -benchmem -benchtime 200ms ./internal/crypto/
+	$(GO) test -run XXX -bench 'BenchmarkVerifyCert|BenchmarkVerifyCommitCert' -benchmem -benchtime 200ms ./internal/pbft/
+
+race-crypto:
+	$(GO) test -race ./internal/crypto/... ./internal/pbft/...
+
+verify: build vet test race-crypto

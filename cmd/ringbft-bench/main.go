@@ -35,6 +35,7 @@ func main() {
 		involved = flag.Int("involved", 0, "custom: involved shards per cst (0 = all)")
 		batch    = flag.Int("batch", 50, "custom: batch size")
 		workers  = flag.Int("execworkers", 0, "custom: parallel execution workers per replica (0 = sequential)")
+		vworkers = flag.Int("verifyworkers", 0, "custom: batched signature-verification workers per replica (0 = serial)")
 		clients  = flag.Int("clients", 8, "custom: concurrent clients")
 		duration = flag.Duration("duration", time.Second, "custom: measurement window")
 		latScale = flag.Float64("latscale", 0.05, "custom: WAN latency compression factor")
@@ -75,6 +76,7 @@ func main() {
 			InvolvedShards:   *involved,
 			BatchSize:        *batch,
 			ExecWorkers:      *workers,
+			VerifyWorkers:    *vworkers,
 			Clients:          *clients,
 			Duration:         *duration,
 			LatencyScale:     *latScale,

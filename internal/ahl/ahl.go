@@ -82,6 +82,7 @@ type Committee struct {
 	peers      []types.NodeID
 	shardPeers [][]types.NodeID
 	auth       crypto.Authenticator
+	verifier   *crypto.Verifier
 	send       Sender
 	clock      func() time.Time
 
@@ -118,12 +119,14 @@ func NewCommittee(opts CommitteeOptions) *Committee {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
+	verifier := crypto.NewVerifier(opts.Auth, opts.Config.VerifyWorkers)
 	c := &Committee{
 		cfg:        opts.Config,
 		self:       opts.Self,
 		peers:      opts.Peers,
 		shardPeers: opts.ShardPeers,
 		auth:       opts.Auth,
+		verifier:   verifier,
 		send:       opts.Send,
 		clock:      opts.Clock,
 		csts:       make(map[types.Digest]*committeeCst),
@@ -138,7 +141,7 @@ func NewCommittee(opts CommitteeOptions) *Committee {
 			c.viewChanges++
 			c.repropose()
 		},
-	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout})
+	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier})
 	return c
 }
 
@@ -335,7 +338,7 @@ func (c *Committee) onCommitted(seq types.SeqNum, batch *types.Batch, cert []typ
 // broadcastToShards signs m and sends it to every replica of every shard
 // involved in b.
 func (c *Committee) broadcastToShards(b *types.Batch, m *types.Message) {
-	m.Sig = c.auth.Sign(m.SigBytes())
+	m.Sig = crypto.SignMessage(c.auth, m)
 	for _, s := range b.Involved {
 		if int(s) < 0 || int(s) >= len(c.shardPeers) {
 			continue
@@ -351,7 +354,7 @@ func (c *Committee) onVote(m *types.Message) {
 	if m.From.Kind != types.KindReplica {
 		return
 	}
-	if c.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+	if crypto.VerifyMessageSig(c.auth, m) != nil {
 		return
 	}
 	cst, ok := c.csts[m.Digest]

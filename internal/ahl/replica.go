@@ -35,6 +35,7 @@ type Replica struct {
 	peers     []types.NodeID
 	committee []types.NodeID
 	auth      crypto.Authenticator
+	verifier  *crypto.Verifier
 	send      Sender
 	clock     func() time.Time
 
@@ -77,6 +78,7 @@ func NewReplica(opts ReplicaOptions) *Replica {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
+	verifier := crypto.NewVerifier(opts.Auth, opts.Config.VerifyWorkers)
 	r := &Replica{
 		cfg:       opts.Config,
 		shard:     opts.Shard,
@@ -84,6 +86,7 @@ func NewReplica(opts ReplicaOptions) *Replica {
 		peers:     opts.Peers,
 		committee: opts.Committee,
 		auth:      opts.Auth,
+		verifier:  verifier,
 		send:      opts.Send,
 		clock:     opts.Clock,
 		kv:        store.NewKV(),
@@ -103,7 +106,7 @@ func NewReplica(opts ReplicaOptions) *Replica {
 			r.viewChanges++
 			r.repropose()
 		},
-	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout})
+	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier})
 	return r
 }
 
@@ -289,10 +292,10 @@ func (r *Replica) onPrepare(m *types.Message) {
 	if d != m.Digest || m.From.Kind != types.KindCommittee {
 		return
 	}
-	if r.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+	if crypto.VerifyMessageSig(r.auth, m) != nil {
 		return
 	}
-	if err := pbft.VerifyCert(r.auth, types.CommitteeShard, d, m.Cert, r.cfg.NF()); err != nil {
+	if err := pbft.VerifyCert(r.verifier, types.CommitteeShard, d, m.Cert, r.cfg.NF()); err != nil {
 		return
 	}
 	cs := r.cst(d)
@@ -321,7 +324,7 @@ func (r *Replica) resendVote(cs *replicaCst, d types.Digest) {
 		Type: types.MsgAHLVote, From: r.self, Shard: r.shard,
 		Digest: d, Decision: true,
 	}
-	vote.Sig = r.auth.Sign(vote.SigBytes())
+	vote.Sig = crypto.SignMessage(r.auth, vote)
 	for _, to := range r.committee {
 		r.send(to, vote)
 	}
@@ -347,7 +350,7 @@ func (r *Replica) onCommitted(seq types.SeqNum, batch *types.Batch, _ []types.Si
 				Type: types.MsgAHLVote, From: r.self, Shard: r.shard,
 				Digest: d, Decision: true,
 			}
-			vote.Sig = r.auth.Sign(vote.SigBytes())
+			vote.Sig = crypto.SignMessage(r.auth, vote)
 			for _, to := range r.committee {
 				r.send(to, vote)
 			}
@@ -362,7 +365,7 @@ func (r *Replica) onDecision(m *types.Message) {
 	if m.From.Kind != types.KindCommittee {
 		return
 	}
-	if r.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+	if crypto.VerifyMessageSig(r.auth, m) != nil {
 		return
 	}
 	cs := r.cst(m.Digest)
@@ -412,6 +415,6 @@ func (r *Replica) respond(client types.NodeID, d types.Digest, results []types.V
 		Type: types.MsgResponse, From: r.self, Shard: r.shard,
 		View: r.engine.View(), Digest: d, Results: results,
 	}
-	m.MAC = r.auth.MAC(client, m.SigBytes())
+	m.MAC = crypto.MACMessage(r.auth, client, m)
 	r.send(client, m)
 }

@@ -1,0 +1,275 @@
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ringbft/internal/types"
+)
+
+// TestMACMatchesReferenceHMAC pins the cached-key/pooled-state fast path to
+// the textbook construction: the tag must equal stdlib HMAC-SHA256 over the
+// derived pairwise key, truncated to MACSize — for registered peers (cached
+// key schedule) and unregistered ones (throwaway schedule) alike.
+func TestMACMatchesReferenceHMAC(t *testing.T) {
+	ra, _, a, b := twoRings(t)
+	client := types.ClientNode(7) // never registered
+	for _, peer := range []types.NodeID{b, client} {
+		for _, size := range []int{0, 1, 63, 64, 65, 128, 4096} {
+			msg := make([]byte, size)
+			for i := range msg {
+				msg[i] = byte(i * 7)
+			}
+			ref := hmac.New(sha256.New, ra.pairKey(a, peer))
+			ref.Write(msg)
+			want := ref.Sum(nil)[:MACSize]
+			for round := 0; round < 2; round++ { // round 2 exercises the cache
+				got := ra.MAC(peer, msg)
+				if !hmac.Equal(got, want) {
+					t.Fatalf("peer %v size %d round %d: fast-path MAC diverges from reference HMAC", peer, size, round)
+				}
+			}
+		}
+	}
+	// Unregistered peers must not grow the cache.
+	if _, cached := ra.macStates.Load(client); cached {
+		t.Fatal("client key schedule cached: unbounded growth on long-lived replicas")
+	}
+	if _, cached := ra.macStates.Load(b); !cached {
+		t.Fatal("registered peer key schedule not cached")
+	}
+}
+
+// TestMACTamperTable flips bytes in every region of message and tag and
+// asserts the cached-key, pooled-state verifier rejects each one.
+func TestMACTamperTable(t *testing.T) {
+	ra, rb, a, b := twoRings(t)
+	msg := []byte("forward the batch with the commit certificate A")
+	tag := ra.MAC(b, msg)
+	if err := rb.VerifyMAC(a, msg, tag); err != nil {
+		t.Fatalf("valid MAC rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(msg, tag []byte) ([]byte, []byte)
+	}{
+		{"flip first msg byte", func(m, g []byte) ([]byte, []byte) { m[0] ^= 1; return m, g }},
+		{"flip middle msg byte", func(m, g []byte) ([]byte, []byte) { m[len(m)/2] ^= 0x80; return m, g }},
+		{"flip last msg byte", func(m, g []byte) ([]byte, []byte) { m[len(m)-1] ^= 1; return m, g }},
+		{"truncate msg", func(m, g []byte) ([]byte, []byte) { return m[:len(m)-1], g }},
+		{"extend msg", func(m, g []byte) ([]byte, []byte) { return append(m, 0), g }},
+		{"flip first tag byte", func(m, g []byte) ([]byte, []byte) { g[0] ^= 1; return m, g }},
+		{"flip last tag byte", func(m, g []byte) ([]byte, []byte) { g[len(g)-1] ^= 1; return m, g }},
+		{"truncate tag", func(m, g []byte) ([]byte, []byte) { return m, g[:MACSize-1] }},
+		{"empty tag", func(m, g []byte) ([]byte, []byte) { return m, nil }},
+		{"wrong peer key", func(m, g []byte) ([]byte, []byte) { return m, ra.MAC(types.ReplicaNode(0, 0), m) }},
+	}
+	for _, tc := range cases {
+		m := append([]byte(nil), msg...)
+		g := append([]byte(nil), tag...)
+		m2, g2 := tc.mutate(m, g)
+		if err := rb.VerifyMAC(a, m2, g2); err == nil {
+			t.Errorf("%s: tampered MAC accepted", tc.name)
+		}
+	}
+}
+
+// TestMACPooledStateConcurrency hammers one ring from many goroutines so a
+// leaked or cross-contaminated pooled SHA-256 state would surface (also
+// meaningful under -race).
+func TestMACPooledStateConcurrency(t *testing.T) {
+	ra, rb, a, b := twoRings(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				msg := []byte(fmt.Sprintf("goroutine %d message %d", g, i))
+				if err := rb.VerifyMAC(a, msg, ra.MAC(b, msg)); err != nil {
+					errs <- fmt.Errorf("valid MAC rejected under concurrency: %w", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendMACAppends checks the zero-alloc variant extends dst in place.
+func TestAppendMACAppends(t *testing.T) {
+	ra, _, _, b := twoRings(t)
+	msg := []byte("append")
+	dst := []byte{0xAA, 0xBB}
+	out := ra.AppendMAC(dst, b, msg)
+	if len(out) != 2+MACSize || out[0] != 0xAA || out[1] != 0xBB {
+		t.Fatalf("AppendMAC mangled dst prefix: %x", out)
+	}
+	if !hmac.Equal(out[2:], ra.MAC(b, msg)) {
+		t.Fatal("AppendMAC tag differs from MAC")
+	}
+}
+
+// TestKeygenRingSharesPubs: rings share one public-key map (the O(n²) copy
+// fix) and the keygen seals against late registration.
+func TestKeygenRingSharesPubs(t *testing.T) {
+	kg := NewKeygen(5)
+	a, b := types.ReplicaNode(0, 0), types.ReplicaNode(0, 1)
+	kg.Register(a)
+	kg.Register(b)
+	ra, _ := kg.Ring(a)
+	rb, _ := kg.Ring(b)
+	// Same backing map, not copies.
+	if fmt.Sprintf("%p", ra.pubs) != fmt.Sprintf("%p", rb.pubs) {
+		t.Fatal("Ring still copies the public-key map per ring (O(n²) memory)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register after Ring did not panic; shared map would race")
+		}
+	}()
+	kg.Register(types.ReplicaNode(0, 2))
+}
+
+func signedCommit(t testing.TB, kg *Keygen, from types.NodeID, shard types.ShardID, v types.View, seq types.SeqNum, d types.Digest) types.Signed {
+	t.Helper()
+	ring, err := kg.Ring(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := types.Signed{From: from, Type: types.MsgCommit, Shard: shard, View: v, Seq: seq, Digest: d}
+	s.Sig = ring.Sign(s.SigBytes())
+	return s
+}
+
+func benchVerifierSetup(t testing.TB, n int) (*Keygen, *Verifier, []types.Signed, types.Digest) {
+	kg := NewKeygen(21)
+	ids := make([]types.NodeID, n)
+	for i := range ids {
+		ids[i] = types.ReplicaNode(0, i)
+		kg.Register(ids[i])
+	}
+	d := types.Digest{9, 9, 9}
+	cert := make([]types.Signed, n)
+	for i, id := range ids {
+		cert[i] = signedCommit(t, kg, id, 0, 1, 7, d)
+	}
+	ring, err := kg.Ring(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kg, NewVerifier(ring, 4), cert, d
+}
+
+// TestVerifyQuorumSerialParallelEquivalent: the worker pool must agree with
+// serial verification on every mix of valid and tampered signatures.
+func TestVerifyQuorumSerialParallelEquivalent(t *testing.T) {
+	_, v, cert, _ := benchVerifierSetup(t, 7)
+	serial := NewVerifier(v.Authenticator, 0)
+	for tamper := 0; tamper < 1<<7; tamper++ {
+		entries := make([]*types.Signed, len(cert))
+		local := make([]types.Signed, len(cert))
+		want := 0
+		for i := range cert {
+			local[i] = cert[i]
+			if tamper&(1<<i) != 0 {
+				local[i].Sig = append([]byte(nil), cert[i].Sig...)
+				local[i].Sig[0] ^= 1
+			} else {
+				want++
+			}
+			entries[i] = &local[i]
+		}
+		// quorum above n so neither path can early-exit: full counts match.
+		if got := v.VerifyQuorum(entries, len(cert)+1); got != want {
+			t.Fatalf("parallel mask %07b: got %d valid, want %d", tamper, got, want)
+		}
+		if got := serial.VerifyQuorum(entries, len(cert)+1); got != want {
+			t.Fatalf("serial mask %07b: got %d valid, want %d", tamper, got, want)
+		}
+	}
+}
+
+// TestCertCacheKeyCoversContent: any byte of the certificate — tuple fields,
+// signature bytes, entry order, expected digest, quorum — must change the
+// cache key. This is the property that makes caching sound.
+func TestCertCacheKeyCoversContent(t *testing.T) {
+	_, _, cert, d := benchVerifierSetup(t, 4)
+	base := CertCacheKey(0, d, 3, cert)
+	mutations := []struct {
+		name string
+		key  func() CertKey
+	}{
+		{"different shard", func() CertKey { return CertCacheKey(1, d, 3, cert) }},
+		{"different digest", func() CertKey { return CertCacheKey(0, types.Digest{1}, 3, cert) }},
+		{"different quorum", func() CertKey { return CertCacheKey(0, d, 4, cert) }},
+		{"truncated cert", func() CertKey { return CertCacheKey(0, d, 3, cert[:3]) }},
+		{"flipped sig bit", func() CertKey {
+			c := append([]types.Signed(nil), cert...)
+			c[2].Sig = append([]byte(nil), c[2].Sig...)
+			c[2].Sig[10] ^= 1
+			return CertCacheKey(0, d, 3, c)
+		}},
+		{"different sender", func() CertKey {
+			c := append([]types.Signed(nil), cert...)
+			c[1].From = types.ReplicaNode(0, 9)
+			return CertCacheKey(0, d, 3, c)
+		}},
+		{"different view", func() CertKey {
+			c := append([]types.Signed(nil), cert...)
+			c[0].View++
+			return CertCacheKey(0, d, 3, c)
+		}},
+		{"reordered entries", func() CertKey {
+			c := append([]types.Signed(nil), cert...)
+			c[0], c[1] = c[1], c[0]
+			return CertCacheKey(0, d, 3, c)
+		}},
+	}
+	for _, m := range mutations {
+		if m.key() == base {
+			t.Errorf("%s: cache key collision — cache poisoning possible", m.name)
+		}
+	}
+	if CertCacheKey(0, d, 3, cert) != base {
+		t.Fatal("cache key not deterministic")
+	}
+}
+
+// TestCertCacheBoundedAndSuccessOnly: the cache evicts FIFO at capacity and
+// only records what MarkCertVerified was called for.
+func TestCertCacheBoundedAndSuccessOnly(t *testing.T) {
+	_, v, cert, d := benchVerifierSetup(t, 4)
+	v.SetCertCacheSize(2)
+	k1 := CertCacheKey(0, d, 3, cert)
+	k2 := CertCacheKey(0, d, 4, cert)
+	k3 := CertCacheKey(1, d, 3, cert)
+	if v.CertVerified(k1) {
+		t.Fatal("empty cache reported a hit")
+	}
+	v.MarkCertVerified(k1)
+	v.MarkCertVerified(k2)
+	if !v.CertVerified(k1) || !v.CertVerified(k2) {
+		t.Fatal("cached keys missing")
+	}
+	v.MarkCertVerified(k3) // evicts k1
+	if v.CertVerified(k1) {
+		t.Fatal("FIFO eviction did not evict the oldest entry")
+	}
+	if !v.CertVerified(k2) || !v.CertVerified(k3) {
+		t.Fatal("eviction removed the wrong entry")
+	}
+	v.SetCertCacheSize(0)
+	v.MarkCertVerified(k1)
+	if v.CertVerified(k1) {
+		t.Fatal("disabled cache stored an entry")
+	}
+}

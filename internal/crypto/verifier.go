@@ -1,0 +1,229 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"ringbft/internal/types"
+)
+
+// DefaultCertCacheSize bounds the verified-certificate cache of a Verifier.
+// A commit certificate is re-checked at most a handful of times per replica
+// (re-delivery on lossy links, local re-share, ring retransmission), all
+// within a short window, so a few thousand entries cover the working set.
+const DefaultCertCacheSize = 4096
+
+// Verifier wraps an Authenticator with the crypto fast path for certificate
+// checking (Section 3: authentication dominates replica CPU):
+//
+//   - a bounded worker pool that verifies the nf Ed25519 signatures of a
+//     commit certificate or new-view justification concurrently
+//     (VerifyWorkers knob; 0 or 1 = serial), and
+//   - a bounded cache of certificate keys that already verified, so a
+//     certificate re-delivered within a shard or re-checked during ring
+//     rotation is verified once.
+//
+// Accept/reject decisions are identical to serial per-signature
+// verification. Only successes are cached, and the cache key covers the
+// full certificate content, so a tampered re-delivery can never alias a
+// cached success. Safe for concurrent use.
+type Verifier struct {
+	Authenticator
+	workers int
+	sem     chan struct{} // bounds in-flight verification workers
+
+	mu    sync.Mutex
+	cache map[CertKey]struct{}
+	fifo  []CertKey // eviction ring, same capacity as cache
+	next  int
+	hits  uint64
+	size  int
+}
+
+// NewVerifier wraps auth with a batch verifier of the given worker-pool
+// size (0 or 1 = serial) and the default verified-certificate cache.
+func NewVerifier(auth Authenticator, workers int) *Verifier {
+	if workers < 0 {
+		workers = 0
+	}
+	v := &Verifier{Authenticator: auth, workers: workers}
+	if workers > 1 {
+		v.sem = make(chan struct{}, workers)
+	}
+	if _, nop := auth.(NopAuth); nop {
+		// Verification is free under NopAuth (crypto ablations): hashing
+		// certificates for the cache would only add cost.
+		v.SetCertCacheSize(0)
+	} else {
+		v.SetCertCacheSize(DefaultCertCacheSize)
+	}
+	return v
+}
+
+// CertCacheEnabled reports whether the verified-certificate cache is active;
+// callers skip computing cache keys entirely when it is not.
+func (v *Verifier) CertCacheEnabled() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.size > 0
+}
+
+// SetCertCacheSize resizes (and clears) the verified-certificate cache;
+// 0 disables caching. Storage is allocated lazily on the first insert, so
+// replicas that never verify certificates (single-shard baselines) pay
+// nothing for the default capacity.
+func (v *Verifier) SetCertCacheSize(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.size = n
+	v.next = 0
+	v.cache, v.fifo = nil, nil
+}
+
+// CertCacheHits returns the number of cache hits served (for tests and
+// instrumentation).
+func (v *Verifier) CertCacheHits() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.hits
+}
+
+// CertKey identifies one fully-verified certificate: the consensus slot it
+// certifies plus a SHA-256 over the complete certificate content (every
+// entry's tuple and signature bytes, the expected digest, and the quorum it
+// was checked against). Two certificates that differ in any byte — or that
+// were checked under different requirements — can never share a key.
+type CertKey struct {
+	Shard types.ShardID
+	View  types.View
+	Seq   types.SeqNum
+	Sum   [sha256.Size]byte
+}
+
+// CertCacheKey computes the cache key for a certificate checked as "quorum
+// valid signatures from shard over digest". Entry fields are
+// length-delimited so no two distinct certificates serialize identically.
+func CertCacheKey(shard types.ShardID, digest types.Digest, quorum int, cert []types.Signed) CertKey {
+	s := macPool.Get().(*macScratch)
+	h := s.h
+	h.Reset()
+	var tmp [8]byte
+	put := func(x uint64) {
+		binary.BigEndian.PutUint64(tmp[:], x)
+		h.Write(tmp[:])
+	}
+	put(uint64(shard))
+	h.Write(digest[:])
+	put(uint64(quorum))
+	put(uint64(len(cert)))
+	var sb [types.SigBytesLen]byte
+	for i := range cert {
+		e := &cert[i]
+		buf := e.AppendSigBytes(sb[:0])
+		h.Write(buf)
+		put(uint64(len(e.Sig)))
+		h.Write(e.Sig)
+	}
+	key := CertKey{Shard: shard}
+	if len(cert) > 0 {
+		key.View, key.Seq = cert[0].View, cert[0].Seq
+	}
+	h.Sum(key.Sum[:0])
+	h.Reset()
+	macPool.Put(s)
+	return key
+}
+
+// CertVerified reports whether the certificate identified by key already
+// verified on this node.
+func (v *Verifier) CertVerified(key CertKey) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	_, ok := v.cache[key]
+	if ok {
+		v.hits++
+	}
+	return ok
+}
+
+// MarkCertVerified records a successful full verification of key. Failures
+// are never recorded: a certificate that fails is simply re-verified if it
+// shows up again.
+func (v *Verifier) MarkCertVerified(key CertKey) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.size <= 0 {
+		return
+	}
+	if v.cache == nil {
+		v.cache = make(map[CertKey]struct{}, v.size)
+		v.fifo = make([]CertKey, 0, v.size)
+	}
+	if _, dup := v.cache[key]; dup {
+		return
+	}
+	if len(v.fifo) < v.size {
+		v.fifo = append(v.fifo, key)
+	} else {
+		delete(v.cache, v.fifo[v.next])
+		v.fifo[v.next] = key
+		v.next = (v.next + 1) % v.size
+	}
+	v.cache[key] = struct{}{}
+}
+
+// VerifyQuorum checks the signatures of entries and returns how many are
+// valid, early-exiting at quorum. Callers are responsible for structural
+// checks (tuple consistency, sender dedup, membership); this routine only
+// spends the Ed25519 work — serially, or on the worker pool when both the
+// pool and the batch are big enough to pay for the goroutine handoff.
+func (v *Verifier) VerifyQuorum(entries []*types.Signed, quorum int) int {
+	if v.workers <= 1 || len(entries) < 2 {
+		valid := 0
+		var sb [types.SigBytesLen]byte
+		for _, e := range entries {
+			if v.Verify(e.From, e.AppendSigBytes(sb[:0]), e.Sig) == nil {
+				valid++
+				if valid >= quorum {
+					break
+				}
+			}
+		}
+		return valid
+	}
+	workers := v.workers
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	var (
+		wg    sync.WaitGroup
+		next  atomic.Int64
+		valid atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		v.sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer func() { <-v.sem; wg.Done() }()
+			var sb [types.SigBytesLen]byte
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(entries) || valid.Load() >= int64(quorum) {
+					return
+				}
+				e := entries[i]
+				if v.Verify(e.From, e.AppendSigBytes(sb[:0]), e.Sig) == nil {
+					valid.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n := int(valid.Load())
+	if n > len(entries) {
+		n = len(entries)
+	}
+	return n
+}

@@ -381,20 +381,25 @@ func AblationExecWorkers(p Profile) (Figure, error) {
 	return fig, nil
 }
 
-// AblationCrypto compares the paper's MAC+DS mix against signatures-off
-// (NopAuth) to isolate authentication cost (DESIGN.md §5).
+// AblationCrypto isolates authentication cost (DESIGN.md §5) across three
+// settings: the paper's MAC+DS mix verified serially, the same mix on the
+// crypto fast path (cached MAC keys are always on; VerifyWorkers adds the
+// batched certificate verifier pool), and signatures off entirely (NopAuth,
+// the theoretical ceiling).
 func AblationCrypto(p Profile) (Figure, error) {
-	fig := Figure{ID: "ablation-crypto", Title: "Crypto mix: MAC+DS vs none", XLabel: "shards"}
+	fig := Figure{ID: "ablation-crypto", Title: "Crypto mix: serial vs fast path vs none", XLabel: "shards"}
 	for _, v := range []struct {
-		label string
-		off   bool
-	}{{"mac+ds", false}, {"nocrypto", true}} {
+		label   string
+		off     bool
+		workers int
+	}{{"mac+ds serial", false, 0}, {"mac+ds fastpath", false, 4}, {"nocrypto", true, 0}} {
 		pts, err := sweep(p.BaseConfig(), p.ShardSweep, func(c *Config, z int) {
 			c.Protocol = ProtoRingBFT
 			c.Shards = z
 			c.InvolvedShards = z
 			c.CrossShardPct = 0.3
 			c.NoCrypto = v.off
+			c.VerifyWorkers = v.workers
 		})
 		if err != nil {
 			return fig, err

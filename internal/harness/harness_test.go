@@ -63,6 +63,37 @@ func TestParallelExecutionAllProtocols(t *testing.T) {
 	}
 }
 
+// TestVerifyFastPathAllProtocols runs every sharded protocol with the
+// batched/cached certificate verifier enabled end-to-end: cross-shard
+// traffic (whose Forward certificates exercise VerifyCert) must still
+// commit. Accept/reject equivalence with serial verification is proven
+// deterministically by internal/ringbft's
+// TestPropertyVerifyFastPathEquivalence; this test covers the real
+// concurrent stack.
+func TestVerifyFastPathAllProtocols(t *testing.T) {
+	for _, p := range []Protocol{ProtoRingBFT, ProtoSharper, ProtoAHL} {
+		res, err := Run(Config{
+			Protocol:         p,
+			Shards:           3,
+			ReplicasPerShard: 4,
+			BatchSize:        10,
+			VerifyWorkers:    4,
+			CrossShardPct:    0.5,
+			InvolvedShards:   3,
+			Clients:          4,
+			ClientWindow:     2,
+			Warmup:           150 * time.Millisecond,
+			Duration:         400 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("%s with VerifyWorkers: %v", p, err)
+		}
+		if res.Txns == 0 {
+			t.Fatalf("%s with VerifyWorkers committed nothing: %+v", p, res)
+		}
+	}
+}
+
 func TestRingBFTCrossShardThroughput(t *testing.T) {
 	res := smoke(t, ProtoRingBFT, 1.0)
 	if res.Txns == 0 {

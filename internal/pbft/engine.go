@@ -53,14 +53,15 @@ type entry struct {
 // concurrent use: exactly one goroutine (the replica event loop) may call
 // its methods.
 type Engine struct {
-	shard types.ShardID
-	self  types.NodeID
-	peers []types.NodeID // all replicas of the shard, index i = replica i
-	n, f  int
-	nf    int
-	auth  crypto.Authenticator
-	cb    Callbacks
-	now   func() time.Time
+	shard    types.ShardID
+	self     types.NodeID
+	peers    []types.NodeID // all replicas of the shard, index i = replica i
+	n, f     int
+	nf       int
+	auth     crypto.Authenticator
+	verifier *crypto.Verifier
+	cb       Callbacks
+	now      func() time.Time
 
 	view    types.View
 	nextSeq types.SeqNum
@@ -90,6 +91,10 @@ type Options struct {
 	Window      types.SeqNum  // log watermark window (default 512)
 	ViewTimeout time.Duration // new-view escalation timeout (default 250ms)
 	Clock       func() time.Time
+	// Verifier is the host's batched signature verifier; sharing the host's
+	// instance shares its worker pool and verified-certificate cache. Nil
+	// constructs a private serial verifier.
+	Verifier *crypto.Verifier
 }
 
 // New creates an engine for replica self of a shard whose members are peers
@@ -104,16 +109,26 @@ func New(shard types.ShardID, self types.NodeID, peers []types.NodeID, auth cryp
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
+	if opts.Verifier == nil {
+		opts.Verifier = crypto.NewVerifier(auth, 0)
+	} else if opts.Verifier.Authenticator != auth {
+		// Certificate checks and per-message checks must share key material;
+		// a verifier wrapping different keys would split-brain the engine.
+		panic("pbft: Options.Verifier wraps a different Authenticator than auth")
+	}
 	n := len(peers)
 	f := (n - 1) / 3
 	return &Engine{
-		shard:       shard,
-		self:        self,
-		peers:       peers,
-		n:           n,
-		f:           f,
-		nf:          n - f,
-		auth:        auth,
+		shard: shard,
+		self:  self,
+		peers: peers,
+		n:     n,
+		f:     f,
+		nf:    n - f,
+		// auth comes from the verifier so certificate checks and per-message
+		// checks can never disagree on key material.
+		auth:        opts.Verifier.Authenticator,
+		verifier:    opts.Verifier,
 		cb:          cb,
 		now:         opts.Clock,
 		nextSeq:     1,
@@ -217,14 +232,18 @@ func (e *Engine) Propose(batch *types.Batch) (types.SeqNum, error) {
 }
 
 // broadcastMAC sends a per-recipient MAC'd copy of m to every peer except
-// self (the MAC authenticator vector of PBFT).
+// self (the MAC authenticator vector of PBFT). The canonical bytes are the
+// same for every recipient — only the pairwise key differs — so they are
+// built once for the whole broadcast.
 func (e *Engine) broadcastMAC(m *types.Message) {
+	var buf [types.SigBytesLen]byte
+	sb := m.AppendSigBytes(buf[:0])
 	for _, p := range e.peers {
 		if p == e.self {
 			continue
 		}
 		cp := *m
-		cp.MAC = e.auth.MAC(p, cp.SigBytes())
+		cp.MAC = e.auth.MAC(p, sb)
 		e.cb.Send(p, &cp)
 	}
 }
@@ -296,7 +315,8 @@ func (e *Engine) onPrePrepare(m *types.Message) {
 	if !e.inWindow(m.Seq) || m.Batch == nil {
 		return
 	}
-	if err := e.auth.VerifyMAC(m.From, m.SigBytes(), m.MAC); err != nil {
+	var sb [types.SigBytesLen]byte
+	if err := e.auth.VerifyMAC(m.From, m.AppendSigBytes(sb[:0]), m.MAC); err != nil {
 		return
 	}
 	if m.Batch.Digest() != m.Digest {
@@ -331,7 +351,8 @@ func (e *Engine) onPrepare(m *types.Message) {
 	if e.inViewChange || m.View != e.view || !e.inWindow(m.Seq) {
 		return
 	}
-	if err := e.auth.VerifyMAC(m.From, m.SigBytes(), m.MAC); err != nil {
+	var sb [types.SigBytesLen]byte
+	if err := e.auth.VerifyMAC(m.From, m.AppendSigBytes(sb[:0]), m.MAC); err != nil {
 		return
 	}
 	ent := e.getEntry(m.Seq)
@@ -376,7 +397,8 @@ func (e *Engine) onCommit(m *types.Message) {
 	if e.inViewChange || m.View != e.view {
 		return
 	}
-	if err := e.auth.Verify(m.From, m.SigBytes(), m.Sig); err != nil {
+	var sb [types.SigBytesLen]byte
+	if err := e.auth.Verify(m.From, m.AppendSigBytes(sb[:0]), m.Sig); err != nil {
 		return
 	}
 	ent := e.getEntry(m.Seq)
@@ -417,40 +439,87 @@ func (e *Engine) maybeCommitted(seq types.SeqNum, ent *entry) {
 // valid signatures over identical (shard, view, seq, digest) Commit tuples.
 // Any replica of any shard can run this check given the public keys — this
 // is why cross-shard messages use DS, not MACs (non-repudiation, Section 3).
-func VerifyCert(auth crypto.Authenticator, shard types.ShardID, digest types.Digest, cert []types.Signed, quorum int) error {
+//
+// The fast path: a certificate whose full content already verified on this
+// node is accepted from the verifier's bounded cache without re-checking nf
+// Ed25519 signatures, and on a cache miss the signatures are checked on the
+// verifier's worker pool (serially when VerifyWorkers <= 1). Accept/reject
+// decisions match the serial path byte for byte: the cache key covers every
+// entry's tuple and signature plus the expected digest and quorum, and only
+// full successes are ever cached.
+func VerifyCert(v *crypto.Verifier, shard types.ShardID, digest types.Digest, cert []types.Signed, quorum int) error {
 	if len(cert) < quorum {
 		return fmt.Errorf("pbft: certificate has %d signatures, need %d", len(cert), quorum)
 	}
-	seen := make(map[types.NodeID]struct{}, len(cert))
-	var view types.View
-	var seq types.SeqNum
-	valid := 0
+	useCache := v.CertCacheEnabled()
+	var key crypto.CertKey
+	if useCache {
+		key = crypto.CertCacheKey(shard, digest, quorum, cert)
+		if v.CertVerified(key) {
+			return nil
+		}
+	}
+
+	// Structural pass (no crypto): keep entries with the right type, shard,
+	// and digest, group them by (view, seq) — an honest certificate forms a
+	// single group — and drop duplicate senders and non-members of shard.
+	type group struct {
+		view    types.View
+		seq     types.SeqNum
+		entries []*types.Signed
+		seen    map[types.NodeID]struct{}
+	}
+	var groups []*group
 	for i := range cert {
 		s := &cert[i]
 		if s.Type != types.MsgCommit || s.Shard != shard || s.Digest != digest {
 			continue
 		}
-		if valid == 0 {
-			view, seq = s.View, s.Seq
-		} else if s.View != view || s.Seq != seq {
-			continue
-		}
-		if _, dup := seen[s.From]; dup {
-			continue
-		}
 		if s.From.Shard != shard {
 			continue
 		}
-		if err := auth.Verify(s.From, s.SigBytes(), s.Sig); err != nil {
+		var g *group
+		for _, c := range groups {
+			if c.view == s.View && c.seq == s.Seq {
+				g = c
+				break
+			}
+		}
+		if g == nil {
+			g = &group{view: s.View, seq: s.Seq, seen: make(map[types.NodeID]struct{}, quorum)}
+			groups = append(groups, g)
+		}
+		if _, dup := g.seen[s.From]; dup {
 			continue
 		}
-		seen[s.From] = struct{}{}
-		valid++
+		g.seen[s.From] = struct{}{}
+		g.entries = append(g.entries, s)
 	}
-	if valid < quorum {
-		return fmt.Errorf("pbft: certificate has %d valid signatures, need %d", valid, quorum)
+
+	bestValid, bestStructural, checked := 0, 0, false
+	for _, g := range groups {
+		if len(g.entries) > bestStructural {
+			bestStructural = len(g.entries)
+		}
+		if len(g.entries) < quorum {
+			continue
+		}
+		checked = true
+		valid := v.VerifyQuorum(g.entries, quorum)
+		if valid >= quorum {
+			if useCache {
+				v.MarkCertVerified(key)
+			}
+			return nil
+		}
+		if valid > bestValid {
+			bestValid = valid
+		}
 	}
-	return nil
+	if !checked {
+		return fmt.Errorf("pbft: certificate has only %d structurally matching entries (unverified), need %d", bestStructural, quorum)
+	}
+	return fmt.Errorf("pbft: certificate has %d valid signatures, need %d", bestValid, quorum)
 }
 
 // ForceView installs view v directly, without running the view-change

@@ -221,9 +221,9 @@ func TestVerifyCert(t *testing.T) {
 	}
 }
 
-func authOf(t *testing.T, e *Engine) crypto.Authenticator {
+func authOf(t *testing.T, e *Engine) *crypto.Verifier {
 	t.Helper()
-	return e.auth
+	return e.verifier
 }
 
 func TestViewChangeElectsNextPrimary(t *testing.T) {

@@ -1,0 +1,202 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+
+	"ringbft/internal/crypto"
+	"ringbft/internal/types"
+)
+
+// certFixture builds a cluster of n registered replicas of shard 0 and a
+// valid commit certificate of n signatures over digest d at (view 1, seq 7).
+func certFixture(t testing.TB, n int) (*crypto.Keygen, []types.Signed, types.Digest) {
+	t.Helper()
+	kg := crypto.NewKeygen(31)
+	ids := make([]types.NodeID, n)
+	for i := range ids {
+		ids[i] = types.ReplicaNode(0, i)
+		kg.Register(ids[i])
+	}
+	d := types.Digest{4, 2}
+	cert := make([]types.Signed, n)
+	for i, id := range ids {
+		ring, err := kg.Ring(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := types.Signed{From: id, Type: types.MsgCommit, Shard: 0, View: 1, Seq: 7, Digest: d}
+		s.Sig = ring.Sign(s.SigBytes())
+		cert[i] = s
+	}
+	return kg, cert, d
+}
+
+func fixtureVerifier(t testing.TB, kg *crypto.Keygen, workers int) *crypto.Verifier {
+	t.Helper()
+	ring, err := kg.Ring(types.ReplicaNode(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return crypto.NewVerifier(ring, workers)
+}
+
+// TestVerifyCertTamperTable runs the same adversarial table against the
+// serial and the batched/pooled verifier: every tampered certificate must be
+// rejected by both, and the valid one accepted by both.
+func TestVerifyCertTamperTable(t *testing.T) {
+	kg, cert, d := certFixture(t, 4)
+	copyCert := func() []types.Signed {
+		c := make([]types.Signed, len(cert))
+		copy(c, cert)
+		return c
+	}
+	cases := []struct {
+		name string
+		cert func() []types.Signed
+		dig  types.Digest
+		ok   bool
+	}{
+		{"valid", copyCert, d, true},
+		{"valid with one junk entry", func() []types.Signed {
+			c := copyCert()
+			c[3].Sig = append([]byte(nil), c[3].Sig...)
+			c[3].Sig[0] ^= 1
+			return c
+		}, d, true}, // 3 valid of 4 still meets quorum 3
+		{"wrong digest expected", copyCert, types.Digest{0xFF}, false},
+		{"flipped sig byte", func() []types.Signed {
+			c := copyCert()
+			for i := range c {
+				c[i].Sig = append([]byte(nil), c[i].Sig...)
+				c[i].Sig[20] ^= 1
+			}
+			return c
+		}, d, false},
+		{"entry digest swapped", func() []types.Signed {
+			c := copyCert()
+			c[0].Digest = types.Digest{1}
+			c[1].Digest = types.Digest{1}
+			return c
+		}, d, false},
+		{"duplicate signers", func() []types.Signed {
+			return []types.Signed{cert[0], cert[0], cert[0], cert[0]}
+		}, d, false},
+		{"truncated below quorum", func() []types.Signed { return cert[:2] }, d, false},
+		{"foreign shard member", func() []types.Signed {
+			c := copyCert()
+			for i := range c {
+				c[i].From.Shard = 1
+			}
+			return c
+		}, d, false},
+		{"wrong type", func() []types.Signed {
+			c := copyCert()
+			for i := range c {
+				c[i].Type = types.MsgPrepare
+			}
+			return c
+		}, d, false},
+		{"split views", func() []types.Signed {
+			c := copyCert()
+			c[0].View = 2
+			c[1].View = 3
+			return c
+		}, d, false}, // only 2 entries left in the (1,7) group
+	}
+	for _, workers := range []int{0, 4} {
+		v := fixtureVerifier(t, kg, workers)
+		v.SetCertCacheSize(0) // isolate verification from caching
+		for _, tc := range cases {
+			err := VerifyCert(v, 0, tc.dig, tc.cert(), 3)
+			if tc.ok && err != nil {
+				t.Errorf("workers=%d %s: valid cert rejected: %v", workers, tc.name, err)
+			}
+			if !tc.ok && err == nil {
+				t.Errorf("workers=%d %s: tampered cert accepted", workers, tc.name)
+			}
+		}
+	}
+}
+
+// TestVerifyCertCachePoisoning: a certificate for the same (shard, view,
+// seq) whose content differs from a cached success must be re-verified and
+// rejected — and failures must never populate the cache.
+func TestVerifyCertCachePoisoning(t *testing.T) {
+	kg, cert, d := certFixture(t, 4)
+	v := fixtureVerifier(t, kg, 0)
+
+	if err := VerifyCert(v, 0, d, cert, 3); err != nil {
+		t.Fatalf("valid cert rejected: %v", err)
+	}
+	if hits := v.CertCacheHits(); hits != 0 {
+		t.Fatalf("first verification counted %d cache hits", hits)
+	}
+	if err := VerifyCert(v, 0, d, cert, 3); err != nil {
+		t.Fatalf("re-delivered cert rejected: %v", err)
+	}
+	if hits := v.CertCacheHits(); hits != 1 {
+		t.Fatalf("re-delivery did not hit the cache (hits=%d)", hits)
+	}
+
+	// Same slot, tampered content: must miss the cache and be rejected.
+	poisoned := make([]types.Signed, len(cert))
+	copy(poisoned, cert)
+	for i := range poisoned {
+		poisoned[i].Sig = append([]byte(nil), cert[i].Sig...)
+		poisoned[i].Sig[5] ^= 1
+	}
+	if err := VerifyCert(v, 0, d, poisoned, 3); err == nil {
+		t.Fatal("cache poisoning: tampered cert for a cached slot accepted")
+	}
+	// The failure must not be cached as success (nor flip the cached entry).
+	if err := VerifyCert(v, 0, d, poisoned, 3); err == nil {
+		t.Fatal("tampered cert accepted on retry")
+	}
+	if err := VerifyCert(v, 0, d, cert, 3); err != nil {
+		t.Fatalf("original cert no longer accepted after poisoning attempt: %v", err)
+	}
+
+	// A cert that fails must never be served from cache even when the exact
+	// same bytes are re-presented.
+	before := v.CertCacheHits()
+	if err := VerifyCert(v, 0, d, poisoned, 3); err == nil {
+		t.Fatal("tampered cert accepted")
+	}
+	if v.CertCacheHits() != before+1 && v.CertCacheHits() != before {
+		// The poisoned key must not be cached at all; any hit for it means
+		// a failure was recorded as success.
+		t.Fatal("failure entered the verified-cert cache")
+	}
+}
+
+// BenchmarkVerifyCert measures commit-certificate verification at quorum
+// sizes nf = 2, 4, 8 in three modes: serial (the seed path), batched on a
+// 4-worker pool, and a verified-cache hit. Run with -benchmem; reference
+// numbers live in internal/crypto/bench_baseline.json.
+func BenchmarkVerifyCert(b *testing.B) {
+	for _, nf := range []int{2, 4, 8} {
+		kg, cert, d := certFixture(b, nf)
+		for _, mode := range []struct {
+			name    string
+			workers int
+			cache   bool
+		}{{"serial", 0, false}, {"workers4", 4, false}, {"cachehit", 0, true}} {
+			b.Run(fmt.Sprintf("nf=%d/%s", nf, mode.name), func(b *testing.B) {
+				v := fixtureVerifier(b, kg, mode.workers)
+				if !mode.cache {
+					v.SetCertCacheSize(0)
+				} else if err := VerifyCert(v, 0, d, cert, nf); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := VerifyCert(v, 0, d, cert, nf); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

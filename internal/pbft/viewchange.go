@@ -149,18 +149,23 @@ func (e *Engine) onNewView(m *types.Message) {
 	if len(m.ViewMsgs) < e.nf {
 		return
 	}
-	// Verify the justification: nf distinct signed ViewChange tuples.
-	seen := make(map[types.NodeID]struct{})
+	// Verify the justification: nf distinct signed ViewChange tuples,
+	// batched on the shared verifier's worker pool (the structural filter
+	// and sender dedup stay here; the verifier only spends Ed25519 work).
+	seen := make(map[types.NodeID]struct{}, len(m.ViewMsgs))
+	entries := make([]*types.Signed, 0, len(m.ViewMsgs))
 	for i := range m.ViewMsgs {
 		s := &m.ViewMsgs[i]
 		if s.Type != types.MsgViewChange || s.View != m.View || s.Shard != e.shard {
 			continue
 		}
-		if e.auth.Verify(s.From, s.SigBytes(), s.Sig) == nil {
-			seen[s.From] = struct{}{}
+		if _, dup := seen[s.From]; dup {
+			continue
 		}
+		seen[s.From] = struct{}{}
+		entries = append(entries, s)
 	}
-	if len(seen) < e.nf {
+	if e.verifier.VerifyQuorum(entries, e.nf) < e.nf {
 		return
 	}
 	if m.StableSeq > e.stableSeq {

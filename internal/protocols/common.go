@@ -49,6 +49,8 @@ type base struct {
 	send  Sender
 	clock func() time.Time
 
+	verifier *crypto.Verifier
+
 	kv    *store.KV
 	chain *ledger.Chain
 
@@ -71,6 +73,7 @@ func newBase(opts Options) base {
 		f:        f,
 		nf:       n - f,
 		auth:     opts.Auth,
+		verifier: crypto.NewVerifier(opts.Auth, opts.Config.VerifyWorkers),
 		send:     opts.Send,
 		clock:    opts.Clock,
 		kv:       store.NewKV(),
@@ -127,25 +130,49 @@ func (b *base) respond(client types.NodeID, d types.Digest, results []types.Valu
 	m := &types.Message{
 		Type: types.MsgResponse, From: b.self, Digest: d, Results: results,
 	}
-	m.MAC = b.auth.MAC(client, m.SigBytes())
+	m.MAC = crypto.MACMessage(b.auth, client, m)
 	b.send(client, m)
 }
 
-// broadcastMAC sends a per-recipient MAC'd copy of m to every peer but self.
+// broadcastMAC sends a per-recipient MAC'd copy of m to every peer but
+// self. The canonical bytes are identical for every recipient, so they are
+// built once for the whole broadcast.
 func (b *base) broadcastMAC(m *types.Message) {
+	var buf [types.SigBytesLen]byte
+	sb := m.AppendSigBytes(buf[:0])
 	for _, p := range b.peers {
 		if p == b.self {
 			continue
 		}
 		cp := *m
-		cp.MAC = b.auth.MAC(p, cp.SigBytes())
+		cp.MAC = b.auth.MAC(p, sb)
 		b.send(p, &cp)
 	}
 }
 
 // verifyMAC checks m's pairwise MAC against its canonical bytes.
 func (b *base) verifyMAC(m *types.Message) bool {
-	return b.auth.VerifyMAC(m.From, m.SigBytes(), m.MAC) == nil
+	return crypto.VerifyMessageMAC(b.auth, m) == nil
+}
+
+// verifyShareCert batch-verifies an aggregated certificate of signature
+// shares on the shared verifier: entries must have the expected type, slot,
+// and digest, come from distinct peers, and carry quorum valid signatures.
+func (b *base) verifyShareCert(cert []types.Signed, typ types.MsgType, seq types.SeqNum, d types.Digest, quorum int) bool {
+	seen := make(map[types.NodeID]struct{}, len(cert))
+	entries := make([]*types.Signed, 0, len(cert))
+	for i := range cert {
+		s := &cert[i]
+		if s.Type != typ || s.Seq != seq || s.Digest != d || !b.isPeer(s.From) {
+			continue
+		}
+		if _, dup := seen[s.From]; dup {
+			continue
+		}
+		seen[s.From] = struct{}{}
+		entries = append(entries, s)
+	}
+	return b.verifier.VerifyQuorum(entries, quorum) >= quorum
 }
 
 func (b *base) isPeer(id types.NodeID) bool {

@@ -178,6 +178,74 @@ func TestZyzzyvaCommitCertSlowPath(t *testing.T) {
 	}
 }
 
+// TestZyzzyvaCommitCertSignedEntries covers the batch-verified slow path:
+// a commit certificate carrying MsgZyzSpecResp-typed signed tuples is
+// acknowledged when f+1 of them verify and rejected when they are forged.
+func TestZyzzyvaCommitCertSignedEntries(t *testing.T) {
+	b := newBus(t, 4, func(o Options) interface{ HandleForTest(*types.Message) } {
+		n := NewZyzzyva(o)
+		n.Preload(64)
+		return n
+	})
+	batch := reqBatch(1)
+	b.submit(types.ReplicaNode(0, 0), batch)
+	d := batch.Digest()
+
+	// Rebuild the bus's deterministic key material (same seed, same ids) to
+	// craft signed spec-response tuples replicas can check.
+	kg := crypto.NewKeygen(21)
+	ids := make([]types.NodeID, 4)
+	for i := range ids {
+		ids[i] = types.ReplicaNode(0, i)
+		kg.Register(ids[i])
+	}
+	mkCert := func(forge bool) []types.Signed {
+		cert := make([]types.Signed, 0, 2)
+		for i := 0; i < 2; i++ { // f+1 = 2 entries
+			ring, err := kg.Ring(ids[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := types.Signed{From: ids[i], Type: types.MsgZyzSpecResp, Digest: d}
+			e.Sig = ring.Sign(e.SigBytes())
+			if forge {
+				e.Sig[0] ^= 1
+			}
+			cert = append(cert, e)
+		}
+		return cert
+	}
+	acks := func() int {
+		n := 0
+		for _, m := range b.client {
+			if m.Type == types.MsgZyzLocalCommit && m.Digest == d {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Forged entries must not buy an acknowledgement.
+	forged := &types.Message{Type: types.MsgZyzCommitCert, From: types.ClientNode(1), Digest: d, Cert: mkCert(true)}
+	for i := 0; i < 4; i++ {
+		b.queue = append(b.queue, routed{types.ReplicaNode(0, i), forged})
+	}
+	b.pump()
+	if got := acks(); got != 0 {
+		t.Fatalf("forged signed spec entries bought %d acks", got)
+	}
+
+	// Valid entries are acknowledged.
+	valid := &types.Message{Type: types.MsgZyzCommitCert, From: types.ClientNode(1), Digest: d, Cert: mkCert(false)}
+	for i := 0; i < 4; i++ {
+		b.queue = append(b.queue, routed{types.ReplicaNode(0, i), valid})
+	}
+	b.pump()
+	if got := acks(); got < 3 {
+		t.Fatalf("%d local-commit acks for a valid signed certificate, want >= 3", got)
+	}
+}
+
 func TestSBFTLinearCollector(t *testing.T) {
 	b := newBus(t, 4, func(o Options) interface{ HandleForTest(*types.Message) } {
 		n := NewSBFT(o)

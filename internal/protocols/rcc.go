@@ -57,7 +57,7 @@ func NewRCC(opts Options) *RCCNode {
 				n.trackers[inst].Committed(n.engines[inst], seq, b)
 				n.onDecided(inst, seq, b)
 			},
-		}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout})
+		}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: n.verifier})
 		n.engines = append(n.engines, e)
 		n.trackers = append(n.trackers, pbft.NewCheckpointTracker(opts.Config.CheckpointInterval))
 		n.bumpView(e, i)

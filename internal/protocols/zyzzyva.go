@@ -99,6 +99,23 @@ func (z *ZyzzyvaNode) onCommitCert(m *types.Message) {
 	if _, known := z.seen[m.Digest]; !known {
 		return
 	}
+	// Spec responses in this implementation authenticate to the client
+	// with MACs (base.respond), so a certificate normally carries no
+	// signed tuples and the replica acknowledges any digest it ordered
+	// locally (z.seen) — the ack confirms local knowledge, nothing more.
+	// If a sender does attach MsgZyzSpecResp-typed signed tuples they are
+	// batch-verified rather than silently ignored; other entry types are
+	// ignored as before so clients relaying what they gathered keep
+	// their liveness.
+	specEntries := 0
+	for i := range m.Cert {
+		if m.Cert[i].Type == types.MsgZyzSpecResp {
+			specEntries++
+		}
+	}
+	if specEntries > 0 && !z.verifyShareCert(m.Cert, types.MsgZyzSpecResp, m.Seq, m.Digest, z.f+1) {
+		return
+	}
 	z.certAcked[m.Digest] = struct{}{}
 	ack := &types.Message{Type: types.MsgZyzLocalCommit, From: z.self, Digest: m.Digest}
 	ack.MAC = z.auth.MAC(m.From, ack.SigBytes())

@@ -3,6 +3,7 @@ package ringbft
 import (
 	"crypto/sha256"
 
+	"ringbft/internal/crypto"
 	"ringbft/internal/pbft"
 	"ringbft/internal/types"
 )
@@ -20,7 +21,7 @@ func (r *Replica) sendForward(cs *cstState) {
 		Seq: cs.seq, Digest: cs.digest,
 		Batch: cs.batch, Cert: cs.cert, WriteSets: cs.carried,
 	}
-	m.Sig = r.auth.Sign(m.SigBytes())
+	m.Sig = crypto.SignMessage(r.auth, m)
 	cs.forwardMsg = m
 	cs.forwardSentAt = r.clock()
 	r.sendRing(next, m)
@@ -56,12 +57,12 @@ func (r *Replica) onForward(m *types.Message) {
 	if m.From.Kind != types.KindReplica || m.From.Shard != b.PrevInRing(r.shard) || m.Shard != m.From.Shard {
 		return
 	}
-	if r.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+	if crypto.VerifyMessageSig(r.auth, m) != nil {
 		return
 	}
 	// The Forward must prove the previous shard replicated the batch:
 	// nf valid commit signatures from that shard (checked once per sender).
-	if err := pbft.VerifyCert(r.auth, m.From.Shard, d, m.Cert, r.cfg.NF()); err != nil {
+	if err := pbft.VerifyCert(r.verifier, m.From.Shard, d, m.Cert, r.cfg.NF()); err != nil {
 		return
 	}
 
@@ -159,7 +160,7 @@ func (r *Replica) sendExecute(cs *cstState) {
 		Type: types.MsgExecute, From: r.self, Shard: r.shard,
 		Seq: cs.seq, Digest: cs.digest, WriteSets: cs.carried,
 	}
-	m.Sig = r.auth.Sign(m.SigBytes())
+	m.Sig = crypto.SignMessage(r.auth, m)
 	r.sendRing(next, m)
 }
 
@@ -177,7 +178,7 @@ func (r *Replica) onExecute(m *types.Message) {
 	if m.From.Kind != types.KindReplica || m.From.Shard != cs.batch.PrevInRing(r.shard) {
 		return
 	}
-	if r.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+	if crypto.VerifyMessageSig(r.auth, m) != nil {
 		return
 	}
 	if _, dup := cs.execFrom[m.From]; dup {
@@ -234,7 +235,7 @@ func (r *Replica) onRemoteView(m *types.Message) {
 	if m.From.Kind != types.KindReplica || m.From.Shard != next {
 		return
 	}
-	if r.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+	if crypto.VerifyMessageSig(r.auth, m) != nil {
 		return
 	}
 	cs := r.cst(d)

@@ -44,6 +44,7 @@ type Replica struct {
 	self     types.NodeID
 	peers    []types.NodeID
 	auth     crypto.Authenticator
+	verifier *crypto.Verifier
 	send     Sender
 	clock    func() time.Time
 	allToAll bool
@@ -163,12 +164,14 @@ func New(opts Options) *Replica {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
+	verifier := crypto.NewVerifier(opts.Auth, opts.Config.VerifyWorkers)
 	r := &Replica{
 		cfg:              opts.Config,
 		shard:            opts.Shard,
 		self:             opts.Self,
 		peers:            opts.Peers,
 		auth:             opts.Auth,
+		verifier:         verifier,
 		send:             opts.Send,
 		clock:            opts.Clock,
 		kv:               store.NewKV(),
@@ -186,7 +189,7 @@ func New(opts Options) *Replica {
 		Send:        func(to types.NodeID, m *types.Message) { r.send(to, m) },
 		Committed:   r.onCommitted,
 		ViewChanged: r.onViewChanged,
-	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Window: opts.Window})
+	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Window: opts.Window, Verifier: verifier})
 	return r
 }
 
@@ -503,7 +506,7 @@ func (r *Replica) respond(client types.NodeID, d types.Digest, results []types.V
 		Type: types.MsgResponse, From: r.self, Shard: r.shard,
 		View: r.engine.View(), Digest: d, Results: results,
 	}
-	m.MAC = r.auth.MAC(client, m.SigBytes())
+	m.MAC = crypto.MACMessage(r.auth, client, m)
 	r.send(client, m)
 }
 

@@ -31,10 +31,18 @@ func newCluster(t *testing.T, z, n int) *cluster { return newClusterExec(t, z, n
 // newClusterExec builds a cluster whose replicas run the dependency-aware
 // parallel executor with the given worker count (0 = sequential).
 func newClusterExec(t *testing.T, z, n, execWorkers int) *cluster {
+	return newClusterWith(t, z, n, func(cfg *types.Config) { cfg.ExecWorkers = execWorkers })
+}
+
+// newClusterWith builds a cluster with a config mutator applied before the
+// replicas are constructed.
+func newClusterWith(t *testing.T, z, n int, mutate func(*types.Config)) *cluster {
 	t.Helper()
 	cfg := types.DefaultConfig(z, n)
 	cfg.BatchSize = 2
-	cfg.ExecWorkers = execWorkers
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	c := &cluster{
 		t: t, cfg: cfg,
 		replicas: make(map[types.NodeID]*Replica),

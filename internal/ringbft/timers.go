@@ -3,6 +3,7 @@ package ringbft
 import (
 	"time"
 
+	"ringbft/internal/crypto"
 	"ringbft/internal/types"
 )
 
@@ -74,7 +75,7 @@ func (r *Replica) sendRemoteView(cs *cstState) {
 		Type: types.MsgRemoteView, From: r.self, Shard: r.shard,
 		Digest: cs.digest, Batch: cs.batch,
 	}
-	m.Sig = r.auth.Sign(m.SigBytes())
+	m.Sig = crypto.SignMessage(r.auth, m)
 	r.remoteViews++
 	r.send(types.ReplicaNode(prev, r.self.Index), m)
 }

@@ -1,0 +1,77 @@
+package ringbft
+
+import (
+	"testing"
+
+	"ringbft/internal/types"
+)
+
+// runVerifyWorkload drives one deterministic mixed workload (single-shard
+// and cross-shard batches over overlapping keys) through a cluster built
+// with the given VerifyWorkers setting, and returns per-replica (block
+// digest sequence, store digest) observations.
+func runVerifyWorkload(t *testing.T, verifyWorkers int) (map[types.NodeID][]types.Digest, map[types.NodeID]types.Digest) {
+	t.Helper()
+	const z, n = 3, 4
+	c := newClusterWith(t, z, n, func(cfg *types.Config) { cfg.VerifyWorkers = verifyWorkers })
+	var batches []*types.Batch
+	for i := uint64(1); i <= 10; i++ {
+		shards := []types.ShardID{types.ShardID(i % z)}
+		switch i % 3 {
+		case 0:
+			shards = []types.ShardID{0, 1, 2}
+		case 1:
+			shards = []types.ShardID{types.ShardID(i % z), types.ShardID((i + 1) % z)}
+			if shards[0] > shards[1] {
+				shards[0], shards[1] = shards[1], shards[0]
+			}
+		}
+		b := mkBatch(types.ClientID(i), i, z, shards, i%4)
+		batches = append(batches, b)
+		c.submit(types.ClientID(i), b)
+	}
+	for _, b := range batches {
+		cid := types.ClientID(b.Txns[0].ID.Client)
+		if got := c.responses(cid, b.Digest()); got < c.cfg.F()+1 {
+			t.Fatalf("verifyWorkers=%d: batch of client %d got %d responses", verifyWorkers, cid, got)
+		}
+	}
+	chains := make(map[types.NodeID][]types.Digest)
+	stores := make(map[types.NodeID]types.Digest)
+	for id, r := range c.replicas {
+		for _, blk := range r.Chain().Blocks() {
+			chains[id] = append(chains[id], blk.Digest)
+		}
+		stores[id] = r.Store().Digest()
+	}
+	return chains, stores
+}
+
+// TestPropertyVerifyFastPathEquivalence (acceptance bar of the crypto fast
+// path): a run whose replicas verify certificates on the batched/cached
+// fast path commits exactly the same block sequences and reaches exactly
+// the same state digests as a run with serial verification — byte-identical
+// protocol behavior, only the CPU cost differs.
+func TestPropertyVerifyFastPathEquivalence(t *testing.T) {
+	serialChains, serialStores := runVerifyWorkload(t, 0)
+	for _, workers := range []int{2, 4, 8} {
+		fastChains, fastStores := runVerifyWorkload(t, workers)
+		if len(fastChains) != len(serialChains) {
+			t.Fatalf("workers=%d: replica count mismatch", workers)
+		}
+		for id, want := range serialChains {
+			got := fastChains[id]
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d replica %v: %d blocks, serial run had %d", workers, id, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d replica %v: block %d digest diverges from serial run", workers, id, i)
+				}
+			}
+			if fastStores[id] != serialStores[id] {
+				t.Fatalf("workers=%d replica %v: state digest diverges from serial run", workers, id)
+			}
+		}
+	}
+}

@@ -44,13 +44,14 @@ type Options struct {
 
 // Replica is one Sharper replica.
 type Replica struct {
-	cfg   types.Config
-	shard types.ShardID
-	self  types.NodeID
-	peers []types.NodeID
-	auth  crypto.Authenticator
-	send  Sender
-	clock func() time.Time
+	cfg      types.Config
+	shard    types.ShardID
+	self     types.NodeID
+	peers    []types.NodeID
+	auth     crypto.Authenticator
+	verifier *crypto.Verifier
+	send     Sender
+	clock    func() time.Time
 
 	engine  *pbft.Engine
 	tracker *pbft.CheckpointTracker
@@ -101,12 +102,14 @@ func New(opts Options) *Replica {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
+	verifier := crypto.NewVerifier(opts.Auth, opts.Config.VerifyWorkers)
 	r := &Replica{
 		cfg:      opts.Config,
 		shard:    opts.Shard,
 		self:     opts.Self,
 		peers:    opts.Peers,
 		auth:     opts.Auth,
+		verifier: verifier,
 		send:     opts.Send,
 		clock:    opts.Clock,
 		kv:       store.NewKV(),
@@ -126,7 +129,7 @@ func New(opts Options) *Replica {
 			r.viewChanges++
 			r.reproposeAwaiting()
 		},
-	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout})
+	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier})
 	return r
 }
 
@@ -249,7 +252,7 @@ func (r *Replica) coordinate(b *types.Batch, d types.Digest) {
 		Type: types.MsgSharperPropose, From: r.self, Shard: r.shard,
 		Digest: d, Batch: b,
 	}
-	prop.Sig = r.auth.Sign(prop.SigBytes())
+	prop.Sig = crypto.SignMessage(r.auth, prop)
 	for _, s := range b.Involved {
 		if s == r.shard {
 			continue
@@ -271,7 +274,7 @@ func (r *Replica) onPropose(m *types.Message) {
 	if m.From.Kind != types.KindReplica || m.From.Shard != b.Initiator() {
 		return
 	}
-	if r.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+	if crypto.VerifyMessageSig(r.auth, m) != nil {
 		return
 	}
 	r.globalState(d, b)
@@ -382,7 +385,7 @@ func (r *Replica) sendCrossRound(gs *globalState, t types.MsgType) {
 	}
 	d := gs.batch.Digest()
 	m := &types.Message{Type: t, From: r.self, Shard: r.shard, Digest: d}
-	m.Sig = r.auth.Sign(m.SigBytes())
+	m.Sig = crypto.SignMessage(r.auth, m)
 	for _, s := range gs.batch.Involved {
 		for i := 0; i < r.cfg.ReplicasPerShard; i++ {
 			to := types.ReplicaNode(s, i)
@@ -400,7 +403,7 @@ func (r *Replica) onCrossVote(m *types.Message, commit bool) {
 	if m.From.Kind != types.KindReplica {
 		return
 	}
-	if r.auth.Verify(m.From, m.SigBytes(), m.Sig) != nil {
+	if crypto.VerifyMessageSig(r.auth, m) != nil {
 		return
 	}
 	gs, ok := r.global[m.Digest]
@@ -444,7 +447,7 @@ func (r *Replica) resendVotesTo(to types.NodeID, gs *globalState) {
 			continue
 		}
 		m := &types.Message{Type: round.t, From: r.self, Shard: r.shard, Digest: d}
-		m.Sig = r.auth.Sign(m.SigBytes())
+		m.Sig = crypto.SignMessage(r.auth, m)
 		r.send(to, m)
 	}
 }
@@ -480,7 +483,7 @@ func (r *Replica) renudge(gs *globalState) {
 			continue
 		}
 		m := &types.Message{Type: round.t, From: r.self, Shard: r.shard, Digest: d}
-		m.Sig = r.auth.Sign(m.SigBytes())
+		m.Sig = crypto.SignMessage(r.auth, m)
 		for _, s := range gs.batch.Involved {
 			for i := 0; i < r.cfg.ReplicasPerShard; i++ {
 				to := types.ReplicaNode(s, i)
@@ -544,7 +547,7 @@ func (r *Replica) respond(client types.NodeID, d types.Digest, results []types.V
 		Type: types.MsgResponse, From: r.self, Shard: r.shard,
 		View: r.engine.View(), Digest: d, Results: results,
 	}
-	m.MAC = r.auth.MAC(client, m.SigBytes())
+	m.MAC = crypto.MACMessage(r.auth, client, m)
 	r.send(client, m)
 }
 

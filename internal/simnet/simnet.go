@@ -43,8 +43,13 @@ type Network struct {
 	// reports true for; used for partition / no-communication attacks.
 	linkDown func(from, to types.NodeID) bool
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// Jitter/loss sampling draws from a pool of independent RNGs instead of
+	// one mutex-guarded generator: every concurrent sender gets its own
+	// stream (seeded deterministically off the base seed), so hot-path sends
+	// never serialize on a global RNG lock.
+	rngSeed  int64
+	rngCount atomic.Int64
+	rngPool  sync.Pool
 
 	// Per-link FIFO delivery queues: each (from,to) link delivers messages
 	// strictly in send order, like a TCP connection, with at most one
@@ -91,7 +96,7 @@ func New(opts Options) *Network {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Network{
+	n := &Network{
 		latency:     opts.Latency,
 		jitter:      opts.Jitter,
 		inboxSz:     opts.InboxSize,
@@ -100,11 +105,18 @@ func New(opts Options) *Network {
 		endpoints:   make(map[types.NodeID]*Endpoint),
 		region:      make(map[types.NodeID]Region),
 		crashed:     make(map[types.NodeID]bool),
-		rng:         rand.New(rand.NewSource(seed)),
+		rngSeed:     seed,
 		links:       make(map[[2]types.NodeID]*linkQueue),
 		egressFree:  make(map[types.NodeID]time.Time),
 		ingressFree: make(map[types.NodeID]time.Time),
 	}
+	n.rngPool.New = func() any {
+		// Each pooled generator gets its own deterministic stream; the odd
+		// multiplier decorrelates consecutive streams of nearby seeds.
+		const stride = 0x9E3779B97F4A7C15 // 2^64/φ, reinterpreted as int64
+		return rand.New(rand.NewSource(n.rngSeed + int64(uint64(stride)*uint64(n.rngCount.Add(1)))))
+	}
+	return n
 }
 
 // Endpoint is one node's attachment to the network.
@@ -207,21 +219,18 @@ func (n *Network) send(from, to types.NodeID, m *types.Message) {
 		n.Stats.MsgsDropped.Add(1)
 		return
 	}
-	if loss > 0 {
-		n.rngMu.Lock()
-		drop := n.rng.Float64() < loss
-		n.rngMu.Unlock()
+	d := n.latency.Delay(srcRegion, dstRegion)
+	if loss > 0 || n.jitter > 0 {
+		rng := n.rngPool.Get().(*rand.Rand)
+		drop := loss > 0 && rng.Float64() < loss
+		if !drop && n.jitter > 0 {
+			d += time.Duration((rng.Float64()*2 - 1) * n.jitter * float64(d))
+		}
+		n.rngPool.Put(rng)
 		if drop {
 			n.Stats.MsgsDropped.Add(1)
 			return
 		}
-	}
-
-	d := n.latency.Delay(srcRegion, dstRegion)
-	if n.jitter > 0 {
-		n.rngMu.Lock()
-		d += time.Duration((n.rng.Float64()*2 - 1) * n.jitter * float64(d))
-		n.rngMu.Unlock()
 	}
 
 	// Capacity model: with bandwidth/processing enabled, the message

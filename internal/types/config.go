@@ -18,6 +18,14 @@ type Config struct {
 	// even mix settings.
 	ExecWorkers int
 
+	// VerifyWorkers is the worker-pool size of the batched signature
+	// verifier (crypto.Verifier): the nf Ed25519 signatures of a commit
+	// certificate or new-view justification are checked concurrently on a
+	// pool of this many workers. 0 or 1 selects the serial path. Accept and
+	// reject decisions are identical either way, so replicas of one shard
+	// may mix settings — this mirrors the ExecWorkers knob above.
+	VerifyWorkers int
+
 	// CheckpointInterval is the number of sequence numbers between
 	// checkpoint broadcasts (attack A3: replicas in dark catch up).
 	CheckpointInterval SeqNum

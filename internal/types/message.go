@@ -121,26 +121,43 @@ type PreparedProof struct {
 	Batch  *Batch
 }
 
-// SigBytes returns the canonical byte string that is MAC'd or signed for a
-// message: type, shard, view, sequence, digest, and sender. Signing a fixed
-// canonical tuple (rather than a full serialization) mirrors PBFT practice
-// and keeps signatures verifiable independent of codec details.
-func SigBytes(t MsgType, shard ShardID, v View, s SeqNum, d Digest, from NodeID) []byte {
-	buf := make([]byte, 0, 1+8*4+32+8)
-	buf = append(buf, byte(t))
-	var tmp [8]byte
-	put := func(x uint64) {
-		binary.BigEndian.PutUint64(tmp[:], x)
-		buf = append(buf, tmp[:]...)
-	}
-	put(uint64(shard))
-	put(uint64(v))
-	put(uint64(s))
-	buf = append(buf, d[:]...)
-	buf = append(buf, byte(from.Kind))
-	put(uint64(from.Shard))
-	put(uint64(from.Index))
+// SigBytesLen is the exact length of the canonical authenticated byte string:
+// type (1) + shard/view/seq (3×8) + digest (32) + sender kind/shard/index
+// (1+8+8).
+const SigBytesLen = 1 + 3*8 + 32 + 1 + 2*8
+
+// AppendSigBytes appends the canonical byte string that is MAC'd or signed
+// for a message — type, shard, view, sequence, digest, and sender — to dst
+// and returns the extended slice. Signing a fixed canonical tuple (rather
+// than a full serialization) mirrors PBFT practice and keeps signatures
+// verifiable independent of codec details. Callers on hot paths pass a
+// stack or reused buffer with capacity SigBytesLen to avoid allocation.
+func AppendSigBytes(dst []byte, t MsgType, shard ShardID, v View, s SeqNum, d Digest, from NodeID) []byte {
+	var buf [SigBytesLen]byte
+	buf[0] = byte(t)
+	binary.BigEndian.PutUint64(buf[1:], uint64(shard))
+	binary.BigEndian.PutUint64(buf[9:], uint64(v))
+	binary.BigEndian.PutUint64(buf[17:], uint64(s))
+	copy(buf[25:57], d[:])
+	buf[57] = byte(from.Kind)
+	binary.BigEndian.PutUint64(buf[58:], uint64(from.Shard))
+	binary.BigEndian.PutUint64(buf[66:], uint64(from.Index))
+	return append(dst, buf[:]...)
+}
+
+// SigBytesArray returns the canonical authenticated bytes as a fixed-size
+// array, so callers that immediately pass a slice of it avoid any heap
+// traffic the compiler cannot elide.
+func SigBytesArray(t MsgType, shard ShardID, v View, s SeqNum, d Digest, from NodeID) [SigBytesLen]byte {
+	var buf [SigBytesLen]byte
+	AppendSigBytes(buf[:0], t, shard, v, s, d, from)
 	return buf
+}
+
+// SigBytes returns the canonical byte string that is MAC'd or signed for a
+// message (see AppendSigBytes).
+func SigBytes(t MsgType, shard ShardID, v View, s SeqNum, d Digest, from NodeID) []byte {
+	return AppendSigBytes(make([]byte, 0, SigBytesLen), t, shard, v, s, d, from)
 }
 
 // SigBytes returns the canonical authenticated bytes of m.
@@ -148,9 +165,19 @@ func (m *Message) SigBytes() []byte {
 	return SigBytes(m.Type, m.Shard, m.View, m.Seq, m.Digest, m.From)
 }
 
+// AppendSigBytes appends m's canonical authenticated bytes to dst.
+func (m *Message) AppendSigBytes(dst []byte) []byte {
+	return AppendSigBytes(dst, m.Type, m.Shard, m.View, m.Seq, m.Digest, m.From)
+}
+
 // SigBytes returns the canonical bytes the signature in s covers.
 func (s *Signed) SigBytes() []byte {
 	return SigBytes(s.Type, s.Shard, s.View, s.Seq, s.Digest, s.From)
+}
+
+// AppendSigBytes appends the canonical bytes the signature in s covers to dst.
+func (s *Signed) AppendSigBytes(dst []byte) []byte {
+	return AppendSigBytes(dst, s.Type, s.Shard, s.View, s.Seq, s.Digest, s.From)
 }
 
 // Paper-reported message sizes in bytes at batch size 100 (Section 8,

@@ -120,6 +120,13 @@ type ClusterConfig struct {
 	// 0 or 1 = sequential.
 	ExecWorkers int
 
+	// VerifyWorkers enables the batched certificate verifier on every
+	// replica (internal/crypto): the nf Ed25519 signatures of a cross-shard
+	// commit certificate are checked concurrently, with a bounded cache of
+	// already-verified certificates. Accept/reject decisions are identical
+	// to serial verification. 0 or 1 = serial.
+	VerifyWorkers int
+
 	// LatencyScale > 0 runs over the 15-region WAN model compressed by the
 	// given factor; 0 uses a uniform sub-millisecond LAN latency.
 	LatencyScale float64
@@ -167,6 +174,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	tcfg := types.DefaultConfig(cfg.Shards, cfg.ReplicasPerShard)
 	tcfg.ExecWorkers = cfg.ExecWorkers
+	tcfg.VerifyWorkers = cfg.VerifyWorkers
 	// Embedded clusters serve interactive Submits: rebroadcast quickly when
 	// the contacted replica is silent (e.g. a crashed primary) so recovery
 	// latency is dominated by the view change, not the client timer.
