@@ -1,13 +1,15 @@
-# Tier-1 verify is `make verify` (build + vet + test + race-checked crypto
-# and pbft, whose pooled/cached fast paths are the concurrency-sensitive
-# code). `make bench` runs the micro-benchmarks; `make bench-crypto` runs
-# just the authentication fast-path benchmarks whose reference numbers live
-# in internal/crypto/bench_baseline.json (the sched executor baseline is in
+# Tier-1 verify is `make verify` (build + vet + test + race-checked crypto,
+# pbft, and wal — the pooled/cached fast paths and the durability layer are
+# the concurrency-sensitive code). `make bench` runs the micro-benchmarks;
+# `make bench-crypto` runs just the authentication fast-path benchmarks
+# whose reference numbers live in internal/crypto/bench_baseline.json, and
+# `make bench-wal` the WAL append/replay benchmarks whose baseline is
+# internal/wal/bench_baseline.json (the sched executor baseline is in
 # internal/sched/bench_baseline.json).
 
 GO ?= go
 
-.PHONY: build test vet bench bench-crypto race-crypto verify
+.PHONY: build test vet bench bench-crypto bench-wal race-crypto verify
 
 build:
 	$(GO) build ./...
@@ -20,13 +22,16 @@ vet:
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 300ms ./internal/sched/ ./internal/store/
-	$(GO) test -run XXX -bench . -benchtime 200ms ./internal/pbft/ ./internal/crypto/ ./internal/ledger/ ./internal/workload/
+	$(GO) test -run XXX -bench . -benchtime 200ms ./internal/pbft/ ./internal/crypto/ ./internal/ledger/ ./internal/workload/ ./internal/wal/
 
 bench-crypto:
 	$(GO) test -run XXX -bench 'BenchmarkMAC|BenchmarkAppendMAC|BenchmarkVerifyMAC|BenchmarkSign|BenchmarkVerifySignature|BenchmarkSignVerify' -benchmem -benchtime 200ms ./internal/crypto/
 	$(GO) test -run XXX -bench 'BenchmarkVerifyCert|BenchmarkVerifyCommitCert' -benchmem -benchtime 200ms ./internal/pbft/
 
+bench-wal:
+	$(GO) test -run XXX -bench 'BenchmarkAppend|BenchmarkReplay|BenchmarkSnapshotEncode' -benchmem -benchtime 200ms ./internal/wal/
+
 race-crypto:
-	$(GO) test -race ./internal/crypto/... ./internal/pbft/...
+	$(GO) test -race ./internal/crypto/... ./internal/pbft/... ./internal/wal/...
 
 verify: build vet test race-crypto

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure to regenerate: all, fig1, fig8-shards, fig8-replicas, fig8-cross, fig8-batch, fig8-involved, fig8-clients, fig9, fig10, ablation-linear, ablation-crypto, ablation-exec, custom")
+		figure  = flag.String("figure", "all", "figure to regenerate: all, fig1, fig8-shards, fig8-replicas, fig8-cross, fig8-batch, fig8-involved, fig8-clients, fig9, fig9-recovery, fig10, ablation-linear, ablation-crypto, ablation-exec, custom")
 		profile = flag.String("profile", "quick", "experiment scale: quick or full")
 
 		// custom run flags
@@ -60,6 +60,7 @@ func main() {
 		{"fig8-batch", harness.Fig8BatchSize},
 		{"fig8-involved", harness.Fig8Involved},
 		{"fig8-clients", harness.Fig8Clients},
+		{"fig9-recovery", harness.Fig9Recovery},
 		{"fig10", harness.Fig10},
 		{"ablation-linear", harness.AblationLinearForward},
 		{"ablation-crypto", harness.AblationCrypto},

@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ringbft/internal/ringbft"
 	"ringbft/internal/tcpnet"
@@ -39,6 +40,12 @@ func main() {
 		topoPath = flag.String("topology", "cluster.json", "path to the shared topology file")
 		shard    = flag.Int("shard", 0, "this replica's shard")
 		index    = flag.Int("index", 0, "this replica's index within the shard")
+
+		dataDir = flag.String("datadir", "", "durability directory (WAL + snapshots); empty = in-memory only")
+		fsync   = flag.Duration("fsync-interval", 5*time.Millisecond,
+			"WAL group-commit interval (0 = fsync every append)")
+		snapEvery = flag.Uint64("snapshot-interval", 0,
+			"sequences between snapshots (0 = checkpoint interval)")
 	)
 	flag.Parse()
 
@@ -67,12 +74,32 @@ func main() {
 		peers[i] = types.ReplicaNode(types.ShardID(*shard), i)
 	}
 	cfg := types.DefaultConfig(topo.Shards, topo.ReplicasPerShard)
-	r := ringbft.New(ringbft.Options{
+	cfg.DataDir = *dataDir
+	cfg.FsyncInterval = *fsync
+	cfg.SnapshotInterval = types.SeqNum(*snapEvery)
+	opts := ringbft.Options{
 		Config: cfg, Shard: types.ShardID(*shard), Self: self,
 		Peers: peers, Auth: ring,
 		Send: func(to types.NodeID, m *types.Message) { transport.Send(to, m) },
-	})
+	}
+	if cfg.DataDir != "" {
+		m, rec, err := ringbft.OpenDurability(cfg, self, nil)
+		if err != nil {
+			log.Fatalf("ringbft-node: open durability: %v", err)
+		}
+		defer m.Close()
+		opts.Durability = m
+		opts.Recovered = rec
+		if !rec.Empty() {
+			log.Printf("ringbft-node %v recovering from %s", self, m.Dir())
+		}
+	}
+	r := ringbft.New(opts)
 	r.Preload(topo.Records)
+	if r.Recovered() {
+		st := r.Stats()
+		log.Printf("ringbft-node %v recovered: kmax %d, ledger height %d", self, st.KMax, st.LedgerHeight)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {

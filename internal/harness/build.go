@@ -10,6 +10,7 @@ import (
 	"ringbft/internal/sharper"
 	"ringbft/internal/simnet"
 	"ringbft/internal/types"
+	"ringbft/internal/wal"
 )
 
 // build constructs the cluster for the configured protocol.
@@ -55,6 +56,9 @@ func build(cfg Config) (*cluster, error) {
 
 	switch cfg.Protocol {
 	case ProtoRingBFT:
+		if cfg.Durable {
+			cl.fs = wal.NewMemFS()
+		}
 		for s := 0; s < cfg.Shards; s++ {
 			region := simnet.ShardRegion(s)
 			for i := 0; i < cfg.ReplicasPerShard; i++ {
@@ -64,14 +68,28 @@ func build(cfg Config) (*cluster, error) {
 				if err != nil {
 					return nil, err
 				}
-				r := ringbft.New(ringbft.Options{
-					Config: tcfg, Shard: types.ShardID(s), Self: id,
-					Peers: shardPeers[s], Auth: a,
-					Send:            ep.Send,
-					AllToAllForward: cfg.AllToAllForward,
-				})
-				r.Preload(cfg.Records)
-				cl.nodes = append(cl.nodes, r)
+				peers := shardPeers[s]
+				mk := func() node {
+					opts := ringbft.Options{
+						Config: tcfg, Shard: id.Shard, Self: id,
+						Peers: peers, Auth: a,
+						Send:            ep.Send,
+						AllToAllForward: cfg.AllToAllForward,
+					}
+					if cl.fs != nil {
+						// Errors here degrade to an in-memory replica; the
+						// MemFS cannot actually fail.
+						if m, rec, err := ringbft.OpenDurability(tcfg, id, cl.fs); err == nil {
+							opts.Durability = m
+							opts.Recovered = rec
+						}
+					}
+					r := ringbft.New(opts)
+					r.Preload(cfg.Records)
+					return r
+				}
+				cl.nodes = append(cl.nodes, mk())
+				cl.rebuild = append(cl.rebuild, mk)
 				cl.inboxes = append(cl.inboxes, ep.Inbox())
 				cl.ids = append(cl.ids, id)
 			}

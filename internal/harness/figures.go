@@ -320,6 +320,57 @@ func Fig9(p Profile) (Result, error) {
 	return Run(cfg)
 }
 
+// Fig9Recovery extends the Fig 9 fault scenario to replica recovery: a
+// backup of shard 0 crashes a quarter into the run and restarts at the
+// midpoint under three regimes — in-memory (restarts empty; only peer
+// state transfer can catch it up), WAL-recovered (restarts from its
+// segmented log + snapshots), and wipe-and-rejoin (durable, but the data
+// dir is erased, forcing checkpoint-certified state transfer). Each series
+// is committed txns per 100ms bucket; the terminal StateTransfers counter
+// distinguishes the recovery paths.
+func Fig9Recovery(p Profile) (Figure, error) {
+	base := p.BaseConfig()
+	base.Protocol = ProtoRingBFT
+	base.CrossShardPct = 0.3
+	base.InvolvedShards = min(2, base.Shards)
+	base.Duration = 6 * p.Duration
+	base.Clients = p.Clients / 3
+	base.ClientWindow = 2
+	base.LocalTimeout = 400 * time.Millisecond
+	base.RemoteTimeout = 700 * time.Millisecond
+	base.TransmitTimeout = 1100 * time.Millisecond
+	base.CheckpointInterval = 8
+	base.CrashRestart = true
+	base.CrashAt = base.Duration / 4
+	base.RestartAt = base.Duration / 2
+
+	variants := []struct {
+		label   string
+		durable bool
+		wipe    bool
+	}{
+		{"in-memory", false, false},
+		{"wal-recovered", true, false},
+		{"state-transfer", true, true},
+	}
+	fig := Figure{ID: "fig9-recovery", Title: "Replica crash-restart recovery", XLabel: "bucket(100ms)"}
+	for _, v := range variants {
+		cfg := base
+		cfg.Durable = v.durable
+		cfg.WipeOnRestart = v.wipe
+		res, err := Run(cfg)
+		if err != nil {
+			return fig, err
+		}
+		s := Series{Label: fmt.Sprintf("%s(st=%d)", v.label, res.StateTransfers)}
+		for b, txns := range res.Timeline {
+			s.Points = append(s.Points, Point{X: float64(b), Throughput: float64(txns) * 10, Result: res})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
 // Fig10 reproduces Figure 10: RingBFT throughput and latency for complex
 // cross-shard transactions with 0..64 remote-read dependencies.
 func Fig10(p Profile) (Figure, error) {

@@ -17,6 +17,7 @@ import (
 	"ringbft/internal/crypto"
 	"ringbft/internal/simnet"
 	"ringbft/internal/types"
+	"ringbft/internal/wal"
 	"ringbft/internal/workload"
 )
 
@@ -107,6 +108,26 @@ type Config struct {
 	// FailAt into the measurement window (Fig 9).
 	FailPrimaries int
 	FailAt        time.Duration
+
+	// Durable backs every RingBFT replica with the durability subsystem
+	// (internal/wal) on a shared in-memory filesystem: WAL-logged blocks,
+	// snapshots at stable checkpoints, crash recovery. Required by the
+	// crash-restart knobs below.
+	Durable bool
+	// CheckpointInterval overrides the shard checkpoint cadence (0 keeps
+	// the types.DefaultConfig value); recovery scenarios shorten it so
+	// state transfer triggers within the measurement window.
+	CheckpointInterval types.SeqNum
+
+	// CrashRestart crashes one replica (the last backup of shard 0) at
+	// CrashAt into the measurement window and restarts it at RestartAt —
+	// recovering from disk when Durable, from nothing otherwise. With
+	// WipeOnRestart its data directory is erased first, forcing the
+	// wipe-and-rejoin state-transfer path. RingBFT only.
+	CrashRestart  bool
+	CrashAt       time.Duration
+	RestartAt     time.Duration
+	WipeOnRestart bool
 }
 
 // Result aggregates one run's metrics.
@@ -125,6 +146,12 @@ type Result struct {
 	BytesCross  int64
 	ViewChanges int64
 	Retransmits int64
+	// StateTransfers counts peer state-transfer installs across replicas
+	// (recovery scenarios).
+	StateTransfers int64
+	// RecoveredNodes counts replicas that resumed from durable state
+	// (snapshot and/or WAL) at any point of the run.
+	RecoveredNodes int64
 
 	// Timeline buckets committed txns per 100ms of the measurement window
 	// (used by the Fig 9 series).
@@ -151,6 +178,17 @@ type statProvider interface {
 	RetransmitCount() int64
 }
 
+// transferProvider is implemented by nodes exposing state-transfer counts.
+type transferProvider interface {
+	StateTransferCount() int64
+}
+
+// recoveredProvider is implemented by nodes that can report resuming from
+// durable state.
+type recoveredProvider interface {
+	Recovered() bool
+}
+
 // cluster holds one built deployment.
 type cluster struct {
 	cfg     Config
@@ -159,6 +197,13 @@ type cluster struct {
 	nodes   []node
 	inboxes []<-chan *types.Message
 	ids     []types.NodeID
+	// mu guards nodes during mid-run restarts (CrashRestart scenarios).
+	mu sync.Mutex
+	// fs is the shared in-memory filesystem of a Durable deployment.
+	fs *wal.MemFS
+	// rebuild reconstructs node i from its durable state (nil when the
+	// protocol does not support restarts).
+	rebuild []func() node
 	// route returns the node a client should address a fresh batch to.
 	route func(c types.ClientID, b *types.Batch) types.NodeID
 	// fanout lists nodes a client rebroadcasts to after a timeout.
@@ -181,12 +226,32 @@ func Run(cfg Config) (Result, error) {
 	defer cancel()
 
 	var wg sync.WaitGroup
-	for i, n := range cl.nodes {
+	// Each node runs under its own sub-context so CrashRestart can stop
+	// one node without stopping the cluster; nodeDone lets the restart
+	// path wait out the old event loop before handing its inbox and data
+	// directory to a successor.
+	nodeCancel := make([]context.CancelFunc, len(cl.nodes))
+	nodeDone := make([]chan struct{}, len(cl.nodes))
+	var nodeMu sync.Mutex
+	startNode := func(i int) {
+		nctx, ncancel := context.WithCancel(ctx)
+		done := make(chan struct{})
+		nodeMu.Lock()
+		nodeCancel[i] = ncancel
+		nodeDone[i] = done
+		nodeMu.Unlock()
+		cl.mu.Lock()
+		n := cl.nodes[i]
+		cl.mu.Unlock()
 		wg.Add(1)
-		go func(n node, in <-chan *types.Message) {
+		go func(in <-chan *types.Message) {
 			defer wg.Done()
-			n.Run(ctx, in)
-		}(n, cl.inboxes[i])
+			defer close(done)
+			n.Run(nctx, in)
+		}(cl.inboxes[i])
+	}
+	for i := range cl.nodes {
+		startNode(i)
 	}
 
 	metrics := newMetrics()
@@ -211,11 +276,59 @@ func Run(cfg Config) (Result, error) {
 		})
 	}
 
+	var fwg sync.WaitGroup
+	if cfg.CrashRestart {
+		victim := types.ReplicaNode(0, cfg.ReplicasPerShard-1)
+		vi := -1
+		for i, id := range cl.ids {
+			if id == victim {
+				vi = i
+			}
+		}
+		if vi >= 0 && vi < len(cl.rebuild) {
+			fwg.Add(1)
+			go func() {
+				defer fwg.Done()
+				select {
+				case <-time.After(cfg.CrashAt):
+				case <-ctx.Done():
+					return
+				}
+				cl.net.SetCrashed(victim, true)
+				nodeMu.Lock()
+				cancelV, doneV := nodeCancel[vi], nodeDone[vi]
+				nodeMu.Unlock()
+				cancelV()
+				<-doneV // old event loop fully stopped before any restart
+				select {
+				case <-time.After(cfg.RestartAt - cfg.CrashAt):
+				case <-ctx.Done():
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if cfg.WipeOnRestart && cl.fs != nil {
+					cl.fs.RemoveAll(wal.Join(cl.tcfg.DataDir, fmt.Sprintf("s%d-r%d", victim.Shard, victim.Index)))
+				}
+				if cl.rebuild[vi] != nil {
+					nd := cl.rebuild[vi]()
+					cl.mu.Lock()
+					cl.nodes[vi] = nd
+					cl.mu.Unlock()
+				}
+				cl.net.SetCrashed(victim, false)
+				startNode(vi)
+			}()
+		}
+	}
+
 	time.Sleep(cfg.Duration)
 	metrics.stopMeasuring()
 	clientCancel()
 	cwg.Wait()
 	cancel()
+	fwg.Wait()
 	wg.Wait()
 
 	res := metrics.result(cfg)
@@ -227,6 +340,12 @@ func Run(cfg Config) (Result, error) {
 		if sp, ok := n.(statProvider); ok {
 			res.ViewChanges += sp.ViewChangeCount()
 			res.Retransmits += sp.RetransmitCount()
+		}
+		if tp, ok := n.(transferProvider); ok {
+			res.StateTransfers += tp.StateTransferCount()
+		}
+		if rp, ok := n.(recoveredProvider); ok && rp.Recovered() {
+			res.RecoveredNodes++
 		}
 	}
 	return res, nil
@@ -286,6 +405,12 @@ func typesConfig(cfg Config) types.Config {
 	tc.LocalTimeout = cfg.LocalTimeout
 	tc.RemoteTimeout = cfg.RemoteTimeout
 	tc.TransmitTimeout = cfg.TransmitTimeout
+	if cfg.CheckpointInterval > 0 {
+		tc.CheckpointInterval = cfg.CheckpointInterval
+	}
+	if cfg.Durable {
+		tc.DataDir = "data"
+	}
 	return tc
 }
 

@@ -51,10 +51,17 @@ func (b *Block) Hash() types.Digest {
 var ErrBrokenChain = errors.New("ledger: hash chain broken")
 
 // Chain is one shard's ledger 𝔏_S. Safe for concurrent use.
+//
+// A chain checkpointed by the durability subsystem is pruned: blocks below
+// the stable checkpoint are dropped from memory (they live in snapshots on
+// disk) and blocks[0] becomes the pruned boundary block — a header-only
+// "base" whose hash anchors the retained suffix, playing the role genesis
+// plays for an unpruned chain. base is the absolute index of blocks[0].
 type Chain struct {
 	mu     sync.RWMutex
 	shard  types.ShardID
 	blocks []*Block
+	base   int
 }
 
 // NewChain creates a ledger for shard s, initialized with the genesis block
@@ -90,11 +97,12 @@ func (c *Chain) Append(seq types.SeqNum, primary types.NodeID, batch *types.Batc
 	return b
 }
 
-// Height returns the number of blocks excluding genesis.
+// Height returns the number of blocks excluding genesis, counting pruned
+// blocks: pruning frees memory without rewriting history's length.
 func (c *Chain) Height() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.blocks) - 1
+	return c.base + len(c.blocks) - 1
 }
 
 // Head returns the latest block.
@@ -104,23 +112,73 @@ func (c *Chain) Head() *Block {
 	return c.blocks[len(c.blocks)-1]
 }
 
-// Block returns the i-th block (0 = genesis), or nil when out of range.
+// Block returns the block at absolute index i (0 = genesis), or nil when
+// out of range or pruned from memory.
 func (c *Chain) Block(i int) *Block {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	i -= c.base
 	if i < 0 || i >= len(c.blocks) {
 		return nil
 	}
 	return c.blocks[i]
 }
 
-// Blocks returns a snapshot of all blocks, genesis first.
+// Blocks returns a snapshot of the retained blocks, base (genesis for an
+// unpruned chain) first.
 func (c *Chain) Blocks() []*Block {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make([]*Block, len(c.blocks))
 	copy(out, c.blocks)
 	return out
+}
+
+// Base returns the block the retained suffix rests on and its absolute
+// index: genesis at 0 for an unpruned chain, otherwise the pruned boundary.
+func (c *Chain) Base() (*Block, int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[0], c.base
+}
+
+// Prune drops retained blocks (after the base) whose sequence number is
+// below belowSeq, freeing the batches the durability subsystem has already
+// checkpointed to disk. The newest dropped block becomes the new base: its
+// header-only form (Batch nil) keeps the hash chain anchored, so Verify
+// still validates every retained link. Pruning stops at the first retained
+// block with Seq >= belowSeq — cross-shard execution may append blocks
+// slightly out of sequence order, and a conservative stop keeps every
+// possibly-needed block. Returns the number of blocks dropped.
+func (c *Chain) Prune(belowSeq types.SeqNum) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cut := 0
+	for cut+1 < len(c.blocks) && c.blocks[cut+1].Seq < belowSeq {
+		cut++
+	}
+	if cut == 0 {
+		return 0
+	}
+	newBase := *c.blocks[cut] // copy so the retained header drops its batch
+	newBase.Batch = nil
+	retained := make([]*Block, 0, len(c.blocks)-cut)
+	retained = append(retained, &newBase)
+	retained = append(retained, c.blocks[cut+1:]...)
+	c.blocks = retained
+	c.base += cut
+	return cut
+}
+
+// Rebuild reconstructs a chain verbatim from recovered blocks: base is the
+// boundary block a snapshot recorded (header fields only; Batch may be
+// nil), baseIndex its absolute index, and blocks the retained suffix in
+// chain order. Used by crash recovery; the caller should Verify afterwards.
+func Rebuild(s types.ShardID, base *Block, baseIndex int, blocks []*Block) *Chain {
+	all := make([]*Block, 0, len(blocks)+1)
+	all = append(all, base)
+	all = append(all, blocks...)
+	return &Chain{shard: s, blocks: all, base: baseIndex}
 }
 
 // Verify walks the chain and checks every hash link and Merkle root,

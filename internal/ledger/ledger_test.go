@@ -124,6 +124,94 @@ func TestChainIntegrityProperty(t *testing.T) {
 	}
 }
 
+// TestPruneBoundsMemory: after a checkpoint prunes the chain, the dropped
+// blocks — and crucially their batches, the bulk of the memory — are no
+// longer referenced, heights and absolute indexing are preserved, and the
+// retained suffix still verifies against the pruned boundary block.
+func TestPruneBoundsMemory(t *testing.T) {
+	c := NewChain(0)
+	for i := uint64(1); i <= 10; i++ {
+		c.Append(types.SeqNum(i), types.ReplicaNode(0, 0), testBatch(i))
+	}
+	dropped := c.Prune(8)
+	if dropped != 7 {
+		t.Fatalf("pruned %d blocks, want 7 (seqs 1-7)", dropped)
+	}
+	if c.Height() != 10 {
+		t.Fatalf("height changed by pruning: %d, want 10", c.Height())
+	}
+	// Pruned blocks are gone from memory; the base holds no batch.
+	for i := 1; i <= 6; i++ {
+		if c.Block(i) != nil {
+			t.Fatalf("pruned block %d still reachable", i)
+		}
+	}
+	base, baseIdx := c.Base()
+	if base.Seq != 7 || baseIdx != 7 {
+		t.Fatalf("base = seq %d at index %d, want seq 7 at 7", base.Seq, baseIdx)
+	}
+	if base.Batch != nil {
+		t.Fatal("pruned boundary block retains its batch (memory not freed)")
+	}
+	// Retained blocks keep absolute indexing and batches.
+	for i := 8; i <= 10; i++ {
+		b := c.Block(i)
+		if b == nil || b.Seq != types.SeqNum(i) || b.Batch == nil {
+			t.Fatalf("retained block %d damaged: %+v", i, b)
+		}
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("pruned chain no longer verifies: %v", err)
+	}
+	// Appending continues normally after pruning.
+	c.Append(11, types.ReplicaNode(0, 0), testBatch(11))
+	if c.Height() != 11 || c.Head().Seq != 11 {
+		t.Fatal("append after prune broken")
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: nothing below the boundary remains to prune.
+	if again := c.Prune(8); again != 0 {
+		t.Fatalf("second Prune(8) dropped %d blocks", again)
+	}
+}
+
+// TestPruneStopsAtOutOfOrderBlock: cross-shard blocks can sit in the chain
+// slightly out of sequence order; Prune must stop at the first retained
+// block >= belowSeq rather than skip over it.
+func TestPruneStopsAtOutOfOrderBlock(t *testing.T) {
+	c := NewChain(0)
+	c.Append(1, types.ReplicaNode(0, 0), testBatch(1))
+	c.Append(3, types.ReplicaNode(0, 0), testBatch(3)) // executed early
+	c.Append(2, types.ReplicaNode(0, 0), testBatch(2)) // late cross-shard
+	if got := c.Prune(3); got != 1 {
+		t.Fatalf("pruned %d, want 1 (stop at seq 3 even though seq 2 follows)", got)
+	}
+	if b := c.Block(2); b == nil || b.Seq != 3 {
+		t.Fatal("block after boundary lost")
+	}
+}
+
+func TestRebuildMatchesOriginal(t *testing.T) {
+	c := NewChain(2)
+	for i := uint64(1); i <= 6; i++ {
+		c.Append(types.SeqNum(i), types.ReplicaNode(2, 0), testBatch(i, 2))
+	}
+	c.Prune(4)
+	base, baseIdx := c.Base()
+	rb := Rebuild(2, base, baseIdx, c.Blocks()[1:])
+	if rb.Height() != c.Height() {
+		t.Fatalf("rebuilt height %d, want %d", rb.Height(), c.Height())
+	}
+	if rb.Head().Hash() != c.Head().Hash() {
+		t.Fatal("rebuilt head diverges")
+	}
+	if err := rb.Verify(); err != nil {
+		t.Fatalf("rebuilt chain does not verify: %v", err)
+	}
+}
+
 func TestHashCoversFields(t *testing.T) {
 	b1 := &Block{Seq: 1, Digest: types.Digest{1}, TxnCount: 5}
 	b2 := &Block{Seq: 1, Digest: types.Digest{1}, TxnCount: 6}

@@ -41,6 +41,9 @@ func (e *Engine) recordCheckpoint(from types.NodeID, seq types.SeqNum, state typ
 		counts[d]++
 		if counts[d] >= e.nf && seq > e.stableSeq {
 			e.stabilize(seq)
+			if e.cb.Stabilized != nil {
+				e.cb.Stabilized(seq, d)
+			}
 			return
 		}
 	}

@@ -34,6 +34,14 @@ type Callbacks struct {
 	Committed func(seq types.SeqNum, batch *types.Batch, cert []types.Signed)
 	// ViewChanged fires when the replica installs a new view.
 	ViewChanged func(v types.View)
+	// Stabilized fires when a checkpoint becomes stable through nf matching
+	// signed Checkpoint messages, with the quorum's agreed state digest.
+	// The durability layer snapshots on it; the host also uses it to detect
+	// that it has fallen behind (the checkpoint is proof the shard
+	// progressed to seq whether or not this replica kept up). It does not
+	// fire for watermark advances learned indirectly through view-change
+	// messages, which carry no checkpoint quorum.
+	Stabilized func(seq types.SeqNum, digest types.Digest)
 }
 
 // entry is one slot of the consensus log.
@@ -520,6 +528,30 @@ func VerifyCert(v *crypto.Verifier, shard types.ShardID, digest types.Digest, ce
 		return fmt.Errorf("pbft: certificate has only %d structurally matching entries (unverified), need %d", bestStructural, quorum)
 	}
 	return fmt.Errorf("pbft: certificate has %d valid signatures, need %d", bestValid, quorum)
+}
+
+// ResumeAt positions a recovered engine: stable is the last stable
+// checkpoint the replica's durable state covers and next the sequence it
+// will participate from. Call once, after recovery and before any traffic —
+// like ForceView, using it on a log with in-flight proposals would violate
+// safety. The window anchors at stable, so the recovered replica accepts
+// exactly the proposals its restored state can extend.
+func (e *Engine) ResumeAt(stable, next types.SeqNum) {
+	e.stableSeq = stable
+	if next <= stable {
+		next = stable + 1
+	}
+	e.nextSeq = next
+	for s := range e.log {
+		if s <= stable {
+			delete(e.log, s)
+		}
+	}
+	for s := range e.checkpoints {
+		if s < stable {
+			delete(e.checkpoints, s)
+		}
+	}
 }
 
 // ForceView installs view v directly, without running the view-change

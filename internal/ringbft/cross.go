@@ -105,8 +105,10 @@ func (r *Replica) onForward(m *types.Message) {
 	if cs.locked {
 		// Second rotation (Fig 5 line 32): we are the first shard in ring
 		// order, our locks are held, and the Forward has travelled the full
-		// ring — every involved shard holds its locks. Execute.
-		cs.carried = m.WriteSets
+		// ring — every involved shard holds its locks. Execute. Copy the
+		// carried sets: executeCst appends this shard's fragment, and the
+		// in-process transports share slices between sender and receiver.
+		cs.carried = append([]types.WriteSet(nil), m.WriteSets...)
 		r.executeCst(cs)
 		return
 	}
@@ -132,7 +134,10 @@ func (r *Replica) executeCst(cs *cstState) {
 	cs.results = r.executeBatch(cs.batch, remote, cs.plan)
 	cs.executed = true
 	r.executed[cs.digest] = cs.results
-	r.chain.Append(cs.seq, r.engine.Primary(r.engine.View()), cs.batch)
+	primary := r.engine.Primary(r.engine.View())
+	r.chain.Append(cs.seq, primary, cs.batch)
+	r.logBlock(cs.seq, primary, cs.batch, cs.results)
+	r.markExecuted(cs.seq)
 
 	// Push this shard's updated write fragment into Σ (Fig 5 line 34).
 	out := types.WriteSet{Shard: r.shard}
@@ -213,7 +218,9 @@ func (r *Replica) onExecute(m *types.Message) {
 		r.sendExecute(cs)
 		return
 	}
-	cs.carried = m.WriteSets
+	// Copy before adopting: executeCst appends to carried, and the message
+	// slice is shared with the sender over the in-process transports.
+	cs.carried = append([]types.WriteSet(nil), m.WriteSets...)
 	if cs.locked {
 		r.executeCst(cs)
 	}

@@ -22,6 +22,7 @@ package ringbft
 import (
 	"context"
 	"encoding/binary"
+	"fmt"
 	"time"
 
 	"ringbft/internal/crypto"
@@ -30,6 +31,7 @@ import (
 	"ringbft/internal/sched"
 	"ringbft/internal/store"
 	"ringbft/internal/types"
+	"ringbft/internal/wal"
 )
 
 // Sender abstracts the network so replicas run over simnet or tcpnet.
@@ -76,19 +78,46 @@ type Replica struct {
 	proposed         map[types.Digest]struct{}
 	proposeQueue     []*types.Batch // backpressure buffer for window-full
 
-	// Rolling digest over the contiguous committed prefix, used as the
-	// checkpoint state digest (deterministic across replicas even when
-	// non-conflicting executions interleave differently; Section 7).
+	// Rolling digest over the contiguous committed prefix (deterministic
+	// across replicas even when non-conflicting executions interleave
+	// differently; Section 7). Combined with the canonical state digest it
+	// forms the checkpoint digest (see durability.go).
 	prefixDigest   types.Digest
 	lastCheckpoint types.SeqNum
 
+	// Executed-prefix watermark: execSeq is the highest sequence such that
+	// every block at or below it has executed locally; execDone holds
+	// out-of-order completions above it. Checkpoints are scheduled at lock
+	// time (pendingCps) and emitted once execSeq covers them, because the
+	// canonical state digest needs every covered block applied.
+	execSeq    types.SeqNum
+	execDone   map[types.SeqNum]struct{}
+	pendingCps []cpPoint
+	cpMeta     map[types.SeqNum]cpMeta
+	// stabilized records checkpoints this replica observed reach an nf
+	// quorum, keyed by sequence — the anchors state transfer validates
+	// against.
+	stabilized map[types.SeqNum]types.Digest
+	transfer   *transferState
+	canonCache canonCache
+
+	// Durability (nil = in-memory replica, the pre-WAL behaviour).
+	dur          *wal.Manager
+	rec          *wal.Recovered
+	records      int
+	snapEvery    types.SeqNum
+	lastSnapshot types.SeqNum
+	recovered    bool
+
 	// Metrics (read via Stats after the run).
-	executedTxns  int64
-	executedCross int64
-	execErrors    int64
-	viewChanges   int64
-	retransmits   int64
-	remoteViews   int64
+	executedTxns   int64
+	executedCross  int64
+	execErrors     int64
+	viewChanges    int64
+	retransmits    int64
+	remoteViews    int64
+	stateTransfers int64
+	durErrors      int64
 }
 
 type logEntry struct {
@@ -157,6 +186,23 @@ type Options struct {
 	// shard instead of only the same-index one (quadratic cross-shard
 	// traffic, the pattern Section 4.3.6 is designed to avoid).
 	AllToAllForward bool
+
+	// Durability and Recovered come from wal.OpenManager (see
+	// OpenDurability): non-nil Durability makes the replica log executed
+	// blocks and watermarks to the WAL and snapshot at stable checkpoints;
+	// Recovered state is applied during Preload, before any traffic.
+	Durability *wal.Manager
+	Recovered  *wal.Recovered
+}
+
+// OpenDurability opens the durability manager for replica self under
+// cfg.DataDir (per-replica subdirectory), returning it together with the
+// recovered state to pass into Options. fs nil selects the real disk.
+func OpenDurability(cfg types.Config, self types.NodeID, fs wal.FS) (*wal.Manager, *wal.Recovered, error) {
+	dir := wal.Join(cfg.DataDir, fmt.Sprintf("s%d-r%d", self.Shard, self.Index))
+	return wal.OpenManager(wal.ManagerOptions{
+		FS: fs, Dir: dir, FsyncInterval: cfg.FsyncInterval,
+	})
 }
 
 // New creates a RingBFT replica with a preloaded store partition.
@@ -165,6 +211,10 @@ func New(opts Options) *Replica {
 		opts.Clock = time.Now
 	}
 	verifier := crypto.NewVerifier(opts.Auth, opts.Config.VerifyWorkers)
+	snapEvery := opts.Config.SnapshotInterval
+	if snapEvery <= 0 {
+		snapEvery = opts.Config.CheckpointInterval
+	}
 	r := &Replica{
 		cfg:              opts.Config,
 		shard:            opts.Shard,
@@ -184,17 +234,37 @@ func New(opts Options) *Replica {
 		awaitingProposal: make(map[types.Digest]*pendingProposal),
 		proposed:         make(map[types.Digest]struct{}),
 		allToAll:         opts.AllToAllForward,
+		execDone:         make(map[types.SeqNum]struct{}),
+		cpMeta:           make(map[types.SeqNum]cpMeta),
+		stabilized:       make(map[types.SeqNum]types.Digest),
+		dur:              opts.Durability,
+		rec:              opts.Recovered,
+		snapEvery:        snapEvery,
 	}
 	r.engine = pbft.New(opts.Shard, opts.Self, opts.Peers, opts.Auth, pbft.Callbacks{
 		Send:        func(to types.NodeID, m *types.Message) { r.send(to, m) },
 		Committed:   r.onCommitted,
 		ViewChanged: r.onViewChanged,
+		Stabilized:  r.onStabilized,
 	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Window: opts.Window, Verifier: verifier})
 	return r
 }
 
-// Preload installs n records of this shard's partition (see store.KV.Preload).
-func (r *Replica) Preload(records int) { r.kv.Preload(r.shard, r.cfg.Shards, records) }
+// Preload installs n records of this shard's partition (see
+// store.KV.Preload), then — for a durable replica — applies the state
+// recovered from disk on top: the latest snapshot's table and ledger, plus
+// the WAL tail replay. Call before the first message is handled.
+func (r *Replica) Preload(records int) {
+	r.records = records
+	r.kv.Preload(r.shard, r.cfg.Shards, records)
+	if r.dur != nil && r.rec != nil && !r.rec.Empty() {
+		r.applyRecovered(r.rec)
+	}
+	r.rec = nil
+}
+
+// Recovered reports whether this replica resumed from durable state.
+func (r *Replica) Recovered() bool { return r.recovered }
 
 // Store returns the replica's key-value partition (for inspection).
 func (r *Replica) Store() *store.KV { return r.kv }
@@ -219,28 +289,38 @@ type Stats struct {
 	// read in Σ) and fell back to the deterministic sentinel result 0. Any
 	// non-zero value means Σ accumulation is broken; happy-path tests assert
 	// it stays 0.
-	ExecErrors   int64
-	ViewChanges  int64
-	Retransmits  int64
-	RemoteViews  int64
+	ExecErrors  int64
+	ViewChanges int64
+	Retransmits int64
+	RemoteViews int64
+	// StateTransfers counts canonical states installed from peers (crash
+	// recovery with a gap, dark replicas, wiped rejoins).
+	StateTransfers int64
+	// DurErrors counts durability-layer write failures (0 on any healthy
+	// filesystem; recovery degrades gracefully but tests assert 0).
+	DurErrors    int64
 	LockedKeys   int
 	LedgerHeight int
 	KMax         types.SeqNum
+	ExecSeq      types.SeqNum
 }
 
 // Stats returns a snapshot of the replica's counters. Call only from the
 // replica's own goroutine or after Run returns.
 func (r *Replica) Stats() Stats {
 	return Stats{
-		ExecutedTxns:  r.executedTxns,
-		ExecutedCross: r.executedCross,
-		ExecErrors:    r.execErrors,
-		ViewChanges:   r.viewChanges,
-		Retransmits:   r.retransmits,
-		RemoteViews:   r.remoteViews,
-		LockedKeys:    r.locks.Count(),
-		LedgerHeight:  r.chain.Height(),
-		KMax:          r.kmax,
+		ExecutedTxns:   r.executedTxns,
+		ExecutedCross:  r.executedCross,
+		ExecErrors:     r.execErrors,
+		ViewChanges:    r.viewChanges,
+		Retransmits:    r.retransmits,
+		RemoteViews:    r.remoteViews,
+		StateTransfers: r.stateTransfers,
+		DurErrors:      r.durErrors,
+		LockedKeys:     r.locks.Count(),
+		LedgerHeight:   r.chain.Height(),
+		KMax:           r.kmax,
+		ExecSeq:        r.execSeq,
 	}
 }
 
@@ -288,6 +368,10 @@ func (r *Replica) HandleMessage(m *types.Message) {
 		r.onExecute(m)
 	case types.MsgRemoteView:
 		r.onRemoteView(m)
+	case types.MsgStateRequest:
+		r.onStateRequest(m)
+	case types.MsgStateSnapshot:
+		r.onStateSnapshot(m)
 	}
 }
 
@@ -397,7 +481,10 @@ func (r *Replica) drainLockQueue() {
 }
 
 // advancePrefix folds the committed batch digest into the rolling prefix
-// digest and emits a checkpoint every CheckpointInterval sequences.
+// digest, durably records the watermark advance, and schedules a
+// checkpoint every CheckpointInterval sequences. The checkpoint is emitted
+// by maybeEmitCheckpoints once local execution covers it, because its
+// digest certifies the canonical state at that sequence (durability.go).
 func (r *Replica) advancePrefix(b *types.Batch) {
 	d := b.Digest()
 	var buf [72]byte
@@ -408,8 +495,10 @@ func (r *Replica) advancePrefix(b *types.Batch) {
 	interval := r.cfg.CheckpointInterval
 	if interval > 0 && r.kmax >= r.lastCheckpoint+interval {
 		r.lastCheckpoint = r.kmax
-		r.engine.MakeCheckpoint(r.kmax, r.prefixDigest)
+		r.pendingCps = append(r.pendingCps, cpPoint{seq: r.kmax, prefix: r.prefixDigest})
 	}
+	r.logProgress(d)
+	r.maybeEmitCheckpoints()
 }
 
 // afterLocked runs once a committed batch holds its locks: single-shard
@@ -419,6 +508,8 @@ func (r *Replica) afterLocked(ent *logEntry) {
 	b := ent.batch
 	if len(b.Txns) == 0 { // no-op filler from a view change
 		r.locks.Unlock(r.localKeys(b), lockOwner(b))
+		r.logBlock(ent.seq, r.engine.Primary(r.engine.View()), b, nil)
+		r.markExecuted(ent.seq)
 		return
 	}
 	d := b.Digest()
@@ -426,7 +517,10 @@ func (r *Replica) afterLocked(ent *logEntry) {
 		results := r.executeBatch(b, nil, nil)
 		r.locks.Unlock(r.localKeys(b), lockOwner(b))
 		r.executed[d] = results
-		r.chain.Append(ent.seq, r.engine.Primary(r.engine.View()), b)
+		primary := r.engine.Primary(r.engine.View())
+		r.chain.Append(ent.seq, primary, b)
+		r.logBlock(ent.seq, primary, b, results)
+		r.markExecuted(ent.seq)
 		r.respond(clientOf(b), d, results)
 		r.drainLockQueue()
 		return
@@ -559,3 +653,7 @@ func (r *Replica) ViewChangeCount() int64 { return r.viewChanges }
 // RetransmitCount returns the number of Forward retransmissions performed.
 // Safe to call only after Run has returned (or from the replica goroutine).
 func (r *Replica) RetransmitCount() int64 { return r.retransmits }
+
+// StateTransferCount returns the number of peer state transfers installed.
+// Safe to call only after Run has returned (or from the replica goroutine).
+func (r *Replica) StateTransferCount() int64 { return r.stateTransfers }

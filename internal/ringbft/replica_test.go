@@ -1,16 +1,20 @@
 package ringbft
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"ringbft/internal/crypto"
 	"ringbft/internal/types"
+	"ringbft/internal/wal"
 )
 
 // cluster is a deterministic in-memory test harness: z shards × n replicas
 // wired through a message queue pumped to quiescence, with an injectable
-// clock and a drop filter for fault injection.
+// clock and a drop filter for fault injection. A cluster built by
+// newDurableCluster backs every replica with the wal subsystem on a shared
+// MemFS, enabling kill / restart / wipe fault injection.
 type cluster struct {
 	t        *testing.T
 	cfg      types.Config
@@ -19,6 +23,11 @@ type cluster struct {
 	drop     func(from, to types.NodeID, m *types.Message) bool
 	client   map[types.NodeID][]*types.Message // responses per client
 	now      time.Time
+
+	kg      *crypto.Keygen
+	n       int
+	records int
+	fs      *wal.MemFS // nil = in-memory-only replicas
 }
 
 type routed struct {
@@ -37,9 +46,23 @@ func newClusterExec(t *testing.T, z, n, execWorkers int) *cluster {
 // newClusterWith builds a cluster with a config mutator applied before the
 // replicas are constructed.
 func newClusterWith(t *testing.T, z, n int, mutate func(*types.Config)) *cluster {
+	return newClusterFS(t, z, n, mutate, nil)
+}
+
+// newDurableCluster builds a cluster whose replicas run the durability
+// subsystem against a shared in-memory filesystem, so tests can kill,
+// restart, and wipe replicas.
+func newDurableCluster(t *testing.T, z, n int, mutate func(*types.Config)) *cluster {
+	return newClusterFS(t, z, n, mutate, wal.NewMemFS())
+}
+
+func newClusterFS(t *testing.T, z, n int, mutate func(*types.Config), fs *wal.MemFS) *cluster {
 	t.Helper()
 	cfg := types.DefaultConfig(z, n)
 	cfg.BatchSize = 2
+	if fs != nil {
+		cfg.DataDir = "data"
+	}
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -48,43 +71,71 @@ func newClusterWith(t *testing.T, z, n int, mutate func(*types.Config)) *cluster
 		replicas: make(map[types.NodeID]*Replica),
 		client:   make(map[types.NodeID][]*types.Message),
 		now:      time.Unix(0, 0),
-	}
-	kg := crypto.NewKeygen(7)
-	var all []types.NodeID
-	for s := 0; s < z; s++ {
-		for i := 0; i < n; i++ {
-			all = append(all, types.ReplicaNode(types.ShardID(s), i))
-		}
-	}
-	for _, id := range all {
-		kg.Register(id)
+		kg:       crypto.NewKeygen(7),
+		n:        n,
+		records:  64,
+		fs:       fs,
 	}
 	for s := 0; s < z; s++ {
-		peers := make([]types.NodeID, n)
 		for i := 0; i < n; i++ {
-			peers[i] = types.ReplicaNode(types.ShardID(s), i)
+			c.kg.Register(types.ReplicaNode(types.ShardID(s), i))
 		}
+	}
+	for s := 0; s < z; s++ {
 		for i := 0; i < n; i++ {
-			id := peers[i]
-			ring, err := kg.Ring(id)
-			if err != nil {
-				t.Fatal(err)
-			}
-			r := New(Options{
-				Config: cfg, Shard: types.ShardID(s), Self: id, Peers: peers,
-				Auth: ring,
-				Send: func(from types.NodeID) Sender {
-					return func(to types.NodeID, m *types.Message) {
-						c.queue = append(c.queue, routed{from, to, m})
-					}
-				}(id),
-				Clock: func() time.Time { return c.now },
-			})
-			r.Preload(64)
-			c.replicas[id] = r
+			c.spawn(types.ReplicaNode(types.ShardID(s), i))
 		}
 	}
 	return c
+}
+
+// spawn builds (or rebuilds, after kill) the replica id, recovering from
+// the shared filesystem when the cluster is durable.
+func (c *cluster) spawn(id types.NodeID) *Replica {
+	c.t.Helper()
+	peers := make([]types.NodeID, c.n)
+	for i := 0; i < c.n; i++ {
+		peers[i] = types.ReplicaNode(id.Shard, i)
+	}
+	ring, err := c.kg.Ring(id)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	opts := Options{
+		Config: c.cfg, Shard: id.Shard, Self: id, Peers: peers,
+		Auth: ring,
+		Send: func(from types.NodeID) Sender {
+			return func(to types.NodeID, m *types.Message) {
+				c.queue = append(c.queue, routed{from, to, m})
+			}
+		}(id),
+		Clock: func() time.Time { return c.now },
+	}
+	if c.fs != nil {
+		m, rec, err := OpenDurability(c.cfg, id, c.fs)
+		if err != nil {
+			c.t.Fatalf("open durability for %v: %v", id, err)
+		}
+		opts.Durability = m
+		opts.Recovered = rec
+	}
+	r := New(opts)
+	r.Preload(c.records)
+	c.replicas[id] = r
+	return r
+}
+
+// kill crashes replica id: it stops receiving and sending. Its durability
+// manager is abandoned without Close, exactly like a process crash.
+func (c *cluster) kill(id types.NodeID) { delete(c.replicas, id) }
+
+// restart rebuilds replica id from whatever survives on the shared
+// filesystem and rejoins it to the cluster.
+func (c *cluster) restart(id types.NodeID) *Replica { return c.spawn(id) }
+
+// wipe deletes replica id's data directory (the wiped-rejoin fault).
+func (c *cluster) wipe(id types.NodeID) {
+	c.fs.RemoveAll(wal.Join(c.cfg.DataDir, fmt.Sprintf("s%d-r%d", id.Shard, id.Index)))
 }
 
 // pump delivers queued messages until quiescence.

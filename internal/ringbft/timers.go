@@ -22,6 +22,13 @@ import (
 func (r *Replica) HandleTick(now time.Time) {
 	r.engine.Tick(now)
 	r.tryProposeQueued()
+	if r.dur != nil {
+		// Group commit: the batched fsync of WAL appends since the last one.
+		if err := r.dur.MaybeSync(now); err != nil {
+			r.durErrors++
+		}
+	}
+	r.retryTransfer(now)
 
 	// Local timer, case 1: the primary is sitting on a request.
 	if !r.engine.InViewChange() {

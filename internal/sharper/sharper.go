@@ -26,6 +26,7 @@ import (
 	"ringbft/internal/sched"
 	"ringbft/internal/store"
 	"ringbft/internal/types"
+	"ringbft/internal/wal"
 )
 
 // Sender abstracts the network.
@@ -40,6 +41,13 @@ type Options struct {
 	Auth   crypto.Authenticator
 	Send   Sender
 	Clock  func() time.Time
+
+	// Durability/Recovered come from wal.OpenManager: executed blocks are
+	// WAL-logged, snapshots cut every SnapshotInterval executed sequences,
+	// and a restarted replica resumes from the recovered state (crash-
+	// restart durability only; Sharper has no peer state transfer).
+	Durability *wal.Manager
+	Recovered  *wal.Recovered
 }
 
 // Replica is one Sharper replica.
@@ -71,6 +79,11 @@ type Replica struct {
 	awaiting map[types.Digest]*pending
 	proposed map[types.Digest]struct{}
 	queue    []*types.Batch
+
+	dur       *wal.Manager
+	rec       *wal.Recovered
+	snapEvery types.SeqNum
+	lastSnap  types.SeqNum
 
 	viewChanges int64
 	retransmits int64
@@ -121,6 +134,14 @@ func New(opts Options) *Replica {
 		awaiting: make(map[types.Digest]*pending),
 		proposed: make(map[types.Digest]struct{}),
 		tracker:  pbft.NewCheckpointTracker(opts.Config.CheckpointInterval),
+		dur:      opts.Durability,
+		rec:      opts.Recovered,
+		snapEvery: func() types.SeqNum {
+			if opts.Config.SnapshotInterval > 0 {
+				return opts.Config.SnapshotInterval
+			}
+			return opts.Config.CheckpointInterval
+		}(),
 	}
 	r.engine = pbft.New(opts.Shard, opts.Self, opts.Peers, opts.Auth, pbft.Callbacks{
 		Send:      func(to types.NodeID, m *types.Message) { r.send(to, m) },
@@ -133,8 +154,50 @@ func New(opts Options) *Replica {
 	return r
 }
 
-// Preload installs this shard's store partition.
-func (r *Replica) Preload(records int) { r.kv.Preload(r.shard, r.cfg.Shards, records) }
+// Preload installs this shard's store partition, then applies any state
+// recovered from disk (durable replicas).
+func (r *Replica) Preload(records int) {
+	r.kv.Preload(r.shard, r.cfg.Shards, records)
+	if r.dur != nil && r.rec != nil && !r.rec.Empty() {
+		r.applyRecovered(r.rec)
+	}
+	r.rec = nil
+}
+
+// applyRecovered restores the store, ledger, and execution watermark from
+// a snapshot plus the WAL tail (wal.ApplySequential — Sharper executes
+// strictly in sequence order).
+func (r *Replica) applyRecovered(rec *wal.Recovered) {
+	st := rec.ApplySequential(r.kv, r.chain, r.shard, r.cfg.Shards, func(d types.Digest, res []types.Value) {
+		r.executed[d] = res
+		r.proposed[d] = struct{}{}
+	})
+	r.chain = st.Chain
+	r.execNext = st.ExecNext
+	r.lastSnap = st.LastSnap
+	if st.View > 0 {
+		r.engine.ForceView(st.View)
+	}
+	r.engine.ResumeAt(r.execNext, r.execNext+1)
+}
+
+// logExecuted durably records an executed block and cuts a snapshot every
+// SnapshotInterval executed sequences (pruning the chain and collecting
+// covered WAL segments).
+func (r *Replica) logExecuted(seq types.SeqNum, primary types.NodeID, batch *types.Batch, results []types.Value) {
+	if r.dur == nil {
+		return
+	}
+	_ = r.dur.LogBlock(seq, primary, batch, results)
+	if r.snapEvery > 0 && seq >= r.lastSnap+r.snapEvery {
+		r.chain.Prune(seq)
+		snap := wal.SequentialSnapshot(r.shard, seq, r.engine.View(), r.kv, r.chain,
+			func(d types.Digest) []types.Value { return r.executed[d] })
+		if r.dur.SaveSnapshot(snap) == nil {
+			r.lastSnap = seq
+		}
+	}
+}
 
 // Chain returns the replica's ledger.
 func (r *Replica) Chain() *ledger.Chain { return r.chain }
@@ -528,6 +591,7 @@ func (r *Replica) drainExec() {
 		delete(r.entries, r.execNext+1)
 		r.execNext++
 		if len(b.Txns) == 0 {
+			r.logExecuted(e.seq, r.engine.Primary(r.engine.View()), b, nil)
 			continue
 		}
 		d := b.Digest()
@@ -535,7 +599,9 @@ func (r *Replica) drainExec() {
 			return r.kv.ExecuteTxnPartial(&b.Txns[i], r.shard, r.cfg.Shards), nil
 		})
 		r.executed[d] = results
-		r.chain.Append(e.seq, r.engine.Primary(r.engine.View()), b)
+		primary := r.engine.Primary(r.engine.View())
+		r.chain.Append(e.seq, primary, b)
+		r.logExecuted(e.seq, primary, b, results)
 		if b.Initiator() == r.shard {
 			r.respond(clientOf(b), d, results)
 		}

@@ -6,6 +6,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"ringbft/internal/types"
@@ -123,6 +124,15 @@ func (kv *KV) ExecuteTxn(t *types.Txn, s types.ShardID, z int, remote map[types.
 	return combined, nil
 }
 
+// ApplyTxnWrites applies only the write half of t's read-modify-write with
+// a precomputed combined operand. WAL replay and peer state transfer use it:
+// the combined value was recorded at original execution time, so recovery
+// re-applies writes deterministically without the cross-shard read values
+// (Σ) that produced it.
+func (kv *KV) ApplyTxnWrites(t *types.Txn, s types.ShardID, z int, combined types.Value) {
+	kv.applyWrites(t, s, z, combined)
+}
+
 func (kv *KV) applyWrites(t *types.Txn, s types.ShardID, z int, combined types.Value) {
 	for _, k := range t.Writes {
 		if types.OwnerShard(k, z) != s {
@@ -181,6 +191,47 @@ func (kv *KV) Digest() types.Digest {
 		}
 	}
 	return d
+}
+
+// Pair is one record of the table, used by snapshots (package wal) and
+// state transfer (the wire type lives in package types).
+type Pair = types.Pair
+
+// Pairs returns every record sorted by key — the canonical dump a snapshot
+// persists. Like Digest, it read-locks every stripe for the duration and
+// must not run concurrently with batch execution.
+func (kv *KV) Pairs() []Pair {
+	for i := range kv.stripes {
+		kv.stripes[i].mu.RLock()
+	}
+	n := 0
+	for i := range kv.stripes {
+		n += len(kv.stripes[i].data)
+	}
+	out := make([]Pair, 0, n)
+	for i := range kv.stripes {
+		for k, v := range kv.stripes[i].data {
+			out = append(out, Pair{K: k, V: v})
+		}
+	}
+	for i := range kv.stripes {
+		kv.stripes[i].mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}
+
+// Restore replaces the entire table content with pairs (crash recovery and
+// peer state transfer installs).
+func (kv *KV) Restore(pairs []Pair) {
+	for i := range kv.stripes {
+		kv.stripes[i].mu.Lock()
+		kv.stripes[i].data = make(map[types.Key]types.Value)
+		kv.stripes[i].mu.Unlock()
+	}
+	for _, p := range pairs {
+		kv.Set(p.K, p.V)
+	}
 }
 
 // ExecuteTxnPartial applies the shard-local fragment of t treating missing

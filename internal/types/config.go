@@ -30,6 +30,28 @@ type Config struct {
 	// checkpoint broadcasts (attack A3: replicas in dark catch up).
 	CheckpointInterval SeqNum
 
+	// DataDir enables the durability subsystem (internal/wal): each replica
+	// keeps a segmented write-ahead log and snapshot files under
+	// DataDir/s<shard>-r<index>, recovers from them on restart, and serves
+	// peer state transfer from its durable checkpoints. Empty = in-memory
+	// only (the pre-durability behaviour).
+	DataDir string
+
+	// FsyncInterval is the WAL group-commit interval: appends are
+	// acknowledged immediately and fsynced together once per interval.
+	// 0 fsyncs on every append (safest, slowest). A crash loses at most
+	// one interval of unsynced tail, which recovery treats exactly like
+	// messages a replica in the dark never received.
+	FsyncInterval time.Duration
+
+	// SnapshotInterval is the minimum number of sequence numbers between
+	// durable snapshots. Snapshots are cut at stable PBFT checkpoints, so
+	// the effective cadence is the first stable checkpoint at or past the
+	// interval; afterwards WAL segments below the snapshot and in-memory
+	// ledger blocks below the checkpoint are garbage-collected. 0 defaults
+	// to CheckpointInterval.
+	SnapshotInterval SeqNum
+
 	// Timers (Section 5, "Triggering of Timers"): local < remote < transmit.
 	LocalTimeout    time.Duration // view-change trigger
 	RemoteTimeout   time.Duration // remote view-change trigger (Fig 6)

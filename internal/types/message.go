@@ -22,6 +22,12 @@ const (
 	MsgRemoteView // remote view-change request (Fig 6)
 	MsgResponse   // replica -> client
 
+	// State transfer: a replica too far behind a stable checkpoint — a
+	// restarted replica with a gap, or one whose data dir was wiped — asks
+	// its shard peers for the certified chain prefix instead of stalling.
+	MsgStateRequest  // replica -> shard peers: need state at checkpoint Seq
+	MsgStateSnapshot // peer -> replica: blocks+results up to its stable seq
+
 	// AHL (reference committee + 2PC)
 	MsgAHLPrepare  // committee -> shard: prepare(T) (2PC phase 1)
 	MsgAHLVote     // shard -> committee: vote commit/abort
@@ -53,6 +59,7 @@ const (
 var msgTypeNames = [...]string{
 	"ClientRequest", "PrePrepare", "Prepare", "Commit", "Checkpoint",
 	"ViewChange", "NewView", "Forward", "Execute", "RemoteView", "Response",
+	"StateRequest", "StateSnapshot",
 	"AHLPrepare", "AHLVote", "AHLDecision",
 	"SharperPropose", "SharperPrepare", "SharperCommit",
 	"ZyzOrderReq", "ZyzSpecResp", "ZyzCommitCert", "ZyzLocalCommit",
@@ -87,6 +94,11 @@ type Message struct {
 	Decision  bool       // AHLDecision / AHLVote: commit (true) or abort
 	Instance  int        // RCC: concurrent instance id; Zyzzyva/HotStuff phase reuse
 
+	// State is the state-transfer payload of MsgStateSnapshot: the
+	// responder's canonical state at its latest stable checkpoint, bound to
+	// the checkpoint certificate (see StatePayload).
+	State *StatePayload
+
 	// View-change payloads (PBFT view change; Castro & Liskov).
 	StableSeq SeqNum          // last stable checkpoint sequence
 	Prepared  []PreparedProof // P set: proofs of prepared batches after StableSeq
@@ -109,6 +121,30 @@ type Signed struct {
 	Seq    SeqNum
 	Digest Digest
 	Sig    []byte
+}
+
+// Pair is one key-value record, as shipped by snapshots and state transfer.
+type Pair struct {
+	K Key
+	V Value
+}
+
+// StatePayload is the peer state-transfer payload: the shard's canonical
+// key-value state as of stable checkpoint Seq — the state obtained by
+// executing exactly the blocks with sequence number <= Seq, which every
+// honest replica agrees on even though their live stores interleave later
+// writes differently. The payload is self-certifying against the checkpoint
+// certificate: the checkpoint digest nf replicas signed is
+// H(PrefixDigest || StateDigest), and StateDigest is the SHA-256 of Pairs
+// in sorted key order, so a Byzantine responder cannot substitute state
+// without breaking a collision-resistant hash chain back to nf signatures.
+// Every field a receiver installs is covered by that chain — nothing in
+// the payload is trusted on the responder's word alone.
+type StatePayload struct {
+	Seq          SeqNum
+	PrefixDigest Digest // rolling ledger-order digest at Seq
+	StateDigest  Digest // SHA-256 over Pairs in ascending key order
+	Pairs        []Pair // canonical records, ascending key order
 }
 
 // PreparedProof is an element of a view-change message's P set: a batch that
@@ -229,6 +265,14 @@ func (m *Message) WireSize() int {
 		return sizeExecute + ws
 	case MsgRemoteView:
 		return sizeCommit
+	case MsgStateRequest:
+		return sizeHeader
+	case MsgStateSnapshot:
+		n := sizeHeader + 2*32 + 8
+		if m.State != nil {
+			n += 16 * len(m.State.Pairs)
+		}
+		return n
 	case MsgResponse, MsgZyzSpecResp:
 		return sizeHeader + 8*len(m.Results)
 	case MsgSharperPrepare, MsgSharperCommit:

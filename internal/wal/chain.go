@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"ringbft/internal/ledger"
+	"ringbft/internal/store"
+	"ringbft/internal/types"
+)
+
+// CaptureChain fills the snapshot's ledger section from a live chain:
+// the base header the retained suffix rests on, and every retained block
+// with its cached execution results (resolved through results, typically
+// the replica's executed-batches cache).
+func (s *Snapshot) CaptureChain(c *ledger.Chain, results func(types.Digest) []types.Value) {
+	base, baseIdx := c.Base()
+	s.Base = BlockHeader{
+		Seq: base.Seq, Digest: base.Digest, Primary: base.Primary,
+		PrevHash: base.PrevHash, MerkleRoot: base.MerkleRoot, TxnCount: base.TxnCount,
+	}
+	s.BaseIndex = baseIdx
+	s.Blocks = s.Blocks[:0]
+	for _, b := range c.Blocks()[1:] {
+		if b.Batch == nil {
+			continue
+		}
+		s.Blocks = append(s.Blocks, SnapBlock{
+			Seq: b.Seq, Primary: b.Primary, Batch: b.Batch, Results: results(b.Digest),
+		})
+	}
+}
+
+// SequentialState is what ApplySequential recovers for a replica that
+// executes strictly in sequence order (the AHL and Sharper baselines,
+// whose executed watermark doubles as k_max).
+type SequentialState struct {
+	Chain    *ledger.Chain
+	ExecNext types.SeqNum
+	View     types.View
+	LastSnap types.SeqNum
+}
+
+// ApplySequential rebuilds store and ledger state from a snapshot plus the
+// WAL tail for an in-order executor: the snapshot's pairs replace the
+// (preloaded) table, the captured chain is rebuilt, and tail block records
+// re-apply their writes from the recorded results. onBatch fires for every
+// recovered batch so the caller can repopulate its executed/ordered
+// caches. chain is the replica's current (genesis) chain, used when no
+// snapshot was recovered.
+func (rec *Recovered) ApplySequential(kv *store.KV, chain *ledger.Chain, shard types.ShardID, z int, onBatch func(types.Digest, []types.Value)) SequentialState {
+	st := SequentialState{Chain: chain}
+	if snap := rec.Snap; snap != nil {
+		st.View = snap.View
+		kv.Restore(snap.Pairs)
+		st.Chain = snap.RebuildChain(func(sb *SnapBlock) {
+			onBatch(sb.Batch.Digest(), sb.Results)
+		})
+		st.ExecNext = snap.KMax
+		st.LastSnap = snap.StableSeq
+	}
+	for i := range rec.Tail {
+		t := &rec.Tail[i]
+		if t.Kind != KindBlock {
+			continue
+		}
+		if len(t.Batch.Txns) > 0 {
+			for j := range t.Batch.Txns {
+				if j >= len(t.Results) {
+					break
+				}
+				kv.ApplyTxnWrites(&t.Batch.Txns[j], shard, z, t.Results[j])
+			}
+			onBatch(t.Batch.Digest(), t.Results)
+			st.Chain.Append(t.Seq, t.Primary, t.Batch)
+		}
+		if t.Seq > st.ExecNext {
+			st.ExecNext = t.Seq
+		}
+	}
+	return st
+}
+
+// SequentialSnapshot captures an in-order executor's current durable cut
+// at executed sequence seq.
+func SequentialSnapshot(shard types.ShardID, seq types.SeqNum, view types.View, kv *store.KV, chain *ledger.Chain, results func(types.Digest) []types.Value) *Snapshot {
+	s := &Snapshot{
+		Shard: shard, StableSeq: seq, KMax: seq, ExecSeq: seq,
+		View: view, Pairs: kv.Pairs(),
+	}
+	s.CaptureChain(chain, results)
+	return s
+}
+
+// RebuildChain reconstructs the chain a snapshot captured, re-deriving
+// every hash link (so a damaged snapshot that slipped past the checksum
+// still cannot produce a chain that fails Verify silently). onBlock is
+// invoked per rebuilt block so the caller can repopulate caches.
+func (s *Snapshot) RebuildChain(onBlock func(*SnapBlock)) *ledger.Chain {
+	base := &ledger.Block{
+		Seq: s.Base.Seq, Digest: s.Base.Digest, Primary: s.Base.Primary,
+		PrevHash: s.Base.PrevHash, MerkleRoot: s.Base.MerkleRoot, TxnCount: s.Base.TxnCount,
+	}
+	c := ledger.Rebuild(s.Shard, base, s.BaseIndex, nil)
+	for i := range s.Blocks {
+		sb := &s.Blocks[i]
+		c.Append(sb.Seq, sb.Primary, sb.Batch)
+		if onBlock != nil {
+			onBlock(sb)
+		}
+	}
+	return c
+}

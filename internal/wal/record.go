@@ -1,0 +1,236 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ringbft/internal/types"
+)
+
+// RecordKind discriminates WAL record payloads.
+type RecordKind uint8
+
+const (
+	// KindBlock records one executed block: the ordered batch plus the
+	// per-transaction combined results. Results ride along so crash
+	// recovery can re-apply the writes deterministically without the
+	// cross-shard Σ values that produced them (a restarted replica cannot
+	// re-collect remote read sets).
+	KindBlock RecordKind = iota + 1
+	// KindProgress records the consensus watermarks advanced at lock time:
+	// k_max, the rolling prefix digest, the last checkpoint scheduled, and
+	// the digest of the batch whose lock advanced k_max. Cross-shard blocks
+	// execute after their sequence locks, so these cannot be derived from
+	// block records alone — and the batch digest lets recovery mark the
+	// batch as already ordered, so a restarted primary never re-proposes a
+	// batch the shard committed before the crash.
+	KindProgress
+)
+
+// Record is one WAL entry. LSN is assigned by Append and is strictly
+// increasing across segments; replay uses it to cut duplicated tails.
+type Record struct {
+	LSN  uint64
+	Kind RecordKind
+
+	// KindBlock fields.
+	Seq     types.SeqNum
+	Primary types.NodeID
+	Batch   *types.Batch
+	Results []types.Value
+
+	// KindProgress fields (Seq doubles as k_max).
+	PrefixDigest   types.Digest
+	LastCheckpoint types.SeqNum
+	BatchDigest    types.Digest
+	View           types.View // view at lock time, so recovery rejoins it
+}
+
+// ErrCorrupt reports a record that fails structural or checksum validation
+// somewhere other than the replayable tail of the last segment.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err bool
+}
+
+func (r *reader) u64() uint64 {
+	if r.err || r.off+8 > len(r.buf) {
+		r.err = true
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) digest() (d types.Digest) {
+	if r.err || r.off+32 > len(r.buf) {
+		r.err = true
+		return
+	}
+	copy(d[:], r.buf[r.off:])
+	r.off += 32
+	return
+}
+
+func (r *reader) count(max uint64) int {
+	n := r.u64()
+	// Length sanity bound: a hostile or damaged length must not drive an
+	// allocation; every element needs at least 8 encoded bytes.
+	if n > max || n*8 > uint64(len(r.buf)-r.off) {
+		r.err = true
+		return 0
+	}
+	return int(n)
+}
+
+// appendBatch encodes b canonically (same field order as Batch.Digest).
+func appendBatch(dst []byte, b *types.Batch) []byte {
+	dst = appendU64(dst, uint64(len(b.Txns)))
+	for i := range b.Txns {
+		t := &b.Txns[i]
+		dst = appendU64(dst, uint64(t.ID.Client))
+		dst = appendU64(dst, t.ID.Seq)
+		dst = appendU64(dst, uint64(len(t.Reads)))
+		for _, k := range t.Reads {
+			dst = appendU64(dst, uint64(k))
+		}
+		dst = appendU64(dst, uint64(len(t.Writes)))
+		for _, k := range t.Writes {
+			dst = appendU64(dst, uint64(k))
+		}
+		dst = appendU64(dst, uint64(t.Delta))
+	}
+	dst = appendU64(dst, uint64(len(b.Involved)))
+	for _, s := range b.Involved {
+		dst = appendU64(dst, uint64(s))
+	}
+	return dst
+}
+
+func (r *reader) batch() *types.Batch {
+	nTxns := r.count(1 << 20)
+	b := &types.Batch{Txns: make([]types.Txn, nTxns)}
+	for i := 0; i < nTxns; i++ {
+		t := &b.Txns[i]
+		t.ID.Client = types.ClientID(r.u64())
+		t.ID.Seq = r.u64()
+		nr := r.count(1 << 20)
+		t.Reads = make([]types.Key, nr)
+		for j := range t.Reads {
+			t.Reads[j] = types.Key(r.u64())
+		}
+		nw := r.count(1 << 20)
+		t.Writes = make([]types.Key, nw)
+		for j := range t.Writes {
+			t.Writes[j] = types.Key(r.u64())
+		}
+		t.Delta = types.Value(r.u64())
+	}
+	ni := r.count(1 << 16)
+	b.Involved = make([]types.ShardID, ni)
+	for j := range b.Involved {
+		b.Involved[j] = types.ShardID(r.u64())
+	}
+	if r.err {
+		return nil
+	}
+	return b
+}
+
+func appendNodeID(dst []byte, id types.NodeID) []byte {
+	dst = append(dst, byte(id.Kind))
+	dst = appendU64(dst, uint64(id.Shard))
+	return appendU64(dst, uint64(id.Index))
+}
+
+func (r *reader) nodeID() (id types.NodeID) {
+	if r.err || r.off >= len(r.buf) {
+		r.err = true
+		return
+	}
+	id.Kind = types.NodeKind(r.buf[r.off])
+	r.off++
+	id.Shard = types.ShardID(r.u64())
+	id.Index = int(r.u64())
+	return
+}
+
+// encode serializes rec's payload (everything but the frame).
+func (rec *Record) encode(dst []byte) []byte {
+	dst = appendU64(dst, rec.LSN)
+	dst = append(dst, byte(rec.Kind))
+	switch rec.Kind {
+	case KindBlock:
+		dst = appendU64(dst, uint64(rec.Seq))
+		dst = appendNodeID(dst, rec.Primary)
+		dst = appendBatch(dst, rec.Batch)
+		dst = appendU64(dst, uint64(len(rec.Results)))
+		for _, v := range rec.Results {
+			dst = appendU64(dst, uint64(v))
+		}
+	case KindProgress:
+		dst = appendU64(dst, uint64(rec.Seq))
+		dst = append(dst, rec.PrefixDigest[:]...)
+		dst = appendU64(dst, uint64(rec.LastCheckpoint))
+		dst = append(dst, rec.BatchDigest[:]...)
+		dst = appendU64(dst, uint64(rec.View))
+	}
+	return dst
+}
+
+// decodeRecord parses one payload. A nil return means the payload is
+// malformed (treated as corruption by the caller).
+func decodeRecord(buf []byte) *Record {
+	r := &reader{buf: buf}
+	rec := &Record{LSN: r.u64()}
+	if r.err || r.off >= len(buf) {
+		return nil
+	}
+	rec.Kind = RecordKind(buf[r.off])
+	r.off++
+	switch rec.Kind {
+	case KindBlock:
+		rec.Seq = types.SeqNum(r.u64())
+		rec.Primary = r.nodeID()
+		rec.Batch = r.batch()
+		n := r.count(1 << 20)
+		rec.Results = make([]types.Value, n)
+		for i := range rec.Results {
+			rec.Results[i] = types.Value(r.u64())
+		}
+	case KindProgress:
+		rec.Seq = types.SeqNum(r.u64())
+		rec.PrefixDigest = r.digest()
+		rec.LastCheckpoint = types.SeqNum(r.u64())
+		rec.BatchDigest = r.digest()
+		rec.View = types.View(r.u64())
+	default:
+		return nil
+	}
+	if r.err || r.off != len(buf) {
+		return nil
+	}
+	return rec
+}
+
+func (k RecordKind) String() string {
+	switch k {
+	case KindBlock:
+		return "block"
+	case KindProgress:
+		return "progress"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}

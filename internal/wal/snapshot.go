@@ -1,0 +1,270 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"strings"
+
+	"ringbft/internal/store"
+	"ringbft/internal/types"
+)
+
+// snapMagic versions the snapshot format.
+var snapMagic = []byte("RBSNAP1\n")
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+	// snapKeep is how many snapshot generations are retained; older files
+	// are removed after a new snapshot lands (the latest alone suffices,
+	// one extra survives a corrupt write of the newest).
+	snapKeep = 2
+)
+
+// BlockHeader carries the chain-linking fields of the ledger block a pruned
+// chain rests on, so the first retained block's PrevHash still verifies.
+type BlockHeader struct {
+	Seq        types.SeqNum
+	Digest     types.Digest
+	Primary    types.NodeID
+	PrevHash   types.Digest
+	MerkleRoot types.Digest
+	TxnCount   int
+}
+
+// SnapBlock is one retained ledger block: enough to rebuild the block and
+// to re-apply its writes without re-collecting cross-shard read sets.
+type SnapBlock struct {
+	Seq     types.SeqNum
+	Primary types.NodeID
+	Batch   *types.Batch
+	Results []types.Value
+}
+
+// Snapshot is a consistent cut of a replica's durable state, positioned in
+// the WAL: the key-value table, the retained ledger suffix, and the
+// consensus watermarks, all as of WAL position WalLSN. Recovery loads the
+// snapshot and replays records with LSN > WalLSN on top.
+type Snapshot struct {
+	Shard types.ShardID
+
+	// StableSeq/CheckpointDigest anchor the snapshot to the stable PBFT
+	// checkpoint that triggered it — the (seq, digest) pair nf replicas
+	// signed, which peer state transfer validates against.
+	StableSeq        types.SeqNum
+	CheckpointDigest types.Digest
+
+	KMax           types.SeqNum
+	ExecSeq        types.SeqNum // contiguous executed-prefix watermark
+	View           types.View   // PBFT view at the cut
+	PrefixDigest   types.Digest
+	LastCheckpoint types.SeqNum
+	WalLSN         uint64 // highest LSN already reflected in this snapshot
+
+	Base      BlockHeader
+	BaseIndex int // absolute chain index of Base (0 = genesis)
+	Blocks    []SnapBlock
+
+	Pairs []store.Pair
+}
+
+// ErrNoSnapshot is returned by LoadLatest when no valid snapshot exists.
+var ErrNoSnapshot = errors.New("wal: no valid snapshot")
+
+func appendDigest(dst []byte, d types.Digest) []byte { return append(dst, d[:]...) }
+
+func appendHeader(dst []byte, h *BlockHeader) []byte {
+	dst = appendU64(dst, uint64(h.Seq))
+	dst = appendDigest(dst, h.Digest)
+	dst = appendNodeID(dst, h.Primary)
+	dst = appendDigest(dst, h.PrevHash)
+	dst = appendDigest(dst, h.MerkleRoot)
+	return appendU64(dst, uint64(h.TxnCount))
+}
+
+func (r *reader) header() (h BlockHeader) {
+	h.Seq = types.SeqNum(r.u64())
+	h.Digest = r.digest()
+	h.Primary = r.nodeID()
+	h.PrevHash = r.digest()
+	h.MerkleRoot = r.digest()
+	h.TxnCount = int(r.u64())
+	return
+}
+
+// Encode serializes s: magic, payload, CRC32C trailer.
+func (s *Snapshot) Encode() []byte {
+	dst := append([]byte(nil), snapMagic...)
+	dst = appendU64(dst, uint64(s.Shard))
+	dst = appendU64(dst, uint64(s.StableSeq))
+	dst = appendDigest(dst, s.CheckpointDigest)
+	dst = appendU64(dst, uint64(s.KMax))
+	dst = appendU64(dst, uint64(s.ExecSeq))
+	dst = appendU64(dst, uint64(s.View))
+	dst = appendDigest(dst, s.PrefixDigest)
+	dst = appendU64(dst, uint64(s.LastCheckpoint))
+	dst = appendU64(dst, s.WalLSN)
+	dst = appendHeader(dst, &s.Base)
+	dst = appendU64(dst, uint64(s.BaseIndex))
+	dst = appendU64(dst, uint64(len(s.Blocks)))
+	for i := range s.Blocks {
+		b := &s.Blocks[i]
+		dst = appendU64(dst, uint64(b.Seq))
+		dst = appendNodeID(dst, b.Primary)
+		dst = appendBatch(dst, b.Batch)
+		dst = appendU64(dst, uint64(len(b.Results)))
+		for _, v := range b.Results {
+			dst = appendU64(dst, uint64(v))
+		}
+	}
+	dst = appendU64(dst, uint64(len(s.Pairs)))
+	for _, p := range s.Pairs {
+		dst = appendU64(dst, uint64(p.K))
+		dst = appendU64(dst, uint64(p.V))
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(dst, castagnoli))
+	return append(dst, crc[:]...)
+}
+
+// DecodeSnapshot parses and checksums an encoded snapshot.
+func DecodeSnapshot(buf []byte) (*Snapshot, error) {
+	if len(buf) < len(snapMagic)+4 || string(buf[:len(snapMagic)]) != string(snapMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	r := &reader{buf: body, off: len(snapMagic)}
+	s := &Snapshot{}
+	s.Shard = types.ShardID(r.u64())
+	s.StableSeq = types.SeqNum(r.u64())
+	s.CheckpointDigest = r.digest()
+	s.KMax = types.SeqNum(r.u64())
+	s.ExecSeq = types.SeqNum(r.u64())
+	s.View = types.View(r.u64())
+	s.PrefixDigest = r.digest()
+	s.LastCheckpoint = types.SeqNum(r.u64())
+	s.WalLSN = r.u64()
+	s.Base = r.header()
+	s.BaseIndex = int(r.u64())
+	nb := r.count(1 << 24)
+	s.Blocks = make([]SnapBlock, nb)
+	for i := range s.Blocks {
+		b := &s.Blocks[i]
+		b.Seq = types.SeqNum(r.u64())
+		b.Primary = r.nodeID()
+		b.Batch = r.batch()
+		nr := r.count(1 << 24)
+		b.Results = make([]types.Value, nr)
+		for j := range b.Results {
+			b.Results[j] = types.Value(r.u64())
+		}
+	}
+	np := r.count(1 << 32)
+	s.Pairs = make([]store.Pair, np)
+	for i := range s.Pairs {
+		s.Pairs[i].K = types.Key(r.u64())
+		s.Pairs[i].V = types.Value(r.u64())
+	}
+	if r.err || r.off != len(body) {
+		return nil, fmt.Errorf("%w: malformed snapshot body", ErrCorrupt)
+	}
+	return s, nil
+}
+
+func snapName(seq types.SeqNum) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, uint64(seq), snapSuffix)
+}
+
+func parseSnapName(name string) (types.SeqNum, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	var seq uint64
+	_, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), "%x", &seq)
+	return types.SeqNum(seq), err == nil
+}
+
+// WriteSnapshot atomically persists s into dir (tmp file + rename) and
+// removes snapshot generations beyond snapKeep.
+func WriteSnapshot(fs FS, dir string, s *Snapshot) error {
+	if err := fs.MkdirAll(dir); err != nil {
+		return err
+	}
+	name := snapName(s.StableSeq)
+	tmp := Join(dir, name+".tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(s.Encode()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, Join(dir, name)); err != nil {
+		return err
+	}
+	// Prune old generations.
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var snaps []string
+	for _, n := range names {
+		if _, ok := parseSnapName(n); ok {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Strings(snaps)
+	for len(snaps) > snapKeep {
+		if err := fs.Remove(Join(dir, snaps[0])); err != nil {
+			return err
+		}
+		snaps = snaps[1:]
+	}
+	return nil
+}
+
+// LoadLatest returns the newest snapshot in dir that decodes and checksums
+// cleanly, skipping damaged generations; ErrNoSnapshot when none survives.
+func LoadLatest(fs FS, dir string) (*Snapshot, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, ErrNoSnapshot
+	}
+	var snaps []string
+	for _, n := range names {
+		if _, ok := parseSnapName(n); ok {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Strings(snaps)
+	for i := len(snaps) - 1; i >= 0; i-- {
+		f, err := fs.Open(Join(dir, snaps[i]))
+		if err != nil {
+			continue
+		}
+		buf, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		if s, err := DecodeSnapshot(buf); err == nil {
+			return s, nil
+		}
+	}
+	return nil, ErrNoSnapshot
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,7 @@ import (
 	"ringbft/internal/ringbft"
 	"ringbft/internal/simnet"
 	"ringbft/internal/types"
+	"ringbft/internal/wal"
 )
 
 // Re-exported core types, so users of the library never import internal
@@ -50,6 +52,8 @@ type (
 	ShardID = types.ShardID
 	// ClientID identifies a client.
 	ClientID = types.ClientID
+	// SeqNum is a consensus sequence number within one shard's log.
+	SeqNum = types.SeqNum
 	// Digest is a SHA-256 batch/message digest.
 	Digest = types.Digest
 	// Batch is the unit of consensus.
@@ -101,6 +105,7 @@ var (
 	Fig8Involved          = harness.Fig8Involved
 	Fig8Clients           = harness.Fig8Clients
 	Fig9                  = harness.Fig9
+	Fig9Recovery          = harness.Fig9Recovery
 	Fig10                 = harness.Fig10
 	AblationLinearForward = harness.AblationLinearForward
 	AblationCrypto        = harness.AblationCrypto
@@ -136,6 +141,18 @@ type ClusterConfig struct {
 
 	// SubmitTimeout bounds one synchronous Submit (default 10s).
 	SubmitTimeout time.Duration
+
+	// Durable backs every replica with the durability subsystem
+	// (internal/wal): a segmented write-ahead log plus snapshots at stable
+	// checkpoints, so KillReplica / RestartReplica recover real state from
+	// disk. DataDir selects the on-disk location; empty keeps everything
+	// on an in-process filesystem (hermetic, still restartable).
+	Durable bool
+	DataDir string
+	// CheckpointInterval overrides the checkpoint cadence (0 = default 64).
+	// Shorter intervals bound recovery gaps and speed up state transfer
+	// for restart demos.
+	CheckpointInterval SeqNum
 }
 
 // Cluster is an embedded RingBFT deployment: z shards × n replicas running
@@ -146,11 +163,19 @@ type Cluster struct {
 	net      *simnet.Network
 	replicas []*ringbft.Replica
 	inboxes  []<-chan *types.Message
+	ids      []types.NodeID
+	rebuild  []func() (*ringbft.Replica, error)
+	fs       wal.FS
 
-	cancel  context.CancelFunc
-	wg      sync.WaitGroup
-	started atomic.Bool
-	stopped atomic.Bool
+	ctx        context.Context
+	cancel     context.CancelFunc
+	nodeCancel []context.CancelFunc
+	nodeDone   []chan struct{}
+	managers   []*wal.Manager
+	mu         sync.Mutex
+	wg         sync.WaitGroup
+	started    atomic.Bool
+	stopped    atomic.Bool
 
 	clientSeq atomic.Int64
 }
@@ -175,6 +200,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	tcfg := types.DefaultConfig(cfg.Shards, cfg.ReplicasPerShard)
 	tcfg.ExecWorkers = cfg.ExecWorkers
 	tcfg.VerifyWorkers = cfg.VerifyWorkers
+	if cfg.CheckpointInterval > 0 {
+		tcfg.CheckpointInterval = cfg.CheckpointInterval
+	}
+	if cfg.Durable {
+		tcfg.DataDir = cfg.DataDir
+		if tcfg.DataDir == "" {
+			tcfg.DataDir = "data"
+		}
+	}
 	// Embedded clusters serve interactive Submits: rebroadcast quickly when
 	// the contacted replica is silent (e.g. a crashed primary) so recovery
 	// latency is dominated by the view change, not the client timer.
@@ -203,6 +237,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 
 	c := &Cluster{cfg: cfg, tcfg: tcfg, net: net}
+	if cfg.Durable {
+		if cfg.DataDir == "" {
+			c.fs = wal.NewMemFS()
+		} else {
+			c.fs = wal.OSFS{}
+		}
+	}
 	for s := 0; s < cfg.Shards; s++ {
 		for i := 0; i < cfg.ReplicasPerShard; i++ {
 			id := shardPeers[s][i]
@@ -215,15 +256,39 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				}
 				a = ring
 			}
-			r := ringbft.New(ringbft.Options{
-				Config: tcfg, Shard: types.ShardID(s), Self: id,
-				Peers: shardPeers[s], Auth: a, Send: ep.Send,
-			})
-			r.Preload(cfg.Records)
+			peers := shardPeers[s]
+			slot := len(c.replicas) // this replica's index, fixed at build
+			mk := func() (*ringbft.Replica, error) {
+				opts := ringbft.Options{
+					Config: tcfg, Shard: id.Shard, Self: id,
+					Peers: peers, Auth: a, Send: ep.Send,
+				}
+				if c.fs != nil {
+					m, rec, err := ringbft.OpenDurability(tcfg, id, c.fs)
+					if err != nil {
+						return nil, err
+					}
+					opts.Durability = m
+					opts.Recovered = rec
+					c.managers[slot] = m
+				}
+				r := ringbft.New(opts)
+				r.Preload(cfg.Records)
+				return r, nil
+			}
+			c.managers = append(c.managers, nil)
+			r, err := mk()
+			if err != nil {
+				return nil, err
+			}
 			c.replicas = append(c.replicas, r)
+			c.rebuild = append(c.rebuild, mk)
 			c.inboxes = append(c.inboxes, ep.Inbox())
+			c.ids = append(c.ids, id)
 		}
 	}
+	c.nodeCancel = make([]context.CancelFunc, len(c.replicas))
+	c.nodeDone = make([]chan struct{}, len(c.replicas))
 	return c, nil
 }
 
@@ -232,15 +297,26 @@ func (c *Cluster) Start() {
 	if !c.started.CompareAndSwap(false, true) {
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	c.cancel = cancel
-	for i, r := range c.replicas {
-		c.wg.Add(1)
-		go func(r *ringbft.Replica, in <-chan *types.Message) {
-			defer c.wg.Done()
-			r.Run(ctx, in)
-		}(r, c.inboxes[i])
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	for i := range c.replicas {
+		c.startReplica(i)
 	}
+}
+
+func (c *Cluster) startReplica(i int) {
+	nctx, ncancel := context.WithCancel(c.ctx)
+	done := make(chan struct{})
+	c.mu.Lock()
+	c.nodeCancel[i] = ncancel
+	c.nodeDone[i] = done
+	r := c.replicas[i]
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func(in <-chan *types.Message) {
+		defer c.wg.Done()
+		defer close(done)
+		r.Run(nctx, in)
+	}(c.inboxes[i])
 }
 
 // Stop terminates the cluster. Idempotent.
@@ -411,10 +487,88 @@ func (c *Cluster) ReviveReplica(s ShardID, idx int) {
 	c.net.SetCrashed(types.ReplicaNode(s, idx), false)
 }
 
-func (c *Cluster) replica(s ShardID, idx int) *ringbft.Replica {
+// KillReplica terminates one replica's process: its event loop stops and
+// its traffic drops. Unlike CrashReplica, the in-memory state is genuinely
+// gone — RestartReplica brings it back from whatever the durability
+// subsystem persisted (everything, when the cluster is Durable; nothing
+// otherwise, in which case peer state transfer rebuilds it).
+func (c *Cluster) KillReplica(s ShardID, idx int) {
+	i := c.index(s, idx)
+	if i < 0 {
+		return
+	}
+	c.net.SetCrashed(types.ReplicaNode(s, idx), true)
+	c.mu.Lock()
+	cancel, done := c.nodeCancel[i], c.nodeDone[i]
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	// Wait for the event loop to exit: the dead replica must not race a
+	// restarted successor on the shared inbox or data directory.
+	if done != nil {
+		<-done
+	}
+}
+
+// RestartReplica rebuilds a killed replica from disk and rejoins it to the
+// cluster. The restarted replica replays its snapshot + WAL tail and, if
+// it is behind the shard, catches up through checkpoint-certified state
+// transfer.
+func (c *Cluster) RestartReplica(s ShardID, idx int) error {
+	i := c.index(s, idx)
+	if i < 0 {
+		return errors.New("ringbft: no such replica")
+	}
+	// Idempotent kill: stop (and wait out) the previous incarnation, then
+	// release its durability handles before reopening the directory.
+	c.KillReplica(s, idx)
+	c.mu.Lock()
+	old := c.managers[i]
+	c.mu.Unlock()
+	if old != nil {
+		old.Close() // best-effort: an OS restart would have synced on exit
+	}
+	r, err := c.rebuild[i]()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.replicas[i] = r
+	c.mu.Unlock()
+	c.net.SetCrashed(types.ReplicaNode(s, idx), false)
+	if c.started.Load() && !c.stopped.Load() {
+		c.startReplica(i)
+	}
+	return nil
+}
+
+// WipeReplica erases a killed replica's data directory, so a subsequent
+// RestartReplica exercises the wipe-and-rejoin state-transfer path.
+func (c *Cluster) WipeReplica(s ShardID, idx int) {
+	dir := wal.Join(c.tcfg.DataDir, fmt.Sprintf("s%d-r%d", s, idx))
+	switch fs := c.fs.(type) {
+	case *wal.MemFS:
+		fs.RemoveAll(dir)
+	case wal.OSFS:
+		os.RemoveAll(dir)
+	}
+}
+
+func (c *Cluster) index(s ShardID, idx int) int {
 	i := int(s)*c.cfg.ReplicasPerShard + idx
-	if i < 0 || i >= len(c.replicas) {
+	if i < 0 || i >= len(c.replicas) || idx < 0 || idx >= c.cfg.ReplicasPerShard {
+		return -1
+	}
+	return i
+}
+
+func (c *Cluster) replica(s ShardID, idx int) *ringbft.Replica {
+	i := c.index(s, idx)
+	if i < 0 {
 		return nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.replicas[i]
 }

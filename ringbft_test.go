@@ -129,3 +129,50 @@ func TestSubmitEmptyBatchRejected(t *testing.T) {
 		t.Fatal("keyless txn accepted")
 	}
 }
+
+// TestClusterKillRestartDurable exercises the public durability API: a
+// killed replica restarts from its on-(in-memory-)disk WAL + snapshots,
+// catches up, and converges with its peers.
+func TestClusterKillRestartDurable(t *testing.T) {
+	c := startCluster(t, ClusterConfig{
+		Shards: 2, ReplicasPerShard: 4,
+		Durable: true, CheckpointInterval: 8,
+	})
+	ctx := context.Background()
+	k := c.KeyOf(0, 3)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Submit(ctx, Txn{Reads: []Key{k}, Writes: []Key{k}, Delta: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill a backup, commit through the fault, restart it.
+	c.KillReplica(0, 3)
+	for i := 0; i < 12; i++ {
+		if _, err := c.Submit(ctx, Txn{Reads: []Key{k}, Writes: []Key{k}, Delta: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.RestartReplica(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	// More traffic so checkpoints pull the restarted replica forward.
+	for i := 0; i < 16; i++ {
+		if _, err := c.Submit(ctx, Txn{Reads: []Key{k}, Writes: []Key{k}, Delta: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The restarted replica converges with a healthy peer.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if c.Read(k, 3) == c.Read(k, 1) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted replica never converged: %d vs %d", c.Read(k, 3), c.Read(k, 1))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := c.VerifyLedgers(); err != nil {
+		t.Fatal(err)
+	}
+}
