@@ -1,15 +1,18 @@
 # Tier-1 verify is `make verify` (build + vet + test + race-checked crypto,
 # pbft, and wal — the pooled/cached fast paths and the durability layer are
-# the concurrency-sensitive code). `make bench` runs the micro-benchmarks;
+# the concurrency-sensitive code — plus race-checked tcpnet and the
+# loopback-TCP scenario suite, whose writer goroutines are the transport's
+# concurrency surface). `make bench` runs the micro-benchmarks;
 # `make bench-crypto` runs just the authentication fast-path benchmarks
-# whose reference numbers live in internal/crypto/bench_baseline.json, and
+# whose reference numbers live in internal/crypto/bench_baseline.json,
 # `make bench-wal` the WAL append/replay benchmarks whose baseline is
-# internal/wal/bench_baseline.json (the sched executor baseline is in
-# internal/sched/bench_baseline.json).
+# internal/wal/bench_baseline.json, and `make bench-tcpnet` the transport
+# Send-path benchmarks whose baseline is internal/tcpnet/bench_baseline.json
+# (the sched executor baseline is in internal/sched/bench_baseline.json).
 
 GO ?= go
 
-.PHONY: build test vet bench bench-crypto bench-wal race-crypto verify
+.PHONY: build test vet bench bench-crypto bench-wal bench-tcpnet race-crypto race-net verify
 
 build:
 	$(GO) build ./...
@@ -31,7 +34,17 @@ bench-crypto:
 bench-wal:
 	$(GO) test -run XXX -bench 'BenchmarkAppend|BenchmarkReplay|BenchmarkSnapshotEncode' -benchmem -benchtime 200ms ./internal/wal/
 
+bench-tcpnet:
+	$(GO) test -run XXX -bench 'BenchmarkTransportSend' -benchmem -benchtime 200ms ./internal/tcpnet/
+
 race-crypto:
 	$(GO) test -race ./internal/crypto/... ./internal/pbft/... ./internal/wal/...
 
-verify: build vet test race-crypto
+# The transport's writer goroutines and the loopback-TCP cluster scenarios
+# (real sockets under the full replica stack) are the wire layer's
+# concurrency-sensitive surface.
+race-net:
+	$(GO) test -race ./internal/tcpnet/
+	$(GO) test -race -run 'TestTCP' ./internal/harness/
+
+verify: build vet test race-crypto race-net

@@ -10,6 +10,7 @@ import (
 	"log"
 	"time"
 
+	"ringbft/internal/crypto"
 	"ringbft/internal/tcpnet"
 	"ringbft/internal/topology"
 	"ringbft/internal/types"
@@ -26,6 +27,13 @@ func main() {
 		crossPct = flag.Float64("cross", 0.3, "cross-shard fraction [0,1]")
 		involved = flag.Int("involved", 0, "involved shards per cst (0 = all)")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-batch completion timeout")
+
+		outboxDepth = flag.Int("outbox-depth", 0,
+			"per-peer outbound queue depth (0 = transport default)")
+		dialTimeout = flag.Duration("dial-timeout", 0,
+			"TCP connect timeout per attempt (0 = transport default)")
+		writeTimeout = flag.Duration("write-timeout", 0,
+			"TCP write/flush deadline (0 = transport default)")
 	)
 	flag.Parse()
 
@@ -36,11 +44,19 @@ func main() {
 	// Replicas dial Response messages back by NodeID, so this client's id
 	// and listen address must appear in the topology's "clients" table.
 	self := types.ClientNode(types.ClientID(*id))
-	transport, err := tcpnet.New(self, *listen, topo.Addrs())
+	transport, err := tcpnet.New(self, *listen, topo.Addrs(), tcpnet.Options{
+		OutboxDepth:  *outboxDepth,
+		DialTimeout:  *dialTimeout,
+		WriteTimeout: *writeTimeout,
+	})
 	if err != nil {
 		log.Fatalf("ringbft-client: %v", err)
 	}
 	defer transport.Close()
+	ring, err := topo.ClientRing(types.ClientID(*id))
+	if err != nil {
+		log.Fatalf("ringbft-client: %v", err)
+	}
 	clientAddrHint := transport.Addr()
 	if want, ok := topo.Addrs()[self]; !ok {
 		log.Printf("warning: client %d has no entry in the topology's clients table; replicas cannot respond", *id)
@@ -86,6 +102,22 @@ func main() {
 			select {
 			case m := <-transport.Inbox():
 				if m.Type != types.MsgResponse || m.Digest != d {
+					continue
+				}
+				// Only replicas of the initiator shard vote toward the f+1
+				// quorum, and only with a valid pairwise MAC. The MAC's
+				// bound is the deployment's trust domain: all pairwise keys
+				// derive from the shared topology seed (the repo's PKI
+				// stand-in, see topology.Keygen), so this rejects responses
+				// from anything outside the seed-holding cluster and all
+				// wrong-shard or malformed votes — but a Byzantine replica,
+				// holding the seed, could still forge peers' MACs. Closing
+				// that would take per-response signatures.
+				if m.From.Kind != types.KindReplica || m.From.Shard != b.Initiator() ||
+					m.From.Index < 0 || m.From.Index >= topo.ReplicasPerShard {
+					continue
+				}
+				if crypto.VerifyMessageMAC(ring, m) != nil {
 					continue
 				}
 				votes[m.From] = struct{}{}

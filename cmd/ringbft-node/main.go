@@ -46,6 +46,13 @@ func main() {
 			"WAL group-commit interval (0 = fsync every append)")
 		snapEvery = flag.Uint64("snapshot-interval", 0,
 			"sequences between snapshots (0 = checkpoint interval)")
+
+		outboxDepth = flag.Int("outbox-depth", 0,
+			"per-peer outbound queue depth (0 = transport default)")
+		dialTimeout = flag.Duration("dial-timeout", 0,
+			"TCP connect timeout per attempt (0 = transport default)")
+		writeTimeout = flag.Duration("write-timeout", 0,
+			"TCP write/flush deadline; a stalled peer connection is torn down past it (0 = transport default)")
 	)
 	flag.Parse()
 
@@ -59,7 +66,15 @@ func main() {
 		log.Fatalf("ringbft-node: %v not in topology", self)
 	}
 
-	transport, err := tcpnet.New(self, addr, topo.Addrs())
+	cfg := types.DefaultConfig(topo.Shards, topo.ReplicasPerShard)
+	cfg.DataDir = *dataDir
+	cfg.FsyncInterval = *fsync
+	cfg.SnapshotInterval = types.SeqNum(*snapEvery)
+	cfg.OutboxDepth = *outboxDepth
+	cfg.DialTimeout = *dialTimeout
+	cfg.WriteTimeout = *writeTimeout
+
+	transport, err := tcpnet.New(self, addr, topo.Addrs(), tcpnet.FromConfig(cfg))
 	if err != nil {
 		log.Fatalf("ringbft-node: %v", err)
 	}
@@ -73,10 +88,6 @@ func main() {
 	for i := range peers {
 		peers[i] = types.ReplicaNode(types.ShardID(*shard), i)
 	}
-	cfg := types.DefaultConfig(topo.Shards, topo.ReplicasPerShard)
-	cfg.DataDir = *dataDir
-	cfg.FsyncInterval = *fsync
-	cfg.SnapshotInterval = types.SeqNum(*snapEvery)
 	opts := ringbft.Options{
 		Config: cfg, Shard: types.ShardID(*shard), Self: self,
 		Peers: peers, Auth: ring,
@@ -115,4 +126,11 @@ func main() {
 	st := r.Stats()
 	log.Printf("ringbft-node %v stopped: executed %d txns (%d cross-shard), %d view changes, ledger height %d",
 		self, st.ExecutedTxns, st.ExecutedCross, st.ViewChanges, st.LedgerHeight)
+	// Message loss is silent by design (BFT timers absorb it); the shutdown
+	// summary is where operators see how much of it there was and why.
+	ns := transport.Stats()
+	log.Printf("ringbft-node %v transport: %d enqueued, %d frames sent (%d bytes), dropped %d (outbox %d, inbox %d, self %d, encode %d, unknown peer %d, wire %d), %d redials (%d dial errors), %d write errors, %d bad inbound frames",
+		self, ns.Enqueued, ns.FramesSent, ns.BytesSent, ns.Dropped(),
+		ns.OutboxDrops, ns.InboxDrops, ns.SelfDrops, ns.EncodeDrops, ns.UnknownPeer, ns.WireDrops,
+		ns.Redials, ns.DialErrors, ns.WriteErrors, ns.BadFrames)
 }

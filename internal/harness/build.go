@@ -18,7 +18,7 @@ func build(cfg Config) (*cluster, error) {
 	if cfg.Protocol.Replicated() {
 		return buildReplicated(cfg)
 	}
-	net := buildNetwork(cfg)
+	net := buildFabric(cfg)
 	tcfg := typesConfig(cfg)
 	if err := tcfg.Validate(); err != nil {
 		return nil, err
@@ -50,7 +50,7 @@ func build(cfg Config) (*cluster, error) {
 	}
 
 	cl := &cluster{cfg: cfg, tcfg: tcfg, net: net}
-	attach := func(id types.NodeID, region simnet.Region) *simnet.Endpoint {
+	attach := func(id types.NodeID, region simnet.Region) endpoint {
 		return net.Attach(id, region)
 	}
 
@@ -191,7 +191,7 @@ func build(cfg Config) (*cluster, error) {
 func buildReplicated(cfg Config) (*cluster, error) {
 	cfg.Shards = 1
 	cfg.CrossShardPct = 0
-	net := buildNetwork(cfg)
+	net := buildFabric(cfg)
 	tcfg := typesConfig(cfg)
 	if err := tcfg.Validate(); err != nil {
 		return nil, err

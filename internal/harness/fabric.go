@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"ringbft/internal/simnet"
+	"ringbft/internal/types"
+)
+
+// endpoint is one node's attachment to the cluster's message fabric.
+type endpoint interface {
+	Send(to types.NodeID, m *types.Message)
+	Inbox() <-chan *types.Message
+}
+
+// fabric abstracts the message layer a cluster runs on: the simulated WAN
+// (simnet, the default — latency models, bandwidth, loss) or real loopback
+// TCP sockets (tcpnet, Config.TCP) where the kernel provides the only
+// queueing and the transport's writer pipeline is what keeps event loops
+// non-blocking. The scenario suite runs unchanged on either.
+type fabric interface {
+	Attach(id types.NodeID, region simnet.Region) endpoint
+	// SetCrashed silences a node both ways: its sends are suppressed and
+	// inbound messages are dropped before reaching its inbox.
+	SetCrashed(id types.NodeID, down bool)
+	Close()
+	// fillStats copies fabric-level message counters into the run result.
+	fillStats(res *Result)
+}
+
+// buildFabric selects the fabric for a run.
+func buildFabric(cfg Config) fabric {
+	if cfg.TCP {
+		return newTCPFabric(cfg)
+	}
+	return simFabric{net: buildNetwork(cfg)}
+}
+
+// simFabric adapts *simnet.Network to the fabric interface.
+type simFabric struct{ net *simnet.Network }
+
+func (f simFabric) Attach(id types.NodeID, r simnet.Region) endpoint { return f.net.Attach(id, r) }
+func (f simFabric) SetCrashed(id types.NodeID, down bool)            { f.net.SetCrashed(id, down) }
+func (f simFabric) Close()                                           { f.net.Close() }
+
+func (f simFabric) fillStats(res *Result) {
+	res.MsgsSent = f.net.Stats.MsgsSent.Load()
+	res.MsgsDropped = f.net.Stats.MsgsDropped.Load()
+	res.BytesSent = f.net.Stats.BytesSent.Load()
+	res.BytesCross = f.net.Stats.BytesCross.Load()
+}

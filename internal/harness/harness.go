@@ -92,6 +92,19 @@ type Config struct {
 	BandwidthBps float64
 	ProcTime     time.Duration
 
+	// TCP runs the cluster over real loopback TCP sockets (internal/tcpnet)
+	// instead of the simulated WAN: actual dials, gob framing, write
+	// deadlines, and the transport's redial/backoff machinery. The latency,
+	// bandwidth, jitter, and loss knobs above are ignored (the kernel is
+	// the network model).
+	TCP bool
+	// TCPUnreachable (TCP fabric only) advertises an unreachable address
+	// for the last replica of shard 0: every peer connection to it dies
+	// without delivering a byte, for the whole run. The cluster must keep
+	// committing regardless — the failure mode the synchronous-dial
+	// transport bug hid.
+	TCPUnreachable bool
+
 	NoCrypto bool // ablation: skip MAC/DS computation
 	// AllToAllForward disables RingBFT's linear communication primitive:
 	// every replica Forwards to every replica of the next shard (ablation,
@@ -193,7 +206,7 @@ type recoveredProvider interface {
 type cluster struct {
 	cfg     Config
 	tcfg    types.Config
-	net     *simnet.Network
+	net     fabric
 	nodes   []node
 	inboxes []<-chan *types.Message
 	ids     []types.NodeID
@@ -332,10 +345,7 @@ func Run(cfg Config) (Result, error) {
 	wg.Wait()
 
 	res := metrics.result(cfg)
-	res.MsgsSent = cl.net.Stats.MsgsSent.Load()
-	res.MsgsDropped = cl.net.Stats.MsgsDropped.Load()
-	res.BytesSent = cl.net.Stats.BytesSent.Load()
-	res.BytesCross = cl.net.Stats.BytesCross.Load()
+	cl.net.fillStats(&res)
 	for _, n := range cl.nodes {
 		if sp, ok := n.(statProvider); ok {
 			res.ViewChanges += sp.ViewChangeCount()

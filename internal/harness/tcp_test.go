@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// The loopback-TCP scenario suite: the same cluster scenarios the simnet
+// harness runs (commit, primary failure, crash-restart), but wired through
+// real tcpnet transports on loopback sockets — actual dials, gob framing,
+// write deadlines, redial backoff. These are the tests that would have
+// caught the synchronous-dial event-loop stall: over simnet, Send was
+// always an in-process enqueue, so the bug existed only in the one
+// deployment mode (cmd/ringbft-node) nothing exercised.
+
+func tcpScenarioConfig() Config {
+	return Config{
+		Protocol: ProtoRingBFT, Shards: 2, ReplicasPerShard: 4,
+		TCP:       true,
+		BatchSize: 10, CrossShardPct: 0.2, Clients: 4, ClientWindow: 2,
+		Duration: 2 * time.Second, Warmup: 400 * time.Millisecond,
+		StripeClients: true, Records: 40000,
+		LocalTimeout: 400 * time.Millisecond, RemoteTimeout: 700 * time.Millisecond,
+		TransmitTimeout: 1100 * time.Millisecond,
+	}
+}
+
+// TestTCPCommit: the baseline scenario — a 2-shard cluster over real
+// sockets commits single- and cross-shard batches.
+func TestTCPCommit(t *testing.T) {
+	res, err := Run(tcpScenarioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("result: %v, msgs=%d dropped=%d bytes=%d", res, res.MsgsSent, res.MsgsDropped, res.BytesSent)
+	if res.Txns == 0 {
+		t.Fatal("no transactions committed over TCP")
+	}
+	if res.BytesSent == 0 {
+		t.Fatal("no bytes crossed the sockets — the cluster did not actually run over TCP")
+	}
+}
+
+// TestTCPUnreachableReplicaCommits is the headline-bug acceptance scenario:
+// one replica's address is unreachable (no connection to it ever delivers a
+// byte, all run long), and the cluster must keep committing on schedule —
+// every peer's Send must stay an enqueue-or-drop while its writer churns
+// through connect/teardown/redial backoff. With the
+// old synchronous-dial transport, each send to the dead address held the
+// caller's event loop for up to the 3s dial timeout, stalling the timers
+// that liveness under the paper's A1/C1/C2 attacks depends on.
+func TestTCPUnreachableReplicaCommits(t *testing.T) {
+	cfg := tcpScenarioConfig()
+	cfg.TCPUnreachable = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("result: %v, dropped=%d", res, res.MsgsDropped)
+	if res.Txns == 0 {
+		t.Fatal("cluster stopped committing because one replica was unreachable")
+	}
+	// Liveness must hold for the whole window, not just before the outbox
+	// to the dead peer filled: the last quarter still commits.
+	if len(res.Timeline) >= 8 {
+		tail := int64(0)
+		for _, v := range res.Timeline[len(res.Timeline)*3/4:] {
+			tail += v
+		}
+		if tail == 0 {
+			t.Fatalf("commits stopped mid-run: timeline %v", res.Timeline)
+		}
+	}
+	// Messages to the unreachable replica pile up and overflow its outboxes
+	// eventually; the drops must be counted, not silent.
+	if res.MsgsDropped == 0 {
+		t.Log("note: no drops counted (outboxes never filled in this window)")
+	}
+}
+
+// TestTCPPrimaryFailure: the Fig 9 scenario over sockets — crash shard 0's
+// primary mid-run, require a view change and resumed commits.
+func TestTCPPrimaryFailure(t *testing.T) {
+	cfg := tcpScenarioConfig()
+	cfg.Duration = 3 * time.Second
+	cfg.FailPrimaries = 1
+	cfg.FailAt = 800 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("result: %v", res)
+	if res.Txns == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if slowHost(t, res) {
+		return
+	}
+	if res.ViewChanges == 0 {
+		t.Fatal("primary crash never triggered a view change over TCP")
+	}
+	if len(res.Timeline) >= 8 {
+		tail := int64(0)
+		for _, v := range res.Timeline[len(res.Timeline)*3/4:] {
+			tail += v
+		}
+		if tail == 0 {
+			t.Fatalf("no commits after the view change: timeline %v", res.Timeline)
+		}
+	}
+}
+
+// TestTCPCrashRestart: the durability scenario over sockets — a backup
+// crashes, restarts from its WAL, and the transports on both sides redial
+// through the restart.
+func TestTCPCrashRestart(t *testing.T) {
+	cfg := tcpScenarioConfig()
+	cfg.Duration = 3 * time.Second
+	cfg.CheckpointInterval = 8
+	cfg.Durable = true
+	cfg.CrashRestart = true
+	cfg.CrashAt = 800 * time.Millisecond
+	cfg.RestartAt = 1600 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("result: %v, recovered=%d, stateTransfers=%d", res, res.RecoveredNodes, res.StateTransfers)
+	if res.Txns == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if slowHost(t, res) {
+		return
+	}
+	if res.RecoveredNodes == 0 {
+		t.Fatal("restarted replica did not recover from durable state")
+	}
+}

@@ -91,3 +91,13 @@ func (t *Topology) Keygen() *crypto.Keygen {
 	}
 	return kg
 }
+
+// ClientRing returns the key ring for client c: the replica key table plus
+// the client's own identity, so the client can verify the pairwise MACs
+// replicas put on Response messages (and replicas can verify the client's).
+func (t *Topology) ClientRing(c types.ClientID) (*crypto.KeyRing, error) {
+	kg := t.Keygen()
+	id := types.ClientNode(c)
+	kg.Register(id)
+	return kg.Ring(id)
+}

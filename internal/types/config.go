@@ -52,6 +52,15 @@ type Config struct {
 	// to CheckpointInterval.
 	SnapshotInterval SeqNum
 
+	// Transport knobs for the TCP deployment (internal/tcpnet). OutboxDepth
+	// is the per-peer bounded outbound queue a replica's Send enqueues into
+	// (0 = transport default, 4096); DialTimeout bounds one TCP connect
+	// attempt and WriteTimeout one write/flush on an established connection
+	// (0 = transport defaults, 2s / 5s). Simnet deployments ignore them.
+	OutboxDepth  int
+	DialTimeout  time.Duration
+	WriteTimeout time.Duration
+
 	// Timers (Section 5, "Triggering of Timers"): local < remote < transmit.
 	LocalTimeout    time.Duration // view-change trigger
 	RemoteTimeout   time.Duration // remote view-change trigger (Fig 6)
