@@ -1,18 +1,24 @@
-# Tier-1 verify is `make verify` (build + vet + test + race-checked crypto,
-# pbft, and wal — the pooled/cached fast paths and the durability layer are
-# the concurrency-sensitive code — plus race-checked tcpnet and the
-# loopback-TCP scenario suite, whose writer goroutines are the transport's
-# concurrency surface). `make bench` runs the micro-benchmarks;
-# `make bench-crypto` runs just the authentication fast-path benchmarks
-# whose reference numbers live in internal/crypto/bench_baseline.json,
-# `make bench-wal` the WAL append/replay benchmarks whose baseline is
-# internal/wal/bench_baseline.json, and `make bench-tcpnet` the transport
-# Send-path benchmarks whose baseline is internal/tcpnet/bench_baseline.json
-# (the sched executor baseline is in internal/sched/bench_baseline.json).
+# Tier-1 verify is `make verify` (fmt-check + build + vet + test + race-
+# checked crypto, pbft, and wal — the pooled/cached fast paths and the
+# durability layer are the concurrency-sensitive code — plus race-checked
+# tcpnet and the loopback-TCP scenario suite, whose writer goroutines are
+# the transport's concurrency surface). The full test suite includes the
+# chaos matrix (internal/chaos): ~34 seeded nemesis scenarios across
+# ringbft/ahl/sharper; `make chaos` runs just that matrix verbosely and
+# `make chaos-soak` explores fresh seeds for SOAK_BUDGET (nightly CI).
+#
+# `make bench` runs the micro-benchmarks; `make bench-crypto` runs just the
+# authentication fast-path benchmarks whose reference numbers live in
+# internal/crypto/bench_baseline.json, `make bench-wal` the WAL
+# append/replay benchmarks (internal/wal/bench_baseline.json), and
+# `make bench-tcpnet` the transport Send-path benchmarks
+# (internal/tcpnet/bench_baseline.json; the sched executor baseline is in
+# internal/sched/bench_baseline.json).
 
 GO ?= go
+SOAK_BUDGET ?= 10m
 
-.PHONY: build test vet bench bench-crypto bench-wal bench-tcpnet race-crypto race-net verify
+.PHONY: build test vet fmt-check bench bench-crypto bench-wal bench-tcpnet race-crypto race-net chaos chaos-soak chaos-wallclock verify
 
 build:
 	$(GO) build ./...
@@ -23,9 +29,14 @@ test:
 vet:
 	$(GO) vet ./...
 
+# gofmt must be a no-op over the whole tree.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 bench:
 	$(GO) test -run XXX -bench . -benchtime 300ms ./internal/sched/ ./internal/store/
-	$(GO) test -run XXX -bench . -benchtime 200ms ./internal/pbft/ ./internal/crypto/ ./internal/ledger/ ./internal/workload/ ./internal/wal/
+	$(GO) test -run XXX -bench . -benchtime 200ms ./internal/pbft/ ./internal/crypto/ ./internal/ledger/ ./internal/workload/ ./internal/wal/ ./internal/tcpnet/
 
 bench-crypto:
 	$(GO) test -run XXX -bench 'BenchmarkMAC|BenchmarkAppendMAC|BenchmarkVerifyMAC|BenchmarkSign|BenchmarkVerifySignature|BenchmarkSignVerify' -benchmem -benchtime 200ms ./internal/crypto/
@@ -47,4 +58,17 @@ race-net:
 	$(GO) test -race ./internal/tcpnet/
 	$(GO) test -race -run 'TestTCP' ./internal/harness/
 
-verify: build vet test race-crypto race-net
+# One deterministic pass over the chaos scenario matrix (seed-reproducible;
+# any failure prints the replay command).
+chaos:
+	$(GO) run ./cmd/ringbft-chaos -v
+
+# Nightly soak: fresh seeds every pass until the budget runs out.
+chaos-soak:
+	$(GO) run ./cmd/ringbft-chaos -mode soak -budget $(SOAK_BUDGET)
+
+# The same schedules through the real harness (goroutines, simulated WAN).
+chaos-wallclock:
+	$(GO) run ./cmd/ringbft-chaos -mode wallclock -v
+
+verify: fmt-check build vet test race-crypto race-net

@@ -1,0 +1,114 @@
+// ringbft-chaos runs the chaos subsystem (internal/chaos) from the command
+// line: the deterministic scenario matrix, open-ended soak loops over fresh
+// seeds, wall-clock schedules through the real harness, and single-scenario
+// replays from a printed seed.
+//
+//	ringbft-chaos                            # one pass over the matrix
+//	ringbft-chaos -mode soak -budget 20m     # fresh seeds until budget ends
+//	ringbft-chaos -mode wallclock            # matrix over the real harness
+//	ringbft-chaos -proto ringbft -fault loss-storm -chaos.seed 42
+//
+// Every failure prints the seed and the exact `go test` command that
+// replays it; the process exits non-zero so CI fails the job.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ringbft/internal/chaos"
+	"ringbft/internal/harness"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "det", "det (deterministic matrix), soak (matrix over fresh seeds until -budget), wallclock (matrix over the real harness)")
+		proto   = flag.String("proto", "", "run a single scenario: protocol (ringbft|ahl|sharper)")
+		fault   = flag.String("fault", "", "run a single scenario: fault class (see internal/chaos.Faults)")
+		seed    = flag.Int64("chaos.seed", 0, "scenario seed (single-scenario mode; soak start seed)")
+		budget  = flag.Duration("budget", 10*time.Minute, "soak time budget")
+		window  = flag.Duration("window", 3*time.Second, "wall-clock measurement window per scenario")
+		verbose = flag.Bool("v", false, "log every scenario, not only failures")
+	)
+	flag.Parse()
+
+	failures := 0
+	runDet := func(sc chaos.Scenario) {
+		res, err := chaos.RunScenario(sc)
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "ERROR %s: %v\nreproduce with: %s\n", sc.Name(), err, sc.ReproCmd())
+			return
+		}
+		if res.Failed() {
+			failures++
+			fmt.Fprintln(os.Stderr, res.FailureReport())
+			return
+		}
+		if *verbose {
+			fmt.Printf("ok   %-40s committed=%d ticks=%d probeTicks=%d fp=%s\n",
+				sc.Name(), res.Committed, res.Ticks, res.ProbeTicks, res.Fingerprint())
+		}
+	}
+
+	switch {
+	case *proto != "" || *fault != "":
+		sc := chaos.Scenario{Protocol: harness.Protocol(*proto), Fault: chaos.Fault(*fault), Seed: *seed}
+		runDet(sc)
+
+	case *mode == "det":
+		for _, sc := range chaos.Matrix() {
+			runDet(sc)
+		}
+
+	case *mode == "soak":
+		// Fresh seeds each pass: the matrix's fault windows, victims, loss
+		// rates, and interleavings all derive from the seed, so a soak
+		// explores schedule space until the budget runs out.
+		start := time.Now()
+		seedBase := *seed
+		if seedBase == 0 {
+			seedBase = time.Now().UnixNano() % 1_000_000
+		}
+		pass := 0
+		for time.Since(start) < *budget {
+			for _, sc := range chaos.Matrix() {
+				sc.Seed = sc.Seed + seedBase + int64(pass)*1000
+				runDet(sc)
+			}
+			pass++
+			fmt.Printf("soak pass %d done (%v elapsed, %d failures)\n", pass, time.Since(start).Round(time.Second), failures)
+		}
+
+	case *mode == "wallclock":
+		for _, sc := range chaos.Matrix() {
+			res, err := chaos.RunWallClock(sc, *window)
+			if err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "ERROR %s: %v\n", sc.Name(), err)
+				continue
+			}
+			if res.Failed() {
+				failures++
+				fmt.Fprintln(os.Stderr, res.FailureReport())
+				continue
+			}
+			if *verbose {
+				fmt.Printf("ok   %-40s txns=%d drops=%d heal=%v\n",
+					sc.Name(), res.Result.Txns, res.Result.MsgsDropped, res.Result.NemesisLastHeal)
+			}
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d scenario(s) failed\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all scenarios passed")
+}

@@ -23,8 +23,10 @@
 package ahl
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
+	"sort"
 	"time"
 
 	"ringbft/internal/crypto"
@@ -107,6 +109,13 @@ type committeeCst struct {
 	votes    map[types.ShardID]map[types.NodeID]struct{}
 	decided  bool // decision proposed/committed
 	notified bool // AHLDecision broadcast
+	// pendingNotify holds the decision verdict when the decision consensus
+	// committed before the original batch's ordering did (see onCommitted).
+	pendingNotify bool
+	// lastNudge paces the retransmission of an undecided cst's AHLPrepare
+	// (the one-shot broadcast is lossy; without re-solicitation a vote
+	// quorum starved by the network never forms).
+	lastNudge time.Time
 }
 
 type pending struct {
@@ -197,17 +206,33 @@ func (c *Committee) HandleTick(now time.Time) {
 	if c.engine.InViewChange() {
 		return
 	}
+	expired := false
 	for _, p := range c.awaiting {
 		if now.Sub(p.since) > c.cfg.LocalTimeout {
 			p.since = now
-			if !c.engine.IsPrimary() {
-				c.engine.StartViewChange(c.engine.View() + 1)
-				return
-			}
+			expired = true
 		}
+	}
+	if expired && !c.engine.IsPrimary() {
+		c.engine.StartViewChange(c.engine.View() + 1)
+		return
 	}
 	if oldest, ok := c.engine.OldestUncommitted(); ok && now.Sub(oldest) > c.cfg.LocalTimeout {
 		c.engine.StartViewChange(c.engine.View() + 1)
+	}
+	// Retransmit AHLPrepare for ordered-but-undecided csts: the phase-1
+	// broadcast is one-shot, so on a lossy network a vote quorum may never
+	// form without re-solicitation (found by internal/chaos, loss-storm
+	// schedules — AHL executes strictly in order, so one starved cst
+	// wedges every shard it involves).
+	for _, cst := range c.csts {
+		if cst.ordered && !cst.decided && now.Sub(cst.lastNudge) > c.cfg.RemoteTimeout {
+			cst.lastNudge = now
+			c.broadcastToShards(cst.batch, &types.Message{
+				Type: types.MsgAHLPrepare, From: c.self, Shard: types.CommitteeShard,
+				Seq: cst.gseq, Digest: cst.batch.Digest(), Batch: cst.batch, Cert: cst.cert,
+			})
+		}
 	}
 }
 
@@ -285,9 +310,16 @@ func (c *Committee) repropose() {
 	if !c.engine.IsPrimary() {
 		return
 	}
-	for d, p := range c.awaiting {
+	// Sorted-digest order: sequence assignment must not depend on map
+	// iteration order, or identically seeded runs diverge.
+	ds := make([]types.Digest, 0, len(c.awaiting))
+	for d := range c.awaiting {
+		ds = append(ds, d)
+	}
+	sort.Slice(ds, func(i, j int) bool { return bytes.Compare(ds[i][:], ds[j][:]) < 0 })
+	for _, d := range ds {
 		if _, done := c.proposed[d]; !done {
-			c.propose(p.batch, d)
+			c.propose(c.awaiting[d].batch, d)
 		}
 	}
 	c.tryProposeQueued()
@@ -303,8 +335,17 @@ func (c *Committee) onCommitted(seq types.SeqNum, batch *types.Batch, cert []typ
 		if !ok || cst.notified {
 			return
 		}
-		cst.notified = true
+		cst.decided = true
 		delete(c.awaiting, batch.Digest())
+		if !cst.ordered {
+			// Consensus results can commit out of order: the decision may
+			// land before this member processes the original batch's
+			// ordering, in which case the batch content (and its involved
+			// shards) is not known yet. Defer the broadcast until it is.
+			cst.pendingNotify = commit
+			return
+		}
+		cst.notified = true
 		c.broadcastToShards(cst.batch, &types.Message{
 			Type: types.MsgAHLDecision, From: c.self, Shard: types.CommitteeShard,
 			Seq: cst.gseq, Digest: d, Decision: commit,
@@ -326,12 +367,22 @@ func (c *Committee) onCommitted(seq types.SeqNum, batch *types.Batch, cert []typ
 	cst.gseq = seq
 	cst.cert = cert
 	cst.ordered = true
+	cst.lastNudge = c.clock() // the ordering broadcast below counts as attempt one
 	// Phase 1 of 2PC: prepare at every replica of every involved shard. The
 	// commit certificate makes the order transferable.
 	c.broadcastToShards(batch, &types.Message{
 		Type: types.MsgAHLPrepare, From: c.self, Shard: types.CommitteeShard,
 		Seq: seq, Digest: d, Batch: batch, Cert: cert,
 	})
+	if cst.decided && !cst.notified {
+		// The decision committed before the ordering did (deferred above).
+		cst.notified = true
+		c.broadcastToShards(cst.batch, &types.Message{
+			Type: types.MsgAHLDecision, From: c.self, Shard: types.CommitteeShard,
+			Seq: cst.gseq, Digest: d, Decision: cst.pendingNotify,
+		})
+		return
+	}
 	c.maybeDecide(cst)
 }
 
@@ -361,6 +412,17 @@ func (c *Committee) onVote(m *types.Message) {
 	if !ok {
 		cst = &committeeCst{votes: make(map[types.ShardID]map[types.NodeID]struct{})}
 		c.csts[m.Digest] = cst
+	}
+	if cst.notified {
+		// The voter missed the decision broadcast (its shard's execution
+		// pipeline is blocked on this cst); answer it directly.
+		reply := &types.Message{
+			Type: types.MsgAHLDecision, From: c.self, Shard: types.CommitteeShard,
+			Seq: cst.gseq, Digest: m.Digest, Decision: true,
+		}
+		reply.Sig = crypto.SignMessage(c.auth, reply)
+		c.send(m.From, reply)
+		return
 	}
 	if !m.Decision {
 		return // commit-only simplification; see package comment

@@ -1,7 +1,9 @@
 package ahl
 
 import (
+	"bytes"
 	"context"
+	"sort"
 	"time"
 
 	"ringbft/internal/crypto"
@@ -70,6 +72,11 @@ type Replica struct {
 	snapEvery types.SeqNum
 	lastSnap  types.SeqNum
 
+	// lastVC paces the awaiting-proposal watchdog: each installed view
+	// gets a full LocalTimeout before the next view-change demand (see the
+	// equivalent note in internal/ringbft).
+	lastVC time.Time
+
 	viewChanges int64
 }
 
@@ -85,6 +92,8 @@ type replicaCst struct {
 	voted     bool
 	decisions map[types.NodeID]struct{}
 	decided   bool
+	// lastNudge paces head-of-line vote retransmission (see HandleTick).
+	lastNudge time.Time
 }
 
 // NewReplica creates an AHL shard replica.
@@ -124,6 +133,7 @@ func NewReplica(opts ReplicaOptions) *Replica {
 		Committed: r.onCommitted,
 		ViewChanged: func(types.View) {
 			r.viewChanges++
+			r.lastVC = r.clock()
 			r.repropose()
 		},
 	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier})
@@ -177,6 +187,21 @@ func (r *Replica) logExecuted(seq types.SeqNum, primary types.NodeID, batch *typ
 
 // Chain returns the replica's ledger.
 func (r *Replica) Chain() *ledger.Chain { return r.chain }
+
+// ExecutedThrough returns the executed-prefix watermark (AHL executes
+// strictly in local sequence order). Call only after Run returns.
+func (r *Replica) ExecutedThrough() types.SeqNum { return r.execNext }
+
+// ExecutedResults returns a deterministic hash of the cached execution
+// results per executed batch digest, for cross-replica chaos checkers. Call
+// only after Run returns.
+func (r *Replica) ExecutedResults() map[types.Digest]uint64 {
+	out := make(map[types.Digest]uint64, len(r.executed))
+	for d, vals := range r.executed {
+		out[d] = types.HashValues(vals)
+	}
+	return out
+}
 
 // Store returns the replica's key-value partition.
 func (r *Replica) Store() *store.KV { return r.kv }
@@ -235,17 +260,33 @@ func (r *Replica) HandleTick(now time.Time) {
 	if r.engine.InViewChange() {
 		return
 	}
-	for _, p := range r.awaiting {
-		if now.Sub(p.since) > r.cfg.LocalTimeout {
-			p.since = now
-			if !r.engine.IsPrimary() {
-				r.engine.StartViewChange(r.engine.View() + 1)
-				return
+	if now.Sub(r.lastVC) > r.cfg.LocalTimeout {
+		expired := false
+		for _, p := range r.awaiting {
+			if now.Sub(p.since) > r.cfg.LocalTimeout {
+				p.since = now
+				expired = true
 			}
+		}
+		if expired && !r.engine.IsPrimary() {
+			r.engine.StartViewChange(r.engine.View() + 1)
+			return
 		}
 	}
 	if oldest, ok := r.engine.OldestUncommitted(); ok && now.Sub(oldest) > r.cfg.LocalTimeout {
 		r.engine.StartViewChange(r.engine.View() + 1)
+	}
+	// Head-of-line nudge: AHL executes strictly in sequence order, so a
+	// cross-shard entry whose AHLDecision was lost blocks the whole shard.
+	// Re-send the vote — the committee answers a vote for an already-
+	// decided cst with the decision directly.
+	if e, ok := r.entries[r.execNext+1]; ok && e.batch != nil && e.batch.IsCrossShard() {
+		d := e.batch.Digest()
+		if cs, ok := r.csts[d]; ok && cs.voted && !cs.decided &&
+			now.Sub(cs.lastNudge) > r.cfg.LocalTimeout {
+			cs.lastNudge = now
+			r.resendVote(cs, d)
+		}
 	}
 }
 
@@ -322,9 +363,16 @@ func (r *Replica) repropose() {
 	if !r.engine.IsPrimary() {
 		return
 	}
-	for d, p := range r.awaiting {
+	// Sorted-digest order: sequence assignment must not depend on map
+	// iteration order, or identically seeded runs diverge.
+	ds := make([]types.Digest, 0, len(r.awaiting))
+	for d := range r.awaiting {
+		ds = append(ds, d)
+	}
+	sort.Slice(ds, func(i, j int) bool { return bytes.Compare(ds[i][:], ds[j][:]) < 0 })
+	for _, d := range ds {
 		if _, done := r.proposed[d]; !done {
-			r.propose(p.batch, d)
+			r.propose(r.awaiting[d].batch, d)
 		}
 	}
 	r.tryProposeQueued()
@@ -408,6 +456,7 @@ func (r *Replica) onCommitted(seq types.SeqNum, batch *types.Batch, _ []types.Si
 		}
 		if !cs.voted {
 			cs.voted = true
+			cs.lastNudge = r.clock() // this vote counts as attempt one
 			vote := &types.Message{
 				Type: types.MsgAHLVote, From: r.self, Shard: r.shard,
 				Digest: d, Decision: true,
@@ -483,3 +532,6 @@ func (r *Replica) respond(client types.NodeID, d types.Digest, results []types.V
 	m.MAC = crypto.MACMessage(r.auth, client, m)
 	r.send(client, m)
 }
+
+// Engine exposes the intra-shard PBFT engine (tests and chaos debugging).
+func (r *Replica) Engine() *pbft.Engine { return r.engine }

@@ -1,0 +1,285 @@
+// Package chaos is the repo's nemesis subsystem: seeded, reproducible fault
+// schedules driven against ringbft/ahl/sharper clusters, with cross-replica
+// invariant checking afterwards.
+//
+// The paper's claims are resilience claims — linear ring communication that
+// stays safe and live under cross-shard conflicts, primary failures, and the
+// A1/A2 attacks — so instead of sampling fault interleavings with a handful
+// of hand-written scenario tests, this package enumerates them: a Scenario
+// is (protocol, fault class, seed); BuildSchedule expands it into a timed
+// sequence of fault/heal events; the deterministic logical-time engine
+// (cluster.go) applies them while a seeded workload runs; and the checkers
+// (checkers.go) assert safety across every replica (no two replicas of a
+// shard commit different digests at one sequence, committed prefixes are
+// consistent, converged replicas agree on state and execution results) plus
+// liveness (freshly injected probe batches commit within a bounded number of
+// ticks after the last heal).
+//
+// Everything is derived from Scenario.Seed: the workload, the fault times,
+// the victims, per-message loss coins and delivery jitter. Re-running a
+// scenario with the same seed replays it exactly, so any CI failure is
+// reproducible from the seed its failure message prints (see ReproCmd).
+//
+// The same Schedule also drives the wall-clock harness (harness.go in this
+// package, via harness.Config.Nemesis) for long soak runs over the simulated
+// WAN with real goroutines and timers — `cmd/ringbft-chaos` is the entry
+// point CI's nightly chaos workflow uses.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringbft/internal/harness"
+	"ringbft/internal/types"
+)
+
+// Fault names one nemesis class of the scenario matrix.
+type Fault string
+
+const (
+	// FaultNone runs the workload fault-free (the matrix's control row).
+	FaultNone Fault = "none"
+	// FaultPartitionShard severs every link between shard 0 and the rest
+	// of the system, both directions (the C1 no-communication attack).
+	FaultPartitionShard Fault = "partition-shard"
+	// FaultPartitionAsym blocks shard 0 -> shard 1 only: messages flow
+	// one way (the C2 partial-communication attack).
+	FaultPartitionAsym Fault = "partition-asym"
+	// FaultPartitionLane severs the cross-shard links of one or two
+	// replica indexes — RingBFT's linear communication lanes — forcing
+	// recovery through the remaining same-index relays.
+	FaultPartitionLane Fault = "partition-lane"
+	// FaultLossStorm drops a large fraction of replica-to-replica traffic
+	// for a window (attack A2's unreliable network).
+	FaultLossStorm Fault = "loss-storm"
+	// FaultDelaySkew adds multi-tick delay to every cross-shard link for
+	// a window, skewing rotations without dropping anything.
+	FaultDelaySkew Fault = "delay-skew"
+	// FaultCrashRestart crashes a replica mid-run and restarts it from
+	// its durable state (WAL + snapshots) a while later.
+	FaultCrashRestart Fault = "crash-restart"
+	// FaultWipeRejoin crashes a replica, erases its data directory, and
+	// restarts it empty — it must rejoin via checkpoint-certified peer
+	// state transfer. RingBFT only (the baselines have no state transfer).
+	FaultWipeRejoin Fault = "wipe-rejoin"
+	// FaultByzSilent makes a primary drop all outbound traffic while
+	// still receiving — a dark primary only timers can unmask.
+	FaultByzSilent Fault = "byz-silent"
+	// FaultByzEquivocate makes a primary send conflicting, correctly
+	// MAC'd PrePrepares to different backups at the same (view, seq).
+	FaultByzEquivocate Fault = "byz-equivocate"
+)
+
+// Faults lists every fault class, matrix order.
+func Faults() []Fault {
+	return []Fault{
+		FaultNone, FaultPartitionShard, FaultPartitionAsym, FaultPartitionLane,
+		FaultLossStorm, FaultDelaySkew, FaultCrashRestart, FaultWipeRejoin,
+		FaultByzSilent, FaultByzEquivocate,
+	}
+}
+
+// Scenario is one cell of the chaos matrix. The zero values of the sizing
+// fields are filled by Normalize.
+type Scenario struct {
+	Protocol harness.Protocol
+	Fault    Fault
+	Seed     int64
+
+	Shards           int
+	ReplicasPerShard int
+	Clients          int
+	BatchSize        int
+	CrossShardPct    float64
+	Records          int
+	// Horizon is the number of logical ticks the workload+nemesis phase
+	// runs before the liveness probe; ProbeBudget bounds how many further
+	// ticks the probe batches may take to commit.
+	Horizon     int
+	ProbeBudget int
+}
+
+// Normalize fills defaults, returning the effective scenario.
+func (s Scenario) Normalize() Scenario {
+	if s.Protocol == "" {
+		s.Protocol = harness.ProtoRingBFT
+	}
+	if s.Fault == "" {
+		s.Fault = FaultNone
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Shards <= 0 {
+		s.Shards = 2
+	}
+	if s.ReplicasPerShard <= 0 {
+		s.ReplicasPerShard = 4
+	}
+	if s.Clients <= 0 {
+		s.Clients = 4
+	}
+	if s.BatchSize <= 0 {
+		s.BatchSize = 4
+	}
+	if s.CrossShardPct == 0 {
+		s.CrossShardPct = 0.3
+	}
+	if s.Records <= 0 {
+		s.Records = 512
+	}
+	if s.Horizon <= 0 {
+		s.Horizon = 260
+	}
+	if s.ProbeBudget <= 0 {
+		s.ProbeBudget = 400
+	}
+	return s
+}
+
+// Name is the scenario's stable identifier: protocol/fault/seed.
+func (s Scenario) Name() string {
+	return fmt.Sprintf("%s/%s/seed=%d", s.Protocol, s.Fault, s.Seed)
+}
+
+// ReproCmd prints the command that replays exactly this scenario; every
+// checker failure message embeds it.
+func (s Scenario) ReproCmd() string {
+	return fmt.Sprintf("go test ./internal/chaos/ -run TestReplaySeed -chaos.proto=%s -chaos.fault=%s -chaos.seed=%d -v",
+		s.Protocol, s.Fault, s.Seed)
+}
+
+// Op is one declarative nemesis operation; the deterministic engine and the
+// wall-clock harness adapter both interpret the same ops.
+type Op int
+
+const (
+	OpPartitionShard Op = iota // isolate Shard, both directions
+	OpPartitionAsym            // block Shard -> Shard2 only
+	OpPartitionLane            // sever cross-shard links of replica index Index (and Index2 if >= 0)
+	OpLoss                     // drop replica traffic with probability P
+	OpDelay                    // add Ticks delay to cross-shard links
+	OpCrash                    // crash replica (Shard, Index)
+	OpRestart                  // restart replica (Shard, Index); Wipe erases its data dir first
+	OpByzSilent                // replica (Shard, Index) drops all outbound traffic
+	OpByzEquivocate            // replica (Shard, Index) equivocates PrePrepares
+	OpHeal                     // clear partitions, loss, delay, and Byzantine modes
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPartitionShard:
+		return "partition-shard"
+	case OpPartitionAsym:
+		return "partition-asym"
+	case OpPartitionLane:
+		return "partition-lane"
+	case OpLoss:
+		return "loss"
+	case OpDelay:
+		return "delay"
+	case OpCrash:
+		return "crash"
+	case OpRestart:
+		return "restart"
+	case OpByzSilent:
+		return "byz-silent"
+	case OpByzEquivocate:
+		return "byz-equivocate"
+	case OpHeal:
+		return "heal"
+	}
+	return "?"
+}
+
+// Event is one timed nemesis operation.
+type Event struct {
+	At     int // logical tick (deterministic engine) / fraction of the fault window (wall-clock)
+	Op     Op
+	Shard  types.ShardID
+	Shard2 types.ShardID
+	Index  int
+	Index2 int // second lane for OpPartitionLane; -1 = none
+	P      float64
+	Ticks  int
+	Wipe   bool
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("t=%d %s(s=%d/%d i=%d/%d p=%.2f ticks=%d wipe=%v)",
+		e.At, e.Op, e.Shard, e.Shard2, e.Index, e.Index2, e.P, e.Ticks, e.Wipe)
+}
+
+// Schedule is a seeded nemesis schedule: timed events, all of them healed by
+// LastHeal, inside a horizon of Horizon ticks.
+type Schedule struct {
+	Events   []Event
+	LastHeal int
+	Horizon  int
+}
+
+// BuildSchedule expands a scenario into its deterministic event sequence.
+// All randomness (fault times, victims, probabilities) is drawn from the
+// scenario seed, so the same scenario always yields the same schedule.
+func BuildSchedule(sc Scenario) Schedule {
+	sc = sc.Normalize()
+	rng := rand.New(rand.NewSource(sc.Seed ^ 0x5eed5eed))
+	h := sc.Horizon
+	// The fault window: start after the workload has warmed up, heal with
+	// at least 35% of the horizon left so liveness has room to recover.
+	start := h/8 + rng.Intn(h/8)
+	heal := h/2 + rng.Intn(h/8)
+
+	var events []Event
+	add := func(e Event) { events = append(events, e) }
+
+	victimShard := types.ShardID(rng.Intn(sc.Shards))
+	otherShard := types.ShardID((int(victimShard) + 1) % sc.Shards)
+
+	switch sc.Fault {
+	case FaultNone:
+		return Schedule{Horizon: h}
+	case FaultPartitionShard:
+		add(Event{At: start, Op: OpPartitionShard, Shard: victimShard})
+		add(Event{At: heal, Op: OpHeal})
+	case FaultPartitionAsym:
+		add(Event{At: start, Op: OpPartitionAsym, Shard: victimShard, Shard2: otherShard})
+		add(Event{At: heal, Op: OpHeal})
+	case FaultPartitionLane:
+		lane := rng.Intn(sc.ReplicasPerShard)
+		lane2 := -1
+		if rng.Intn(2) == 1 { // sometimes sever two of the n lanes
+			lane2 = (lane + 1 + rng.Intn(sc.ReplicasPerShard-1)) % sc.ReplicasPerShard
+		}
+		add(Event{At: start, Op: OpPartitionLane, Index: lane, Index2: lane2})
+		add(Event{At: heal, Op: OpHeal})
+	case FaultLossStorm:
+		add(Event{At: start, Op: OpLoss, P: 0.25 + 0.25*rng.Float64()})
+		add(Event{At: heal, Op: OpHeal})
+	case FaultDelaySkew:
+		add(Event{At: start, Op: OpDelay, Ticks: 2 + rng.Intn(4)})
+		add(Event{At: heal, Op: OpHeal})
+	case FaultCrashRestart:
+		// Crash the view-0 primary half the time, a backup otherwise.
+		idx := 0
+		if rng.Intn(2) == 1 {
+			idx = 1 + rng.Intn(sc.ReplicasPerShard-1)
+		}
+		add(Event{At: start, Op: OpCrash, Shard: victimShard, Index: idx})
+		add(Event{At: heal, Op: OpRestart, Shard: victimShard, Index: idx})
+	case FaultWipeRejoin:
+		idx := 1 + rng.Intn(sc.ReplicasPerShard-1) // wipe a backup
+		add(Event{At: start, Op: OpCrash, Shard: victimShard, Index: idx})
+		add(Event{At: heal, Op: OpRestart, Shard: victimShard, Index: idx, Wipe: true})
+	case FaultByzSilent:
+		add(Event{At: start, Op: OpByzSilent, Shard: victimShard, Index: 0})
+		add(Event{At: heal, Op: OpHeal})
+	case FaultByzEquivocate:
+		add(Event{At: start, Op: OpByzEquivocate, Shard: victimShard, Index: 0})
+		add(Event{At: heal, Op: OpHeal})
+	default:
+		panic(fmt.Sprintf("chaos: unknown fault %q", sc.Fault))
+	}
+	return Schedule{Events: events, LastHeal: heal, Horizon: h}
+}

@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"flag"
+	"testing"
+
+	"ringbft/internal/harness"
+)
+
+// Replay flags: any matrix failure prints the exact command that re-runs
+// just that scenario (see Scenario.ReproCmd).
+var (
+	flagSeed  = flag.Int64("chaos.seed", 0, "replay the scenario with this seed (TestReplaySeed)")
+	flagProto = flag.String("chaos.proto", "ringbft", "protocol for TestReplaySeed")
+	flagFault = flag.String("chaos.fault", "partition-shard", "fault class for TestReplaySeed")
+)
+
+// TestChaosMatrix runs the full scenario matrix: every fault class against
+// RingBFT plus the baseline subset, each seeded and fully deterministic.
+// Every scenario must commit work, stay safe across all replicas, and
+// recover liveness after its last heal.
+func TestChaosMatrix(t *testing.T) {
+	matrix := Matrix()
+	if len(matrix) < 20 {
+		t.Fatalf("matrix has %d scenarios, want >= 20", len(matrix))
+	}
+	for _, sc := range matrix {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			res, err := RunScenario(sc)
+			if err != nil {
+				t.Fatalf("%v\nreproduce with: %s", err, sc.ReproCmd())
+			}
+			if res.Failed() {
+				t.Fatal(res.FailureReport())
+			}
+			if res.Committed == 0 {
+				t.Fatalf("scenario %s committed nothing\nreproduce with: %s",
+					sc.Name(), sc.ReproCmd())
+			}
+			t.Logf("committed=%d ticks=%d probeTicks=%d replicas=%d",
+				res.Committed, res.Ticks, res.ProbeTicks, len(res.States))
+		})
+	}
+}
+
+// TestReplaySeed replays a single scenario from its printed seed — the
+// reproduction entry point every failure message references.
+func TestReplaySeed(t *testing.T) {
+	if *flagSeed == 0 {
+		t.Skip("pass -chaos.seed=N (with -chaos.proto / -chaos.fault) to replay a scenario")
+	}
+	sc := Scenario{
+		Protocol: harness.Protocol(*flagProto),
+		Fault:    Fault(*flagFault),
+		Seed:     *flagSeed,
+	}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("schedule: %v", res.Schedule.Events)
+	t.Logf("fingerprint: %s", res.Fingerprint())
+	if res.Failed() {
+		t.Fatal(res.FailureReport())
+	}
+}
+
+// TestSeedDeterminism: the same seed + schedule must yield identical
+// committed block sequences, state digests, client commit orders, and
+// counters across two runs — the property that makes `-chaos.seed=N`
+// reproduce any failure exactly.
+func TestSeedDeterminism(t *testing.T) {
+	cases := []Scenario{
+		{Protocol: harness.ProtoRingBFT, Fault: FaultPartitionShard, Seed: 11},
+		{Protocol: harness.ProtoRingBFT, Fault: FaultLossStorm, Seed: 12},
+		{Protocol: harness.ProtoRingBFT, Fault: FaultByzEquivocate, Seed: 13},
+		{Protocol: harness.ProtoRingBFT, Fault: FaultWipeRejoin, Seed: 14},
+		{Protocol: harness.ProtoAHL, Fault: FaultCrashRestart, Seed: 15},
+		{Protocol: harness.ProtoSharper, Fault: FaultDelaySkew, Seed: 16},
+	}
+	for _, sc := range cases {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			a, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+				t.Fatalf("two runs of %s diverged:\n  run1 %s\n  run2 %s",
+					sc.Name(), fa, fb)
+			}
+			if a.Committed != b.Committed || a.LastCommitTick != b.LastCommitTick {
+				t.Fatalf("counters diverged: committed %d vs %d, lastCommit %d vs %d",
+					a.Committed, b.Committed, a.LastCommitTick, b.LastCommitTick)
+			}
+		})
+	}
+}
+
+// TestScheduleDeterminism: schedules are pure functions of the scenario.
+func TestScheduleDeterminism(t *testing.T) {
+	for _, f := range Faults() {
+		sc := Scenario{Protocol: harness.ProtoRingBFT, Fault: f, Seed: 42}
+		a, b := BuildSchedule(sc), BuildSchedule(sc)
+		if len(a.Events) != len(b.Events) || a.LastHeal != b.LastHeal {
+			t.Fatalf("fault %s: schedule not deterministic", f)
+		}
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				t.Fatalf("fault %s event %d: %v vs %v", f, i, a.Events[i], b.Events[i])
+			}
+		}
+		if f != FaultNone && a.LastHeal <= 0 {
+			t.Fatalf("fault %s: schedule never heals", f)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"ringbft/internal/harness"
+	"ringbft/internal/types"
+)
+
+// Synthetic-state tests: every checker must actually detect the violation
+// class it exists for — a checker that cannot fail is not a checker.
+
+func replica(shard types.ShardID, idx int, blocks []harness.BlockRecord,
+	state byte, execThrough types.SeqNum) harness.ReplicaState {
+	var sd types.Digest
+	sd[0] = state
+	return harness.ReplicaState{
+		ID:              types.ReplicaNode(shard, idx),
+		Blocks:          blocks,
+		Height:          len(blocks),
+		ChainOK:         true,
+		StateDigest:     sd,
+		ExecutedThrough: execThrough,
+	}
+}
+
+func rec(seq types.SeqNum, d byte) harness.BlockRecord {
+	var dig types.Digest
+	dig[0] = d
+	return harness.BlockRecord{Seq: seq, Digest: dig}
+}
+
+func hasViolation(t *testing.T, vs []Violation, check string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Check == check {
+			return
+		}
+	}
+	t.Fatalf("expected a %q violation, got %v", check, vs)
+}
+
+func TestCheckerDetectsFork(t *testing.T) {
+	a := replica(0, 0, []harness.BlockRecord{rec(1, 0xaa), rec(2, 0xbb)}, 1, 2)
+	b := replica(0, 1, []harness.BlockRecord{rec(1, 0xaa), rec(2, 0xcc)}, 1, 2)
+	hasViolation(t, CheckStates([]harness.ReplicaState{a, b}), "seq-digest-agreement")
+}
+
+func TestCheckerDetectsStateDivergence(t *testing.T) {
+	blocks := []harness.BlockRecord{rec(1, 0xaa), rec(2, 0xbb)}
+	a := replica(0, 0, blocks, 1, 2)
+	b := replica(0, 1, blocks, 2, 2) // same executed set, different state
+	hasViolation(t, CheckStates([]harness.ReplicaState{a, b}), "state-agreement")
+}
+
+func TestCheckerDetectsExecutedDivergence(t *testing.T) {
+	blocks := []harness.BlockRecord{rec(1, 0xaa)}
+	a := replica(0, 0, blocks, 1, 1)
+	b := replica(0, 1, blocks, 1, 1)
+	var d types.Digest
+	d[0] = 0xaa
+	a.Executed = map[types.Digest]uint64{d: 7}
+	b.Executed = map[types.Digest]uint64{d: 8}
+	hasViolation(t, CheckStates([]harness.ReplicaState{a, b}), "executed-agreement")
+}
+
+func TestCheckerDetectsBrokenChain(t *testing.T) {
+	a := replica(0, 0, []harness.BlockRecord{rec(1, 0xaa)}, 1, 1)
+	a.ChainOK = false
+	hasViolation(t, CheckStates([]harness.ReplicaState{a}), "chain-verify")
+}
+
+func TestCheckerToleratesLaggingReplica(t *testing.T) {
+	// A behind replica (shorter executed prefix) is not a safety violation.
+	a := replica(0, 0, []harness.BlockRecord{rec(1, 0xaa), rec(2, 0xbb)}, 1, 2)
+	b := replica(0, 1, []harness.BlockRecord{rec(1, 0xaa)}, 2, 1)
+	if vs := CheckStates([]harness.ReplicaState{a, b}); len(vs) != 0 {
+		t.Fatalf("lagging replica flagged as violation: %v", vs)
+	}
+}
+
+func TestCheckerToleratesPruningSkew(t *testing.T) {
+	// Same executed set, one replica pruned earlier: must group together.
+	a := replica(0, 0, []harness.BlockRecord{rec(3, 0xcc), rec(4, 0xdd)}, 1, 4)
+	b := replica(0, 1, []harness.BlockRecord{rec(2, 0xbb), rec(3, 0xcc), rec(4, 0xdd)}, 1, 4)
+	if vs := CheckStates([]harness.ReplicaState{a, b}); len(vs) != 0 {
+		t.Fatalf("pruning skew flagged as violation: %v", vs)
+	}
+	if vs := CheckConvergence([]harness.ReplicaState{a, b}, 2); len(vs) != 0 {
+		t.Fatalf("pruning skew broke convergence: %v", vs)
+	}
+}
+
+func TestCheckerDetectsMissedConvergence(t *testing.T) {
+	a := replica(0, 0, []harness.BlockRecord{rec(1, 0xaa), rec(2, 0xbb)}, 1, 2)
+	b := replica(0, 1, []harness.BlockRecord{rec(1, 0xaa)}, 2, 1)
+	vs := CheckConvergence([]harness.ReplicaState{a, b}, 2)
+	hasViolation(t, vs, "convergence")
+	if !strings.Contains(vs[0].Detail, "shard 0") {
+		t.Fatalf("violation does not name the shard: %v", vs[0])
+	}
+}
+
+func TestCheckerOutOfOrderSuffixComparable(t *testing.T) {
+	// Blocks above the watermark executed out of order still compare as a
+	// set: both replicas executed {1,2,4} with 3 pending.
+	a := replica(0, 0, []harness.BlockRecord{rec(1, 0xaa), rec(2, 0xbb), rec(4, 0xdd)}, 1, 2)
+	b := replica(0, 1, []harness.BlockRecord{rec(1, 0xaa), rec(4, 0xdd), rec(2, 0xbb)}, 1, 2)
+	if vs := CheckStates([]harness.ReplicaState{a, b}); len(vs) != 0 {
+		t.Fatalf("out-of-order suffix flagged: %v", vs)
+	}
+	// But a replica that additionally executed 3 must NOT group with them.
+	c := replica(0, 2, []harness.BlockRecord{rec(1, 0xaa), rec(2, 0xbb), rec(3, 0xcc), rec(4, 0xdd)}, 3, 4)
+	if vs := CheckStates([]harness.ReplicaState{a, b, c}); len(vs) != 0 {
+		t.Fatalf("different executed sets falsely compared: %v", vs)
+	}
+}

@@ -1,0 +1,594 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"ringbft/internal/ahl"
+	"ringbft/internal/crypto"
+	"ringbft/internal/harness"
+	"ringbft/internal/ringbft"
+	"ringbft/internal/sharper"
+	"ringbft/internal/types"
+	"ringbft/internal/wal"
+	"ringbft/internal/workload"
+)
+
+// tickStep is the logical duration of one engine tick. Protocol timers (the
+// types.DefaultConfig timeouts) are expressed in this time base: the default
+// 250ms local timeout is 10 ticks.
+const tickStep = 25 * time.Millisecond
+
+// node is the common deterministic surface of every protocol participant.
+type node interface {
+	HandleMessage(m *types.Message)
+	HandleTick(now time.Time)
+}
+
+// env is one in-flight message.
+type env struct {
+	seq      int // enqueue order; final sort tiebreak only
+	at       int // delivery tick
+	from, to types.NodeID
+	m        *types.Message
+}
+
+// Cluster is the deterministic logical-time chaos engine: replicas of one
+// protocol wired through a canonically ordered message queue, a virtual
+// clock driving their timers, seeded clients, and nemesis state (partitions,
+// loss, delay, crashes, Byzantine modes) applied at scheduled ticks. Every
+// run of the same scenario executes identically: delivery order is sorted by
+// message identity, and loss/jitter coins are content-addressed hashes of
+// (seed, message identity, tick) rather than draws from a shared RNG stream.
+type Cluster struct {
+	sc  Scenario
+	cfg types.Config
+
+	kg    *crypto.Keygen
+	fs    *wal.MemFS
+	auths map[types.NodeID]crypto.Authenticator
+
+	nodes      map[types.NodeID]node
+	order      []types.NodeID // deterministic iteration order
+	shardPeers [][]types.NodeID
+	committee  []types.NodeID
+
+	// staged holds sends that have not been assigned a delivery tick yet;
+	// assignment happens in canonical order at pump boundaries (see
+	// commitStaged) so that per-link FIFO clamping cannot depend on the
+	// enqueue order, which Go map iteration makes unstable.
+	staged  []env
+	queue   []env
+	nextSeq int
+	tick    int
+	// lastAt tracks the latest assigned delivery tick per (from,to) link:
+	// delivery is per-link FIFO, like simnet's linkQueue and a real TCP
+	// stream — jitter may stretch a link but never reorder it.
+	lastAt map[[2]types.NodeID]int
+
+	// Nemesis state.
+	down      map[types.NodeID]bool
+	byzSilent map[types.NodeID]bool
+	byzEquiv  map[types.NodeID]bool
+	partition func(from, to types.NodeID) bool
+	lossP     float64
+	delayX    int // extra ticks on cross-shard links
+
+	clients        []*dclient
+	lastCommitTick int
+	committed      int
+}
+
+// dclient is one deterministic closed-loop client.
+type dclient struct {
+	id       types.ClientID
+	gen      *workload.Generator
+	window   int
+	inflight map[types.Digest]*dflight
+	inbox    []*types.Message
+	viewHint map[types.ShardID]types.View
+	// committed is the client's completion order — part of the
+	// determinism fingerprint.
+	committed []types.Digest
+	paused    bool // probe phase: stop launching fresh batches
+}
+
+type dflight struct {
+	batch    *types.Batch
+	digest   types.Digest
+	sentTick int
+	votes    map[types.NodeID]struct{}
+}
+
+// NewCluster builds the deterministic cluster for a scenario.
+func NewCluster(sc Scenario) *Cluster {
+	sc = sc.Normalize()
+	cfg := types.DefaultConfig(sc.Shards, sc.ReplicasPerShard)
+	cfg.BatchSize = sc.BatchSize
+	cfg.CheckpointInterval = 8 // short cadence so recovery paths engage in-window
+	cfg.DataDir = "data"
+
+	c := &Cluster{
+		sc:        sc,
+		cfg:       cfg,
+		kg:        crypto.NewKeygen(sc.Seed),
+		fs:        wal.NewMemFS(),
+		auths:     make(map[types.NodeID]crypto.Authenticator),
+		nodes:     make(map[types.NodeID]node),
+		lastAt:    make(map[[2]types.NodeID]int),
+		down:      make(map[types.NodeID]bool),
+		byzSilent: make(map[types.NodeID]bool),
+		byzEquiv:  make(map[types.NodeID]bool),
+	}
+	c.shardPeers = make([][]types.NodeID, sc.Shards)
+	var all []types.NodeID
+	for s := 0; s < sc.Shards; s++ {
+		peers := make([]types.NodeID, sc.ReplicasPerShard)
+		for i := range peers {
+			peers[i] = types.ReplicaNode(types.ShardID(s), i)
+			all = append(all, peers[i])
+		}
+		c.shardPeers[s] = peers
+	}
+	if sc.Protocol == harness.ProtoAHL {
+		for i := 0; i < sc.ReplicasPerShard; i++ {
+			id := types.CommitteeNode(i)
+			c.committee = append(c.committee, id)
+			all = append(all, id)
+		}
+	}
+	for _, id := range all {
+		c.kg.Register(id)
+	}
+	for _, id := range all {
+		ring, err := c.kg.Ring(id)
+		if err != nil {
+			panic(fmt.Sprintf("chaos: keyring for %v: %v", id, err))
+		}
+		c.auths[id] = ring
+	}
+	for _, id := range all {
+		c.spawn(id)
+		c.order = append(c.order, id)
+	}
+
+	for i := 0; i < sc.Clients; i++ {
+		cid := types.ClientID(i + 1)
+		c.clients = append(c.clients, &dclient{
+			id: cid,
+			gen: workload.New(workload.Config{
+				Shards:        sc.Shards,
+				ActiveRecords: sc.Records,
+				CrossShardPct: sc.CrossShardPct,
+				BatchSize:     sc.BatchSize,
+				Clients:       sc.Clients,
+				Seed:          sc.Seed + int64(cid)*7919,
+			}),
+			window:   1,
+			inflight: make(map[types.Digest]*dflight),
+			viewHint: make(map[types.ShardID]types.View),
+		})
+	}
+	return c
+}
+
+// clock returns the virtual time of the current tick.
+func (c *Cluster) clock() time.Time {
+	return time.Unix(0, 0).Add(time.Duration(c.tick) * tickStep)
+}
+
+// spawn builds (or rebuilds, after a crash) node id, recovering whatever
+// survives on the shared in-memory filesystem.
+func (c *Cluster) spawn(id types.NodeID) {
+	send := c.sender(id)
+	clock := c.clock
+	switch {
+	case id.Kind == types.KindCommittee:
+		c.nodes[id] = ahl.NewCommittee(ahl.CommitteeOptions{
+			Config: c.cfg, Self: id, Peers: c.committee,
+			Auth: c.auths[id], Send: ahl.Sender(send), Clock: clock,
+			ShardPeers: c.shardPeers,
+		})
+		return
+	case c.sc.Protocol == harness.ProtoRingBFT:
+		m, rec, err := ringbft.OpenDurability(c.cfg, id, c.fs)
+		if err != nil {
+			panic(fmt.Sprintf("chaos: open durability for %v: %v", id, err))
+		}
+		r := ringbft.New(ringbft.Options{
+			Config: c.cfg, Shard: id.Shard, Self: id,
+			Peers: c.shardPeers[id.Shard], Auth: c.auths[id],
+			Send: ringbft.Sender(send), Clock: clock,
+			Durability: m, Recovered: rec,
+		})
+		r.Preload(c.sc.Records)
+		c.nodes[id] = r
+	case c.sc.Protocol == harness.ProtoAHL:
+		m, rec := c.openDur(id)
+		r := ahl.NewReplica(ahl.ReplicaOptions{
+			Config: c.cfg, Shard: id.Shard, Self: id,
+			Peers: c.shardPeers[id.Shard], Committee: c.committee,
+			Auth: c.auths[id], Send: ahl.Sender(send), Clock: clock,
+			Durability: m, Recovered: rec,
+		})
+		r.Preload(c.sc.Records)
+		c.nodes[id] = r
+	case c.sc.Protocol == harness.ProtoSharper:
+		m, rec := c.openDur(id)
+		r := sharper.New(sharper.Options{
+			Config: c.cfg, Shard: id.Shard, Self: id,
+			Peers: c.shardPeers[id.Shard], Auth: c.auths[id],
+			Send: sharper.Sender(send), Clock: clock,
+			Durability: m, Recovered: rec,
+		})
+		r.Preload(c.sc.Records)
+		c.nodes[id] = r
+	default:
+		panic(fmt.Sprintf("chaos: unsupported protocol %q", c.sc.Protocol))
+	}
+}
+
+// openDur opens the per-replica durability manager (ahl/sharper use the same
+// s<shard>-r<index> directory convention ringbft.OpenDurability applies).
+func (c *Cluster) openDur(id types.NodeID) (*wal.Manager, *wal.Recovered) {
+	m, rec, err := wal.OpenManager(wal.ManagerOptions{
+		FS: c.fs, Dir: wal.Join(c.cfg.DataDir, fmt.Sprintf("s%d-r%d", id.Shard, id.Index)),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("chaos: open durability for %v: %v", id, err))
+	}
+	return m, rec
+}
+
+// sender returns node id's outbound hook: Byzantine interception, then
+// enqueue with content-addressed delivery jitter.
+func (c *Cluster) sender(id types.NodeID) func(to types.NodeID, m *types.Message) {
+	return func(to types.NodeID, m *types.Message) {
+		if c.byzSilent[id] {
+			return
+		}
+		if c.byzEquiv[id] && m.Type == types.MsgPrePrepare && m.Batch != nil &&
+			len(m.Batch.Txns) > 0 && to.Kind == types.KindReplica && to.Index%2 == 1 {
+			cp := *m
+			cp.Batch = harness.EquivocateBatch(m.Batch)
+			cp.Digest = cp.Batch.Digest()
+			var buf [types.SigBytesLen]byte
+			cp.MAC = c.auths[id].MAC(to, cp.AppendSigBytes(buf[:0]))
+			m = &cp
+		}
+		c.enqueue(id, to, m)
+	}
+}
+
+func (c *Cluster) enqueue(from, to types.NodeID, m *types.Message) {
+	c.staged = append(c.staged, env{seq: c.nextSeq, from: from, to: to, m: m})
+	c.nextSeq++
+}
+
+// commitStaged assigns delivery ticks to staged sends: canonical order
+// first, then per-message content-addressed jitter clamped to per-link FIFO.
+// Doing this in canonical order is what keeps the engine deterministic —
+// sends generated while iterating Go maps arrive here in unstable order,
+// and the FIFO clamp would otherwise make delivery times depend on it.
+func (c *Cluster) commitStaged() {
+	if len(c.staged) == 0 {
+		return
+	}
+	batch := c.staged
+	c.staged = nil
+	sort.Slice(batch, func(i, j int) bool { return batch[i].less(batch[j]) })
+	for _, e := range batch {
+		delay := int(c.coin(e.from, e.to, e.m, 0x0ddba11) % 3) // 0..2 ticks of jitter
+		if c.delayX > 0 && e.from.Kind == types.KindReplica && e.to.Kind == types.KindReplica &&
+			e.from.Shard != e.to.Shard {
+			delay += c.delayX
+		}
+		e.at = c.tick + delay
+		link := [2]types.NodeID{e.from, e.to}
+		if last, ok := c.lastAt[link]; ok && last > e.at {
+			e.at = last // FIFO: never overtake an earlier message on this link
+		}
+		c.lastAt[link] = e.at
+		c.queue = append(c.queue, e)
+	}
+}
+
+// coin derives a deterministic 64-bit value from the message's identity and
+// the current tick: fault decisions (loss, jitter) must not depend on
+// enqueue order, which Go map iteration makes unstable.
+func (c *Cluster) coin(from, to types.NodeID, m *types.Message, salt uint64) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037) ^ uint64(c.sc.Seed) ^ salt
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(from.Kind)<<32 | uint64(uint16(from.Shard))<<16 | uint64(uint16(from.Index)))
+	mix(uint64(to.Kind)<<32 | uint64(uint16(to.Shard))<<16 | uint64(uint16(to.Index)))
+	mix(uint64(m.Type)<<48 | uint64(uint16(m.Shard))<<32 | uint64(uint32(c.tick)))
+	mix(uint64(m.View))
+	mix(uint64(m.Seq))
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(m.Digest[i])) * prime64
+	}
+	return h
+}
+
+// less orders two envelopes canonically by message identity; enqueue order
+// is only the final tiebreak (it can differ between runs for messages
+// generated while iterating Go maps, but only for identical identities,
+// where order cannot affect the outcome).
+func (a env) less(b env) bool {
+	ka, kb := a.key(), b.key()
+	if d := bytes.Compare(ka, kb); d != 0 {
+		return d < 0
+	}
+	return a.seq < b.seq
+}
+
+func (a env) key() []byte {
+	var buf [8 + 8 + 4 + 8 + 8 + 32]byte
+	put := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (56 - 8*i))
+		}
+	}
+	put(0, uint64(a.from.Kind)<<40|uint64(uint16(a.from.Shard))<<24|uint64(uint16(a.from.Index)))
+	put(8, uint64(a.to.Kind)<<40|uint64(uint16(a.to.Shard))<<24|uint64(uint16(a.to.Index)))
+	buf[16] = byte(a.m.Type)
+	buf[17] = byte(uint8(a.m.Shard))
+	put(20, uint64(a.m.View))
+	put(28, uint64(a.m.Seq))
+	copy(buf[36:], a.m.Digest[:])
+	return buf[:]
+}
+
+// pump delivers every due message, sorted canonically, looping until the
+// current tick generates nothing more that is immediately deliverable.
+func (c *Cluster) pump() error {
+	for guard := 0; ; guard++ {
+		if guard > 2000 {
+			return fmt.Errorf("chaos: message storm at tick %d (%d queued)", c.tick, len(c.queue))
+		}
+		c.commitStaged()
+		var due, future []env
+		for _, e := range c.queue {
+			if e.at <= c.tick {
+				due = append(due, e)
+			} else {
+				future = append(future, e)
+			}
+		}
+		if len(due) == 0 {
+			return nil
+		}
+		c.queue = future
+		sort.Slice(due, func(i, j int) bool { return due[i].less(due[j]) })
+		for _, e := range due {
+			if c.dropAtDelivery(e) {
+				continue
+			}
+			if e.to.Kind == types.KindClient {
+				for _, cl := range c.clients {
+					if types.ClientNode(cl.id) == e.to {
+						cl.inbox = append(cl.inbox, e.m)
+					}
+				}
+				continue
+			}
+			if n, ok := c.nodes[e.to]; ok && !c.down[e.to] {
+				n.HandleMessage(e.m)
+			}
+		}
+	}
+}
+
+// dropAtDelivery applies crash, partition, and loss state at delivery time.
+func (c *Cluster) dropAtDelivery(e env) bool {
+	if c.down[e.from] || c.down[e.to] {
+		return true
+	}
+	if c.partition != nil && c.partition(e.from, e.to) {
+		return true
+	}
+	if c.lossP > 0 && e.from.Kind != types.KindClient && e.to.Kind != types.KindClient {
+		if float64(c.coin(e.from, e.to, e.m, 0x10551055)%(1<<32))/float64(1<<32) < c.lossP {
+			return true
+		}
+	}
+	return false
+}
+
+// apply executes one nemesis event.
+func (c *Cluster) apply(e Event) {
+	inIsland := func(id types.NodeID, s types.ShardID) bool {
+		return id.Kind == types.KindReplica && id.Shard == s
+	}
+	switch e.Op {
+	case OpPartitionShard:
+		s := e.Shard
+		c.partition = func(from, to types.NodeID) bool {
+			if from.Kind == types.KindClient || to.Kind == types.KindClient {
+				return false
+			}
+			return inIsland(from, s) != inIsland(to, s)
+		}
+	case OpPartitionAsym:
+		a, b := e.Shard, e.Shard2
+		c.partition = func(from, to types.NodeID) bool {
+			return inIsland(from, a) && inIsland(to, b)
+		}
+	case OpPartitionLane:
+		i1, i2 := e.Index, e.Index2
+		c.partition = func(from, to types.NodeID) bool {
+			if from.Kind != types.KindReplica || to.Kind != types.KindReplica ||
+				from.Shard == to.Shard {
+				return false
+			}
+			return from.Index == i1 || to.Index == i1 ||
+				(i2 >= 0 && (from.Index == i2 || to.Index == i2))
+		}
+	case OpLoss:
+		c.lossP = e.P
+	case OpDelay:
+		c.delayX = e.Ticks
+	case OpCrash:
+		c.down[types.ReplicaNode(e.Shard, e.Index)] = true
+	case OpRestart:
+		id := types.ReplicaNode(e.Shard, e.Index)
+		if e.Wipe {
+			c.fs.RemoveAll(wal.Join(c.cfg.DataDir, fmt.Sprintf("s%d-r%d", id.Shard, id.Index)))
+		}
+		c.spawn(id) // rebuild from surviving durable state
+		delete(c.down, id)
+	case OpByzSilent:
+		c.byzSilent[types.ReplicaNode(e.Shard, e.Index)] = true
+	case OpByzEquivocate:
+		c.byzEquiv[types.ReplicaNode(e.Shard, e.Index)] = true
+	case OpHeal:
+		c.partition = nil
+		c.lossP = 0
+		c.delayX = 0
+		c.byzSilent = make(map[types.NodeID]bool)
+		c.byzEquiv = make(map[types.NodeID]bool)
+	}
+}
+
+// step advances one tick: nemesis events due now, timer ticks for every
+// alive node (deterministic order), message deliveries, then client logic.
+func (c *Cluster) step(events []Event) error {
+	for _, e := range events {
+		if e.At == c.tick {
+			c.apply(e)
+		}
+	}
+	now := c.clock()
+	for _, id := range c.order {
+		if !c.down[id] {
+			c.nodes[id].HandleTick(now)
+		}
+	}
+	if err := c.pump(); err != nil {
+		return err
+	}
+	for _, cl := range c.clients {
+		c.stepClient(cl)
+	}
+	// Client sends may be deliverable this tick (zero jitter): drain them
+	// so responses are not systematically one tick late.
+	if err := c.pump(); err != nil {
+		return err
+	}
+	c.tick++
+	return nil
+}
+
+// clientTimeout is the retransmission threshold in ticks (mirrors the
+// harness client's 2×LocalTimeout rule).
+func (c *Cluster) clientTimeout() int {
+	return int(2 * c.cfg.LocalTimeout / tickStep)
+}
+
+// route picks the node a fresh batch is addressed to, honouring the view
+// hint learned from responses (so post-view-change primaries are targeted).
+func (c *Cluster) route(cl *dclient, b *types.Batch) types.NodeID {
+	if c.sc.Protocol == harness.ProtoAHL && b.IsCrossShard() {
+		return c.committee[0]
+	}
+	s := b.Initiator()
+	idx := int(uint64(cl.viewHint[s]) % uint64(c.sc.ReplicasPerShard))
+	return types.ReplicaNode(s, idx)
+}
+
+// fanout lists the nodes a timed-out batch is rebroadcast to (attack A1).
+func (c *Cluster) fanout(b *types.Batch) []types.NodeID {
+	if c.sc.Protocol == harness.ProtoAHL && b.IsCrossShard() {
+		return c.committee
+	}
+	return c.shardPeers[b.Initiator()]
+}
+
+func (c *Cluster) stepClient(cl *dclient) {
+	// Count votes from this tick's responses.
+	for _, m := range cl.inbox {
+		if m.Type != types.MsgResponse {
+			continue
+		}
+		if m.From.Kind == types.KindReplica && m.View > cl.viewHint[m.From.Shard] {
+			cl.viewHint[m.From.Shard] = m.View
+		}
+		fl, ok := cl.inflight[m.Digest]
+		if !ok {
+			continue
+		}
+		fl.votes[m.From] = struct{}{}
+	}
+	cl.inbox = nil
+	need := c.cfg.F() + 1
+	var doneNow []types.Digest
+	for d, fl := range cl.inflight {
+		if len(fl.votes) >= need {
+			doneNow = append(doneNow, d)
+		}
+	}
+	// Sort completions: map iteration order must not leak into the
+	// committed sequence (part of the determinism fingerprint).
+	sort.Slice(doneNow, func(i, j int) bool {
+		return bytes.Compare(doneNow[i][:], doneNow[j][:]) < 0
+	})
+	for _, d := range doneNow {
+		delete(cl.inflight, d)
+		cl.committed = append(cl.committed, d)
+		c.committed++
+		c.lastCommitTick = c.tick
+	}
+	// Retransmit what timed out.
+	var late []*dflight
+	for _, fl := range cl.inflight {
+		if c.tick-fl.sentTick > c.clientTimeout() {
+			late = append(late, fl)
+		}
+	}
+	sort.Slice(late, func(i, j int) bool {
+		return bytes.Compare(late[i].digest[:], late[j].digest[:]) < 0
+	})
+	from := types.ClientNode(cl.id)
+	for _, fl := range late {
+		fl.sentTick = c.tick
+		m := &types.Message{
+			Type: types.MsgClientRequest, From: from,
+			Batch: fl.batch, Digest: fl.digest,
+		}
+		for _, to := range c.fanout(fl.batch) {
+			c.enqueue(from, to, m)
+		}
+	}
+	// Keep the window full.
+	for !cl.paused && len(cl.inflight) < cl.window {
+		b := cl.gen.NextBatch(cl.id)
+		d := b.Digest()
+		cl.inflight[d] = &dflight{
+			batch: b, digest: d, sentTick: c.tick,
+			votes: make(map[types.NodeID]struct{}),
+		}
+		c.enqueue(from, c.route(cl, b), &types.Message{
+			Type: types.MsgClientRequest, From: from, Batch: b, Digest: d,
+		})
+	}
+}
+
+// Capture snapshots every replica's commit state (crashed nodes included —
+// a dead replica's prefix still must not conflict).
+func (c *Cluster) Capture() []harness.ReplicaState {
+	var out []harness.ReplicaState
+	for _, id := range c.order {
+		if st, ok := harness.CaptureReplica(id, c.nodes[id]); ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}

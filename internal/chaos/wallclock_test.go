@@ -1,0 +1,42 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"ringbft/internal/harness"
+)
+
+// TestWallClockNemesisSmoke drives one seeded schedule through the real
+// harness (goroutines, simulated WAN, real timers): the nemesis must
+// actually fire (messages dropped), safety must hold across every captured
+// replica, and the cluster must keep committing. The deterministic matrix
+// is the exhaustive surface; this pins the harness integration the nightly
+// soak builds on.
+func TestWallClockNemesisSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock run")
+	}
+	res, err := RunWallClock(Scenario{
+		Protocol: harness.ProtoRingBFT,
+		Fault:    FaultPartitionShard,
+		Seed:     7,
+	}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatal(res.FailureReport())
+	}
+	if res.Result.Txns == 0 {
+		t.Fatal("wall-clock chaos run committed nothing")
+	}
+	if res.Result.NemesisLastHeal == 0 {
+		t.Fatal("nemesis never healed — schedule did not run")
+	}
+	if len(res.Result.Replicas) == 0 {
+		t.Fatal("no replica states captured")
+	}
+	t.Logf("committed %d txns, %d replicas captured, healed at %v, dropped %d msgs",
+		res.Result.Txns, len(res.Result.Replicas), res.Result.NemesisLastHeal, res.Result.MsgsDropped)
+}

@@ -69,11 +69,12 @@ func build(cfg Config) (*cluster, error) {
 					return nil, err
 				}
 				peers := shardPeers[s]
+				send := cl.interceptSend(cfg, a, ep.Send)
 				mk := func() node {
 					opts := ringbft.Options{
 						Config: tcfg, Shard: id.Shard, Self: id,
 						Peers: peers, Auth: a,
-						Send:            ep.Send,
+						Send:            ringbft.Sender(send),
 						AllToAllForward: cfg.AllToAllForward,
 					}
 					if cl.fs != nil {
@@ -113,7 +114,8 @@ func build(cfg Config) (*cluster, error) {
 				}
 				r := sharper.New(sharper.Options{
 					Config: tcfg, Shard: types.ShardID(s), Self: id,
-					Peers: shardPeers[s], Auth: a, Send: ep.Send,
+					Peers: shardPeers[s], Auth: a,
+					Send: sharper.Sender(cl.interceptSend(cfg, a, ep.Send)),
 				})
 				r.Preload(cfg.Records)
 				cl.nodes = append(cl.nodes, r)
@@ -138,7 +140,8 @@ func build(cfg Config) (*cluster, error) {
 				return nil, err
 			}
 			r := ahl.NewCommittee(ahl.CommitteeOptions{
-				Config: tcfg, Self: id, Peers: committee, Auth: a, Send: ep.Send,
+				Config: tcfg, Self: id, Peers: committee, Auth: a,
+				Send:       ahl.Sender(cl.interceptSend(cfg, a, ep.Send)),
 				ShardPeers: shardPeers,
 			})
 			_ = i
@@ -157,7 +160,8 @@ func build(cfg Config) (*cluster, error) {
 				}
 				r := ahl.NewReplica(ahl.ReplicaOptions{
 					Config: tcfg, Shard: types.ShardID(s), Self: id,
-					Peers: shardPeers[s], Committee: committee, Auth: a, Send: ep.Send,
+					Peers: shardPeers[s], Committee: committee, Auth: a,
+					Send: ahl.Sender(cl.interceptSend(cfg, a, ep.Send)),
 				})
 				r.Preload(cfg.Records)
 				cl.nodes = append(cl.nodes, r)

@@ -141,6 +141,17 @@ type Config struct {
 	CrashAt       time.Duration
 	RestartAt     time.Duration
 	WipeOnRestart bool
+
+	// Nemesis, when non-nil, runs alongside the workload from the moment
+	// the measurement window opens, injecting faults through its
+	// Controller (internal/chaos builds seeded schedules on top of this
+	// hook). Setting it also routes every replica's outbound traffic
+	// through the Byzantine interceptor so SetByzantine works mid-run.
+	Nemesis Nemesis
+	// CollectState captures each replica's commit state (chain, state
+	// digest, executed results) into Result.Replicas after the run, for
+	// cross-replica invariant checking.
+	CollectState bool
 }
 
 // Result aggregates one run's metrics.
@@ -169,6 +180,14 @@ type Result struct {
 	// Timeline buckets committed txns per 100ms of the measurement window
 	// (used by the Fig 9 series).
 	Timeline []int64
+
+	// Replicas holds each replica's captured commit state (CollectState
+	// runs), for the chaos subsystem's cross-replica invariant checkers.
+	Replicas []ReplicaState
+	// NemesisLastHeal is the offset from measurement start of the nemesis'
+	// final healing action (0 when no nemesis ran or nothing healed);
+	// liveness checkers assert commits happen after it.
+	NemesisLastHeal time.Duration
 }
 
 func (r Result) String() string {
@@ -217,6 +236,9 @@ type cluster struct {
 	// rebuild reconstructs node i from its durable state (nil when the
 	// protocol does not support restarts).
 	rebuild []func() node
+	// byz holds per-node Byzantine interceptors (nil entries — and a nil
+	// slice on non-nemesis runs — mean the node sends directly).
+	byz []*byzState
 	// route returns the node a client should address a fresh batch to.
 	route func(c types.ClientID, b *types.Batch) types.NodeID
 	// fanout lists nodes a client rebroadcasts to after a timeout.
@@ -238,33 +260,9 @@ func Run(cfg Config) (Result, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	var wg sync.WaitGroup
-	// Each node runs under its own sub-context so CrashRestart can stop
-	// one node without stopping the cluster; nodeDone lets the restart
-	// path wait out the old event loop before handing its inbox and data
-	// directory to a successor.
-	nodeCancel := make([]context.CancelFunc, len(cl.nodes))
-	nodeDone := make([]chan struct{}, len(cl.nodes))
-	var nodeMu sync.Mutex
-	startNode := func(i int) {
-		nctx, ncancel := context.WithCancel(ctx)
-		done := make(chan struct{})
-		nodeMu.Lock()
-		nodeCancel[i] = ncancel
-		nodeDone[i] = done
-		nodeMu.Unlock()
-		cl.mu.Lock()
-		n := cl.nodes[i]
-		cl.mu.Unlock()
-		wg.Add(1)
-		go func(in <-chan *types.Message) {
-			defer wg.Done()
-			defer close(done)
-			n.Run(nctx, in)
-		}(cl.inboxes[i])
-	}
+	rt := newRuntime(ctx, cl)
 	for i := range cl.nodes {
-		startNode(i)
+		rt.start(i)
 	}
 
 	metrics := newMetrics()
@@ -289,51 +287,39 @@ func Run(cfg Config) (Result, error) {
 		})
 	}
 
+	var ctl *Controller
+	var nwg sync.WaitGroup
+	if cfg.Nemesis != nil {
+		ctl = &Controller{cl: cl, rt: rt, started: time.Now()}
+		nwg.Add(1)
+		go func() {
+			defer nwg.Done()
+			cfg.Nemesis(ctx, ctl)
+		}()
+	}
+
 	var fwg sync.WaitGroup
 	if cfg.CrashRestart {
 		victim := types.ReplicaNode(0, cfg.ReplicasPerShard-1)
-		vi := -1
-		for i, id := range cl.ids {
-			if id == victim {
-				vi = i
+		fwg.Add(1)
+		go func() {
+			defer fwg.Done()
+			select {
+			case <-time.After(cfg.CrashAt):
+			case <-ctx.Done():
+				return
 			}
-		}
-		if vi >= 0 && vi < len(cl.rebuild) {
-			fwg.Add(1)
-			go func() {
-				defer fwg.Done()
-				select {
-				case <-time.After(cfg.CrashAt):
-				case <-ctx.Done():
-					return
-				}
-				cl.net.SetCrashed(victim, true)
-				nodeMu.Lock()
-				cancelV, doneV := nodeCancel[vi], nodeDone[vi]
-				nodeMu.Unlock()
-				cancelV()
-				<-doneV // old event loop fully stopped before any restart
-				select {
-				case <-time.After(cfg.RestartAt - cfg.CrashAt):
-				case <-ctx.Done():
-					return
-				}
-				if ctx.Err() != nil {
-					return
-				}
-				if cfg.WipeOnRestart && cl.fs != nil {
-					cl.fs.RemoveAll(wal.Join(cl.tcfg.DataDir, fmt.Sprintf("s%d-r%d", victim.Shard, victim.Index)))
-				}
-				if cl.rebuild[vi] != nil {
-					nd := cl.rebuild[vi]()
-					cl.mu.Lock()
-					cl.nodes[vi] = nd
-					cl.mu.Unlock()
-				}
-				cl.net.SetCrashed(victim, false)
-				startNode(vi)
-			}()
-		}
+			rt.crash(victim)
+			select {
+			case <-time.After(cfg.RestartAt - cfg.CrashAt):
+			case <-ctx.Done():
+				return
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			rt.restart(victim, cfg.WipeOnRestart)
+		}()
 	}
 
 	time.Sleep(cfg.Duration)
@@ -342,9 +328,20 @@ func Run(cfg Config) (Result, error) {
 	cwg.Wait()
 	cancel()
 	fwg.Wait()
-	wg.Wait()
+	nwg.Wait()
+	rt.wg.Wait()
 
 	res := metrics.result(cfg)
+	if ctl != nil {
+		res.NemesisLastHeal = ctl.lastHealOffset()
+	}
+	if cfg.CollectState {
+		for i, n := range cl.nodes {
+			if st, ok := CaptureReplica(cl.ids[i], n); ok {
+				res.Replicas = append(res.Replicas, st)
+			}
+		}
+	}
 	cl.net.fillStats(&res)
 	for _, n := range cl.nodes {
 		if sp, ok := n.(statProvider); ok {

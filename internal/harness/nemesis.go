@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringbft/internal/crypto"
+	"ringbft/internal/types"
+)
+
+// ByzMode selects a Byzantine behaviour for one replica's outbound traffic.
+type ByzMode int32
+
+const (
+	// ByzNone restores honest behaviour.
+	ByzNone ByzMode = iota
+	// ByzSilent drops every outbound message while the replica keeps
+	// receiving — a primary that "goes dark" without crashing, so peers
+	// must detect it through timers alone.
+	ByzSilent
+	// ByzEquivocate makes the replica send conflicting PrePrepares: odd-
+	// index peers receive a modified batch, correctly re-MAC'd with the
+	// replica's own keys, at the same (view, seq). Safety demands no two
+	// honest replicas commit different digests at one sequence regardless.
+	ByzEquivocate
+)
+
+// sendFunc is the protocol-agnostic shape of a node's outbound hook; it
+// converts to ringbft.Sender / ahl.Sender / sharper.Sender.
+type sendFunc func(to types.NodeID, m *types.Message)
+
+// byzState is the per-node interceptor the nemesis flips at runtime. The
+// wrapped send is installed at build time (only when Config.Nemesis is set,
+// so non-chaos runs keep the direct send path).
+type byzState struct {
+	mode atomic.Int32
+	auth crypto.Authenticator
+}
+
+// wrap intercepts a node's outbound traffic according to the current mode.
+func (b *byzState) wrap(inner sendFunc) sendFunc {
+	return func(to types.NodeID, m *types.Message) {
+		switch ByzMode(b.mode.Load()) {
+		case ByzSilent:
+			return
+		case ByzEquivocate:
+			if m.Type == types.MsgPrePrepare && m.Batch != nil && len(m.Batch.Txns) > 0 &&
+				to.Kind == types.KindReplica && to.Index%2 == 1 {
+				cp := *m
+				cp.Batch = EquivocateBatch(m.Batch)
+				cp.Digest = cp.Batch.Digest()
+				var buf [types.SigBytesLen]byte
+				cp.MAC = b.auth.MAC(to, cp.AppendSigBytes(buf[:0]))
+				inner(to, &cp)
+				return
+			}
+		}
+		inner(to, m)
+	}
+}
+
+// EquivocateBatch derives a conflicting but well-formed batch: same client
+// transactions re-ordered (or, for a single-transaction batch, a tweaked
+// delta), so its digest differs while every receiver-side well-formedness
+// check still passes. Shared by the wall-clock interceptor above and the
+// deterministic chaos engine (internal/chaos).
+func EquivocateBatch(b *types.Batch) *types.Batch {
+	alt := *b
+	alt.Txns = append([]types.Txn(nil), b.Txns...)
+	if len(alt.Txns) > 1 {
+		alt.Txns[0], alt.Txns[len(alt.Txns)-1] = alt.Txns[len(alt.Txns)-1], alt.Txns[0]
+	} else {
+		alt.Txns[0].Delta++
+	}
+	return &alt
+}
+
+// interceptSend threads one node's outbound path through a Byzantine
+// interceptor when a nemesis is configured; otherwise the raw fabric send
+// is used unchanged. Must be called exactly once per node, in cl.nodes
+// append order, so cl.byz indexes line up with cl.ids.
+func (cl *cluster) interceptSend(cfg Config, a crypto.Authenticator, raw sendFunc) sendFunc {
+	if cfg.Nemesis == nil {
+		cl.byz = append(cl.byz, nil)
+		return raw
+	}
+	bz := &byzState{auth: a}
+	cl.byz = append(cl.byz, bz)
+	return bz.wrap(raw)
+}
+
+// Nemesis is the fault-injection hook of one run: it executes alongside the
+// workload (started when the measurement window opens) and drives faults
+// through the Controller. It must return when ctx is cancelled.
+type Nemesis func(ctx context.Context, ctl *Controller)
+
+// Controller is the handle a Nemesis uses to break — and heal — the
+// cluster: schedulable partitions, per-link loss and delay, crash/restart/
+// wipe of individual replicas, and Byzantine primaries. All methods are safe
+// for concurrent use with the running workload.
+type Controller struct {
+	cl *cluster
+	rt *runtime
+
+	mu       sync.Mutex
+	lastHeal time.Duration // offset from measurement start of the latest heal
+	started  time.Time     // measurement start
+}
+
+// Nodes returns the cluster's node ids in build order.
+func (c *Controller) Nodes() []types.NodeID {
+	return append([]types.NodeID(nil), c.cl.ids...)
+}
+
+// Shards and ReplicasPerShard describe the topology under test.
+func (c *Controller) Shards() int           { return c.cl.cfg.Shards }
+func (c *Controller) ReplicasPerShard() int { return c.cl.cfg.ReplicasPerShard }
+
+// SetPartition installs f as the link-down predicate: messages from->to are
+// dropped while f reports true. nil heals. Simnet fabric only (no-op over
+// TCP).
+func (c *Controller) SetPartition(f func(from, to types.NodeID) bool) {
+	if sf, ok := c.cl.net.(simFabric); ok {
+		sf.net.SetLinkFilter(f)
+	}
+	if f == nil {
+		c.noteHeal()
+	}
+}
+
+// SetLossFilter installs a per-link loss model (nil heals).
+func (c *Controller) SetLossFilter(f func(from, to types.NodeID) float64) {
+	if sf, ok := c.cl.net.(simFabric); ok {
+		sf.net.SetLossFilter(f)
+	}
+	if f == nil {
+		c.noteHeal()
+	}
+}
+
+// SetDelayFilter installs a per-link extra-delay model (nil heals).
+func (c *Controller) SetDelayFilter(f func(from, to types.NodeID) time.Duration) {
+	if sf, ok := c.cl.net.(simFabric); ok {
+		sf.net.SetDelayFilter(f)
+	}
+	if f == nil {
+		c.noteHeal()
+	}
+}
+
+// Crash stops node id: its event loop is cancelled and the fabric silences
+// it both ways. Restart revives it.
+func (c *Controller) Crash(id types.NodeID) { c.rt.crash(id) }
+
+// Restart revives a crashed node. A node with durable state is rebuilt from
+// it (wipe erases the data directory first, forcing the wipe-and-rejoin
+// path); a node without a rebuild closure resumes its old in-memory
+// instance.
+func (c *Controller) Restart(id types.NodeID, wipe bool) {
+	c.rt.restart(id, wipe)
+	c.noteHeal()
+}
+
+// SetByzantine flips node id's outbound behaviour. ByzNone heals.
+func (c *Controller) SetByzantine(id types.NodeID, mode ByzMode) {
+	for i, nid := range c.cl.ids {
+		if nid == id && i < len(c.cl.byz) && c.cl.byz[i] != nil {
+			c.cl.byz[i].mode.Store(int32(mode))
+		}
+	}
+	if mode == ByzNone {
+		c.noteHeal()
+	}
+}
+
+// HealAll clears partitions, loss, delay, and Byzantine modes (crashed
+// nodes stay down until Restart).
+func (c *Controller) HealAll() {
+	if sf, ok := c.cl.net.(simFabric); ok {
+		sf.net.SetLinkFilter(nil)
+		sf.net.SetLossFilter(nil)
+		sf.net.SetDelayFilter(nil)
+	}
+	for _, b := range c.cl.byz {
+		if b != nil {
+			b.mode.Store(int32(ByzNone))
+		}
+	}
+	c.noteHeal()
+}
+
+// noteHeal records the instant of the latest healing action, reported in
+// Result.NemesisLastHeal for liveness checking ("the cluster commits new
+// batches within a bounded time after the last heal").
+func (c *Controller) noteHeal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started.IsZero() {
+		c.lastHeal = time.Since(c.started)
+	}
+}
+
+func (c *Controller) lastHealOffset() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastHeal
+}

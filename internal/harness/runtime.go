@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ringbft/internal/types"
+	"ringbft/internal/wal"
+)
+
+// runtime owns node lifecycle during a run. Each node runs under its own
+// sub-context so a crash stops one event loop without stopping the cluster;
+// done channels let restart paths wait out the old loop before handing its
+// inbox (and data directory) to a successor. Used by the CrashRestart knob
+// and by nemesis Controllers.
+type runtime struct {
+	ctx context.Context
+	cl  *cluster
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	cancel []context.CancelFunc
+	done   []chan struct{}
+	downed []bool
+}
+
+func newRuntime(ctx context.Context, cl *cluster) *runtime {
+	return &runtime{
+		ctx: ctx, cl: cl,
+		cancel: make([]context.CancelFunc, len(cl.nodes)),
+		done:   make([]chan struct{}, len(cl.nodes)),
+		downed: make([]bool, len(cl.nodes)),
+	}
+}
+
+// start launches node i's event loop.
+func (rt *runtime) start(i int) {
+	nctx, ncancel := context.WithCancel(rt.ctx)
+	done := make(chan struct{})
+	rt.mu.Lock()
+	rt.cancel[i] = ncancel
+	rt.done[i] = done
+	rt.mu.Unlock()
+	rt.cl.mu.Lock()
+	n := rt.cl.nodes[i]
+	rt.cl.mu.Unlock()
+	rt.wg.Add(1)
+	go func(in <-chan *types.Message) {
+		defer rt.wg.Done()
+		defer close(done)
+		n.Run(nctx, in)
+	}(rt.cl.inboxes[i])
+}
+
+func (rt *runtime) index(id types.NodeID) int {
+	for i, nid := range rt.cl.ids {
+		if nid == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// crash silences node id on the fabric and stops its event loop, waiting
+// until the loop has fully exited. Crashing a node that is already down is
+// a no-op.
+func (rt *runtime) crash(id types.NodeID) {
+	i := rt.index(id)
+	if i < 0 {
+		return
+	}
+	rt.mu.Lock()
+	if rt.downed[i] {
+		rt.mu.Unlock()
+		return
+	}
+	rt.downed[i] = true
+	cancel, done := rt.cancel[i], rt.done[i]
+	rt.mu.Unlock()
+	rt.cl.net.SetCrashed(id, true)
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}
+
+// restart revives a crashed node: with wipe its data directory is erased
+// first; a node with a rebuild closure is reconstructed from whatever
+// survives on disk, one without resumes its old in-memory instance.
+// Restarting a node that is not down is a no-op.
+func (rt *runtime) restart(id types.NodeID, wipe bool) {
+	i := rt.index(id)
+	if i < 0 {
+		return
+	}
+	rt.mu.Lock()
+	if !rt.downed[i] {
+		rt.mu.Unlock()
+		return
+	}
+	rt.downed[i] = false
+	rt.mu.Unlock()
+	if wipe && rt.cl.fs != nil {
+		rt.cl.fs.RemoveAll(wal.Join(rt.cl.tcfg.DataDir, fmt.Sprintf("s%d-r%d", id.Shard, id.Index)))
+	}
+	if i < len(rt.cl.rebuild) && rt.cl.rebuild[i] != nil {
+		nd := rt.cl.rebuild[i]()
+		rt.cl.mu.Lock()
+		rt.cl.nodes[i] = nd
+		rt.cl.mu.Unlock()
+	}
+	rt.cl.net.SetCrashed(id, false)
+	rt.start(i)
+}

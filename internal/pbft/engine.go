@@ -42,19 +42,44 @@ type Callbacks struct {
 	// fire for watermark advances learned indirectly through view-change
 	// messages, which carry no checkpoint quorum.
 	Stabilized func(seq types.SeqNum, digest types.Digest)
+	// Justify, when non-nil, gates PrePrepare acceptance on host-level
+	// evidence for the batch. An unjustified proposal is parked — not
+	// prepared — until ReplayParked is called after the evidence arrives.
+	// RingBFT uses it to refuse cross-shard proposals at non-initiator
+	// shards that no accepted Forward vouches for: a Byzantine primary can
+	// otherwise commit a fabricated batch variant with its own implicit
+	// vote plus f honest backups, poisoning the shard's lock table with a
+	// transaction no other shard will ever execute (found by
+	// internal/chaos, byz-equivocate schedules).
+	Justify func(batch *types.Batch) bool
 }
 
-// entry is one slot of the consensus log.
+// commitVote is one replica's signed Commit for an entry, tagged with the
+// digest it voted for.
+type commitVote struct {
+	digest types.Digest
+	sig    []byte
+}
+
+// entry is one slot of the consensus log. Prepare and Commit votes are
+// tagged with the digest they were cast for: votes can arrive before the
+// PrePrepare fixes the entry's digest, and counting digest-blind buffered
+// votes toward whatever digest lands later lets an equivocating primary
+// manufacture conflicting prepared states from honest votes (found by
+// internal/chaos, byz-equivocate schedules).
 type entry struct {
 	view        types.View
 	digest      types.Digest
 	batch       *types.Batch
 	preprepared bool
-	prepares    map[types.NodeID]struct{}
-	commits     map[types.NodeID][]byte // sender -> DS over commit tuple
+	prepares    map[types.NodeID]types.Digest
+	commits     map[types.NodeID]commitVote
 	prepared    bool
 	committed   bool
 	firstSeen   time.Time
+	// helped tracks the view in which a straggler catch-up Commit was last
+	// re-sent per peer (see replyCommit).
+	helped map[types.NodeID]types.View
 }
 
 // Engine is one replica's PBFT state machine for one shard. Not safe for
@@ -84,6 +109,11 @@ type Engine struct {
 	// they are replayed after the view installs. Bounded to keep Byzantine
 	// senders from ballooning memory.
 	future []*types.Message
+	// parked stashes PrePrepares the Justify callback rejected (typically a
+	// legitimate proposal racing ahead of this replica's Forward quorum);
+	// the host replays them via ReplayParked once justification lands.
+	// Bounded like future.
+	parked []*types.Message
 
 	// View-change state.
 	inViewChange bool
@@ -197,8 +227,8 @@ func (e *Engine) getEntry(seq types.SeqNum) *entry {
 	ent, ok := e.log[seq]
 	if !ok {
 		ent = &entry{
-			prepares:  make(map[types.NodeID]struct{}),
-			commits:   make(map[types.NodeID][]byte),
+			prepares:  make(map[types.NodeID]types.Digest),
+			commits:   make(map[types.NodeID]commitVote),
 			firstSeen: e.now(),
 		}
 		e.log[seq] = ent
@@ -229,7 +259,7 @@ func (e *Engine) Propose(batch *types.Batch) (types.SeqNum, error) {
 	ent.batch = batch
 	ent.preprepared = true
 	// The primary's PrePrepare doubles as its Prepare vote.
-	ent.prepares[e.self] = struct{}{}
+	ent.prepares[e.self] = d
 
 	m := &types.Message{
 		Type: types.MsgPrePrepare, From: e.self, Shard: e.shard,
@@ -330,6 +360,12 @@ func (e *Engine) onPrePrepare(m *types.Message) {
 	if m.Batch.Digest() != m.Digest {
 		return
 	}
+	if e.cb.Justify != nil && !e.cb.Justify(m.Batch) {
+		if len(e.parked) < 8192 {
+			e.parked = append(e.parked, m)
+		}
+		return
+	}
 	ent := e.getEntry(m.Seq)
 	// "r did not accept a k-th proposal from pS" (Fig 5 line 10): refuse a
 	// conflicting proposal at the same (view, seq).
@@ -344,8 +380,8 @@ func (e *Engine) onPrePrepare(m *types.Message) {
 	ent.batch = m.Batch
 	ent.preprepared = true
 	// Count the primary's PrePrepare as its Prepare, then vote ourselves.
-	ent.prepares[m.From] = struct{}{}
-	ent.prepares[e.self] = struct{}{}
+	ent.prepares[m.From] = m.Digest
+	ent.prepares[e.self] = m.Digest
 
 	prep := &types.Message{
 		Type: types.MsgPrepare, From: e.self, Shard: e.shard,
@@ -367,15 +403,33 @@ func (e *Engine) onPrepare(m *types.Message) {
 	if ent.preprepared && ent.digest != m.Digest {
 		return
 	}
-	ent.prepares[m.From] = struct{}{}
+	if ent.committed {
+		// The sender is still running phases for a sequence this replica
+		// already committed (it missed the old view's traffic; after the
+		// view change, committed replicas skip the re-proposal phases).
+		// Hand it this replica's Commit directly — without these replies,
+		// fewer than nf stragglers can never assemble a commit quorum.
+		e.replyCommit(m.From, m.Seq, ent)
+		return
+	}
+	ent.prepares[m.From] = m.Digest
 	e.maybePrepared(m.Seq, ent)
 }
 
 // maybePrepared transitions to prepared once the entry has a PrePrepare and
-// nf distinct Prepare votes, then broadcasts a signed Commit (Fig 5 lines
-// 12-13).
+// nf distinct Prepare votes for its digest, then broadcasts a signed Commit
+// (Fig 5 lines 12-13).
 func (e *Engine) maybePrepared(seq types.SeqNum, ent *entry) {
-	if ent.prepared || !ent.preprepared || len(ent.prepares) < e.nf {
+	if ent.prepared || !ent.preprepared {
+		return
+	}
+	votes := 0
+	for _, d := range ent.prepares {
+		if d == ent.digest {
+			votes++
+		}
+	}
+	if votes < e.nf {
 		return
 	}
 	ent.prepared = true
@@ -384,7 +438,7 @@ func (e *Engine) maybePrepared(seq types.SeqNum, ent *entry) {
 		View: ent.view, Seq: seq, Digest: ent.digest,
 	}
 	sig := e.auth.Sign(c.SigBytes())
-	ent.commits[e.self] = sig
+	ent.commits[e.self] = commitVote{digest: ent.digest, sig: sig}
 	c.Sig = sig
 	for _, p := range e.peers {
 		if p == e.self {
@@ -413,25 +467,78 @@ func (e *Engine) onCommit(m *types.Message) {
 	if ent.preprepared && ent.digest != m.Digest {
 		return
 	}
+	if ent.committed {
+		if ent.digest == m.Digest {
+			e.replyCommit(m.From, m.Seq, ent) // straggler catch-up (see onPrepare)
+		}
+		return
+	}
 	if _, dup := ent.commits[m.From]; dup {
 		return
 	}
-	ent.commits[m.From] = m.Sig
+	ent.commits[m.From] = commitVote{digest: m.Digest, sig: m.Sig}
 	e.maybeCommitted(m.Seq, ent)
+}
+
+// replyCommit re-sends this replica's Commit for an already-committed
+// sequence, signed for the current view, directly to a peer still working
+// on that sequence. After a view change, committed replicas skip the
+// re-proposal phases; these targeted replies are what lets replicas that
+// missed the original commit round catch up (found by internal/chaos,
+// loss-storm schedules: two stragglers also starve the checkpoint quorum,
+// so state transfer cannot rescue them either).
+//
+// At most one reply per (peer, view): a leftover Commit arriving at a
+// committed replica would otherwise bounce replies between two committed
+// replicas forever.
+func (e *Engine) replyCommit(to types.NodeID, seq types.SeqNum, ent *entry) {
+	if ent.helped == nil {
+		ent.helped = make(map[types.NodeID]types.View)
+	}
+	if v, ok := ent.helped[to]; ok && v >= e.view {
+		return
+	}
+	ent.helped[to] = e.view
+	c := &types.Message{
+		Type: types.MsgCommit, From: e.self, Shard: e.shard,
+		View: e.view, Seq: seq, Digest: ent.digest,
+	}
+	c.Sig = e.auth.Sign(c.SigBytes())
+	e.cb.Send(to, c)
 }
 
 // maybeCommitted fires the Committed callback once nf signed Commits match a
 // prepared entry, handing the host the commit certificate A (Fig 5 line 16).
 func (e *Engine) maybeCommitted(seq types.SeqNum, ent *entry) {
-	if ent.committed || !ent.prepared || len(ent.commits) < e.nf {
+	if ent.committed || !ent.preprepared {
 		return
 	}
+	votes := 0
+	for _, cv := range ent.commits {
+		if cv.digest == ent.digest {
+			votes++
+		}
+	}
+	if votes < e.nf {
+		return
+	}
+	if !ent.prepared {
+		// nf signed Commits are themselves proof the shard prepared this
+		// digest — the same proof a Forward certificate carries to other
+		// shards. A replica that missed the Prepare round (single straggler
+		// after a view change: only its own and the implicit primary vote
+		// remain) adopts it instead of stalling.
+		ent.prepared = true
+	}
 	ent.committed = true
-	cert := make([]types.Signed, 0, len(ent.commits))
-	for from, sig := range ent.commits {
+	cert := make([]types.Signed, 0, e.nf)
+	for from, cv := range ent.commits {
+		if cv.digest != ent.digest {
+			continue
+		}
 		cert = append(cert, types.Signed{
 			From: from, Type: types.MsgCommit, Shard: e.shard,
-			View: ent.view, Seq: seq, Digest: ent.digest, Sig: sig,
+			View: ent.view, Seq: seq, Digest: ent.digest, Sig: cv.sig,
 		})
 		if len(cert) == e.nf {
 			break
@@ -530,6 +637,20 @@ func VerifyCert(v *crypto.Verifier, shard types.ShardID, digest types.Digest, ce
 	return fmt.Errorf("pbft: certificate has %d valid signatures, need %d", bestValid, quorum)
 }
 
+// ReplayParked re-feeds PrePrepares that Justify previously rejected. The
+// host calls it whenever new justification evidence arrives (e.g. a Forward
+// quorum completing); still-unjustified proposals park again.
+func (e *Engine) ReplayParked() {
+	if len(e.parked) == 0 {
+		return
+	}
+	replay := e.parked
+	e.parked = nil
+	for _, m := range replay {
+		e.OnMessage(m)
+	}
+}
+
 // ResumeAt positions a recovered engine: stable is the last stable
 // checkpoint the replica's durable state covers and next the sequence it
 // will participate from. Call once, after recovery and before any traffic —
@@ -552,6 +673,13 @@ func (e *Engine) ResumeAt(stable, next types.SeqNum) {
 			delete(e.checkpoints, s)
 		}
 	}
+	// A transfer-repositioned replica rejoins active duty in its current
+	// view. If it was alone in a view change nobody else joined (a lone
+	// spurious timeout keeps inViewChange forever — the shard is healthy,
+	// so no NewView will arrive), staying dark would waste the fresh state
+	// it just installed (found by internal/chaos, loss-storm schedules).
+	e.inViewChange = false
+	e.vcTarget = 0
 }
 
 // ForceView installs view v directly, without running the view-change

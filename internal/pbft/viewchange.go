@@ -185,6 +185,13 @@ func (e *Engine) installView(v types.View, stable types.SeqNum, reproposals []ty
 	delete(e.vcVotes, v)
 
 	// Reset un-committed entries: they must re-run phases in the new view.
+	// firstSeen restarts too — the watchdog must give the new view a full
+	// LocalTimeout to commit the re-proposals. Keeping the old timestamp
+	// livelocks the shard: the first tick after an install sees an entry
+	// "stuck" longer than the timeout and immediately starts the next view
+	// change, aborting every re-proposal round forever (found by
+	// internal/chaos, loss-storm and Byzantine-primary schedules).
+	now := e.now()
 	maxSeq := e.stableSeq
 	for seq, ent := range e.log {
 		if seq > maxSeq {
@@ -194,8 +201,9 @@ func (e *Engine) installView(v types.View, stable types.SeqNum, reproposals []ty
 			ent.preprepared = false
 			ent.prepared = false
 			ent.view = v
-			ent.prepares = make(map[types.NodeID]struct{})
-			ent.commits = make(map[types.NodeID][]byte)
+			ent.prepares = make(map[types.NodeID]types.Digest)
+			ent.commits = make(map[types.NodeID]commitVote)
+			ent.firstSeen = now
 		}
 	}
 	for _, p := range reproposals {
@@ -214,9 +222,9 @@ func (e *Engine) installView(v types.View, stable types.SeqNum, reproposals []ty
 		ent.digest = p.Digest
 		ent.batch = p.Batch
 		ent.preprepared = true
-		ent.prepares[e.Primary(v)] = struct{}{}
+		ent.prepares[e.Primary(v)] = p.Digest
 		if !isPrimary {
-			ent.prepares[e.self] = struct{}{}
+			ent.prepares[e.self] = p.Digest
 			prep := &types.Message{
 				Type: types.MsgPrepare, From: e.self, Shard: e.shard,
 				View: v, Seq: p.Seq, Digest: p.Digest,

@@ -10,6 +10,42 @@ import (
 
 func sha256Sum(b []byte) types.Digest { return types.Digest(sha256.Sum256(b)) }
 
+// mergeCarried folds the Σ fragments of one Forward/Execute copy into the
+// cst's accumulated Σ, one fragment per (shard, kind) slot — kind being the
+// read fragment collected at lock time or the write fragment appended at
+// execution. Honest fragments for the same slot are identical (their values
+// are read under sequence-ordered locks), so the first copy wins.
+//
+// Merging — rather than adopting the payload of whichever copy tips the f+1
+// threshold — is load-bearing: copies from different senders legitimately
+// carry different Σ. A replica that learned the batch through local PBFT
+// replication because its own first-rotation Forward copy was lost (crash
+// and partition windows make this routine) locks and forwards a Σ holding
+// only its own read fragment; executing from that copy alone diverges from
+// the replicas that executed with the full Σ (found by internal/chaos,
+// crash-restart and wipe-rejoin schedules).
+func (cs *cstState) mergeCarried(sets []types.WriteSet) {
+	for _, ws := range sets {
+		read := len(ws.ReadKeys) > 0
+		write := len(ws.Keys) > 0
+		if !read && !write {
+			continue
+		}
+		dup := false
+		for i := range cs.carried {
+			have := &cs.carried[i]
+			if have.Shard == ws.Shard &&
+				(len(have.ReadKeys) > 0) == read && (len(have.Keys) > 0) == write {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cs.carried = append(cs.carried, ws)
+		}
+	}
+}
+
 // sendForward implements Fig 5 line 19: after locking, replica r sends a
 // signed Forward — the batch, the nf-signature commit certificate A, and the
 // accumulated read sets — to the single replica of the next involved shard
@@ -73,15 +109,28 @@ func (r *Replica) onForward(m *types.Message) {
 		cs.batch = b
 	}
 	if _, dup := cs.fwdFrom[m.From]; dup {
-		// Retransmission of an already-counted copy: the previous shard is
-		// still waiting for evidence of progress. If we already executed,
-		// the lost message is our Execute — resend it down the ring.
+		// Retransmission of an already-counted copy: the rotation is
+		// starving somewhere. Re-share the same-index copy — the one-shot
+		// relay happened while peers' copies may have been lost, and a
+		// peer short of f+1 senders has no other way to complete its
+		// quorum (re-sends are paced by the sender's transmit timer, and
+		// only the lane owner re-relays, so there is no amplification).
+		// If we already executed, the lost message is our Execute —
+		// resend it down the ring.
+		if m.From.Index == r.self.Index {
+			for _, p := range r.peers {
+				if p != r.self {
+					r.send(p, m)
+				}
+			}
+		}
 		if cs.executed {
 			r.sendExecute(cs)
 		}
 		return
 	}
 	cs.fwdFrom[m.From] = struct{}{}
+	cs.mergeCarried(m.WriteSets)
 	if cs.fwdFirst.IsZero() {
 		cs.fwdFirst = r.clock() // arm the remote timer (Fig 6)
 	}
@@ -101,20 +150,30 @@ func (r *Replica) onForward(m *types.Message) {
 	if cs.batch == nil {
 		cs.batch = b
 	}
+	// The Forward quorum is the justification evidence the PBFT engine
+	// gates cross-shard proposals on; re-feed any that arrived early.
+	r.engine.ReplayParked()
 
-	if cs.locked {
+	if cs.locked && r.shard == b.Initiator() {
 		// Second rotation (Fig 5 line 32): we are the first shard in ring
 		// order, our locks are held, and the Forward has travelled the full
-		// ring — every involved shard holds its locks. Execute. Copy the
-		// carried sets: executeCst appends this shard's fragment, and the
-		// in-process transports share slices between sender and receiver.
-		cs.carried = append([]types.WriteSet(nil), m.WriteSets...)
+		// ring — every involved shard holds its locks. Execute with the Σ
+		// merged from every copy (see mergeCarried). The initiator check is
+		// load-bearing: only there does an inbound Forward prove a full
+		// rotation. A non-initiator shard can also be locked when the f+1-th
+		// Forward copy arrives (commit raced ahead of retransmitted Forwards
+		// across a fault window), but its Forwards are first-rotation —
+		// executing on one would use a Σ missing every upstream shard's
+		// fragments and diverge from the replicas that execute on the
+		// second-rotation Execute message (found by internal/chaos,
+		// wipe-rejoin schedules).
 		r.executeCst(cs)
 		return
 	}
-	// First rotation at a non-initiator shard: adopt the accumulated read
-	// sets and replicate the batch locally (Fig 5 lines 38-39).
-	cs.carried = append([]types.WriteSet(nil), m.WriteSets...)
+	// First rotation at a non-initiator shard: the accumulated read sets
+	// are already merged into Σ; replicate the batch locally (Fig 5 lines
+	// 38-39). If we are already locked, execution still waits for the
+	// Execute message carrying the full Σ.
 	r.enqueueProposal(b, d)
 }
 
@@ -148,7 +207,7 @@ func (r *Replica) executeCst(cs *cstState) {
 			out.Values = append(out.Values, r.kv.Get(k))
 		}
 	}
-	cs.carried = append(cs.carried, out)
+	cs.mergeCarried([]types.WriteSet{out})
 
 	r.locks.Unlock(r.localKeys(cs.batch), lockOwner(cs.batch))
 	cs.released = true
@@ -157,16 +216,21 @@ func (r *Replica) executeCst(cs *cstState) {
 	r.drainLockQueue()
 }
 
-// sendExecute sends ⟨Execute(Δ, Σℑ)⟩ to the same-index replica of the next
-// involved shard (Fig 5 line 37).
-func (r *Replica) sendExecute(cs *cstState) {
-	next, _ := cs.batch.NextInRing(r.shard)
+// executeMessage builds this replica's signed ⟨Execute(Δ, Σℑ)⟩.
+func (r *Replica) executeMessage(cs *cstState) *types.Message {
 	m := &types.Message{
 		Type: types.MsgExecute, From: r.self, Shard: r.shard,
 		Seq: cs.seq, Digest: cs.digest, WriteSets: cs.carried,
 	}
 	m.Sig = crypto.SignMessage(r.auth, m)
-	r.sendRing(next, m)
+	return m
+}
+
+// sendExecute sends ⟨Execute(Δ, Σℑ)⟩ to the same-index replica of the next
+// involved shard (Fig 5 line 37).
+func (r *Replica) sendExecute(cs *cstState) {
+	next, _ := cs.batch.NextInRing(r.shard)
+	r.sendRing(next, r.executeMessage(cs))
 }
 
 // onExecute handles the second-rotation Execute message (Fig 5 lines 40-44):
@@ -187,9 +251,20 @@ func (r *Replica) onExecute(m *types.Message) {
 		return
 	}
 	if _, dup := cs.execFrom[m.From]; dup {
+		// Mirror of the Forward dup path: a retransmitted Execute copy
+		// means someone in this shard is still short of the f+1 Execute
+		// quorum; re-share the lane copy.
+		if m.From.Index == r.self.Index {
+			for _, p := range r.peers {
+				if p != r.self {
+					r.send(p, m)
+				}
+			}
+		}
 		return
 	}
 	cs.execFrom[m.From] = struct{}{}
+	cs.mergeCarried(m.WriteSets)
 	if m.From.Index == r.self.Index && !cs.execRelayed {
 		cs.execRelayed = true
 		for _, p := range r.peers {
@@ -218,9 +293,6 @@ func (r *Replica) onExecute(m *types.Message) {
 		r.sendExecute(cs)
 		return
 	}
-	// Copy before adopting: executeCst appends to carried, and the message
-	// slice is shared with the sender over the in-process transports.
-	cs.carried = append([]types.WriteSet(nil), m.WriteSets...)
 	if cs.locked {
 		r.executeCst(cs)
 	}
@@ -246,6 +318,18 @@ func (r *Replica) onRemoteView(m *types.Message) {
 		return
 	}
 	cs := r.cst(d)
+	if cs.executed {
+		// Direct catch-up, before any dedup: a single starving replica of
+		// the next shard can never assemble f+1 distinct Execute senders
+		// through its own ring lane alone (each retransmission reaches it
+		// from the same sender), so every executed replica that hears a
+		// complaint — the relay spreads it shard-wide — answers the
+		// complainant with its Execute. Re-sent complaints re-trigger this,
+		// paced by the complainant's remote timer (found by internal/chaos,
+		// loss-storm schedules: two Execute-starved replicas also starve
+		// the checkpoint quorum, blocking state transfer).
+		r.send(m.From, r.executeMessage(cs))
+	}
 	if cs.remoteComplaints == nil {
 		cs.remoteComplaints = make(map[types.NodeID]struct{})
 	}

@@ -188,9 +188,9 @@ func TestPropertyCrashRestartConvergence(t *testing.T) {
 	refDigests := digestsOf(ref)
 
 	f := func(killRaw, gapRaw uint8) bool {
-		kill := 2 + int(killRaw)%10       // batches 2..11, covers snapshot boundaries
-		gap := int(gapRaw) % 8            // 0 = immediate restart (pure WAL recovery)
-		restart := kill + gap             // batches missed while dead
+		kill := 2 + int(killRaw)%10 // batches 2..11, covers snapshot boundaries
+		gap := int(gapRaw) % 8      // 0 = immediate restart (pure WAL recovery)
+		restart := kill + gap       // batches missed while dead
 		c := runRecoveryWorkload(t, total, kill, restart, false, false)
 		assertRecovered(t, c, refDigests, total)
 		victim := c.replicas[types.ReplicaNode(0, recReplicas-1)]

@@ -20,9 +20,11 @@
 package ringbft
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"ringbft/internal/crypto"
@@ -108,6 +110,14 @@ type Replica struct {
 	snapEvery    types.SeqNum
 	lastSnapshot types.SeqNum
 	recovered    bool
+
+	// lastVC is when the latest view installed; the awaiting-proposal
+	// watchdog demands a new view change at most once per LocalTimeout
+	// after it, so each view gets a full timeout to land the proposals
+	// (several staggered stuck proposals would otherwise escalate views
+	// faster than any view can commit — view-change livelock, found by
+	// internal/chaos loss-storm schedules).
+	lastVC time.Time
 
 	// Metrics (read via Stats after the run).
 	executedTxns   int64
@@ -246,6 +256,22 @@ func New(opts Options) *Replica {
 		Committed:   r.onCommitted,
 		ViewChanged: r.onViewChanged,
 		Stabilized:  r.onStabilized,
+		// A cross-shard proposal at a non-initiator shard must be vouched
+		// for by an accepted Forward (f+1 copies carrying the previous
+		// shard's commit certificate). Without this gate a Byzantine
+		// primary commits a fabricated batch variant — its own implicit
+		// prepare plus f honest backups is a quorum — whose locks nothing
+		// can ever release: no other shard committed it, so its ring
+		// rotation never completes and every conflicting transaction
+		// queues behind it forever. Parked proposals replay when the
+		// Forward quorum lands (onForward).
+		Justify: func(b *types.Batch) bool {
+			if !b.IsCrossShard() || b.Initiator() == r.shard {
+				return true
+			}
+			cs, ok := r.csts[b.Digest()]
+			return ok && cs.fwdAccepted
+		},
 	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Window: opts.Window, Verifier: verifier})
 	return r
 }
@@ -265,6 +291,24 @@ func (r *Replica) Preload(records int) {
 
 // Recovered reports whether this replica resumed from durable state.
 func (r *Replica) Recovered() bool { return r.recovered }
+
+// ExecutedThrough returns the executed-prefix watermark: every sequence at
+// or below it has executed locally (blocks above it may also have executed
+// out of order and sit in the retained chain). The chaos checkers use it to
+// reconstruct the exact executed set. Call only after Run returns.
+func (r *Replica) ExecutedThrough() types.SeqNum { return r.execSeq }
+
+// ExecutedResults returns a deterministic hash of the cached execution
+// results per executed batch digest — the cross-replica agreement surface
+// the chaos checkers compare ("executed-result caches agree on batches both
+// replicas executed"). Call only after Run returns.
+func (r *Replica) ExecutedResults() map[types.Digest]uint64 {
+	out := make(map[types.Digest]uint64, len(r.executed))
+	for d, vals := range r.executed {
+		out[d] = types.HashValues(vals)
+	}
+	return out
+}
 
 // Store returns the replica's key-value partition (for inspection).
 func (r *Replica) Store() *store.KV { return r.kv }
@@ -539,9 +583,18 @@ func (r *Replica) afterLocked(ent *logEntry) {
 	// Accumulate this shard's read fragment into the carried Σ so that by
 	// the end of rotation 1 the initiator holds every read value the
 	// transaction needs (complex cst, Section 8.8).
-	ws := r.localReadSet(b)
-	cs.carried = append(cs.carried, ws)
+	cs.mergeCarried([]types.WriteSet{r.localReadSet(b)})
 	r.sendForward(cs)
+
+	// The rotation may already have completed while this cst sat in the
+	// lock queue: under backlog the wrap Forwards (initiator) or the
+	// Execute quorum (other shards) accept before the locks acquire, and
+	// the onForward/onExecute execution triggers have already passed.
+	// Execute now — the merged Σ carries everything those copies brought
+	// (found by internal/chaos, loss-storm schedules).
+	if (cs.fwdAccepted && r.shard == b.Initiator()) || cs.execAccepted {
+		r.executeCst(cs)
+	}
 }
 
 // executeBatch applies every transaction's local fragment through the
@@ -622,15 +675,28 @@ func (r *Replica) cst(d types.Digest) *cstState {
 // suppressed).
 func (r *Replica) onViewChanged(types.View) {
 	r.viewChanges++
+	r.lastVC = r.clock()
 	if !r.engine.IsPrimary() {
 		return
 	}
-	for d, p := range r.awaitingProposal {
+	// Propose in sorted-digest order: sequence assignment must not depend
+	// on map iteration order, or identically seeded runs diverge.
+	for _, d := range sortedAwaiting(r.awaitingProposal) {
 		if _, done := r.proposed[d]; !done {
-			r.propose(p.batch, d)
+			r.propose(r.awaitingProposal[d].batch, d)
 		}
 	}
 	r.tryProposeQueued()
+}
+
+// sortedAwaiting returns the awaiting-proposal digests in byte order.
+func sortedAwaiting(m map[types.Digest]*pendingProposal) []types.Digest {
+	out := make([]types.Digest, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i][:], out[j][:]) < 0 })
+	return out
 }
 
 // clientOf returns the client every replica answers for a batch: the issuer

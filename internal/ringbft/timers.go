@@ -30,16 +30,22 @@ func (r *Replica) HandleTick(now time.Time) {
 	}
 	r.retryTransfer(now)
 
-	// Local timer, case 1: the primary is sitting on a request.
-	if !r.engine.InViewChange() {
+	// Local timer, case 1: the primary is sitting on a request. Escalation
+	// is paced against the last view install too — every view gets a full
+	// LocalTimeout before the next demand, no matter how many stuck
+	// proposals are waiting. Every expired entry is re-armed in the same
+	// pass (stopping at the first would leave re-arming to map iteration
+	// order, making timer traffic nondeterministic across runs).
+	if !r.engine.InViewChange() && now.Sub(r.lastVC) > r.cfg.LocalTimeout {
+		expired := false
 		for _, p := range r.awaitingProposal {
 			if now.Sub(p.since) > r.cfg.LocalTimeout {
 				p.since = now // re-arm so escalation is paced
-				if !r.engine.IsPrimary() {
-					r.engine.StartViewChange(r.engine.View() + 1)
-					break
-				}
+				expired = true
 			}
+		}
+		if expired && !r.engine.IsPrimary() {
+			r.engine.StartViewChange(r.engine.View() + 1)
 		}
 	}
 	// Local timer, case 2: a proposal is stuck mid-consensus.
@@ -53,7 +59,9 @@ func (r *Replica) HandleTick(now time.Time) {
 		// Remote timer (Fig 6), two starvation modes: (a) first rotation —
 		// we saw at least one Forward copy but fewer than f+1 within the
 		// timeout; (b) second rotation — consensus and locks are done but
-		// the Execute carrying Σ from the previous shard never arrived.
+		// the Execute carrying Σ from the previous shard never arrived
+		// (the previous shard's replicas answer the complaint with their
+		// Execute directly; see onRemoteView).
 		starving := (!cs.fwdAccepted && !cs.fwdFirst.IsZero()) ||
 			(cs.fwdAccepted && cs.locked && !cs.executed)
 		if starving && !cs.fwdFirst.IsZero() && now.Sub(cs.fwdFirst) > r.cfg.RemoteTimeout {

@@ -17,7 +17,9 @@
 package sharper
 
 import (
+	"bytes"
 	"context"
+	"sort"
 	"time"
 
 	"ringbft/internal/crypto"
@@ -85,6 +87,11 @@ type Replica struct {
 	snapEvery types.SeqNum
 	lastSnap  types.SeqNum
 
+	// lastVC paces the awaiting-proposal watchdog: each installed view
+	// gets a full LocalTimeout before the next view-change demand (see the
+	// equivalent note in internal/ringbft).
+	lastVC time.Time
+
 	viewChanges int64
 	retransmits int64
 }
@@ -148,6 +155,7 @@ func New(opts Options) *Replica {
 		Committed: r.onCommitted,
 		ViewChanged: func(types.View) {
 			r.viewChanges++
+			r.lastVC = r.clock()
 			r.reproposeAwaiting()
 		},
 	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier})
@@ -201,6 +209,21 @@ func (r *Replica) logExecuted(seq types.SeqNum, primary types.NodeID, batch *typ
 
 // Chain returns the replica's ledger.
 func (r *Replica) Chain() *ledger.Chain { return r.chain }
+
+// ExecutedThrough returns the executed-prefix watermark (Sharper executes
+// strictly in local sequence order). Call only after Run returns.
+func (r *Replica) ExecutedThrough() types.SeqNum { return r.execNext }
+
+// ExecutedResults returns a deterministic hash of the cached execution
+// results per executed batch digest, for cross-replica chaos checkers. Call
+// only after Run returns.
+func (r *Replica) ExecutedResults() map[types.Digest]uint64 {
+	out := make(map[types.Digest]uint64, len(r.executed))
+	for d, vals := range r.executed {
+		out[d] = types.HashValues(vals)
+	}
+	return out
+}
 
 // Store returns the replica's key-value partition.
 func (r *Replica) Store() *store.KV { return r.kv }
@@ -261,13 +284,17 @@ func (r *Replica) HandleTick(now time.Time) {
 	if r.engine.InViewChange() {
 		return
 	}
-	for _, p := range r.awaiting {
-		if now.Sub(p.since) > r.cfg.LocalTimeout {
-			p.since = now
-			if !r.engine.IsPrimary() {
-				r.engine.StartViewChange(r.engine.View() + 1)
-				return
+	if now.Sub(r.lastVC) > r.cfg.LocalTimeout {
+		expired := false
+		for _, p := range r.awaiting {
+			if now.Sub(p.since) > r.cfg.LocalTimeout {
+				p.since = now
+				expired = true
 			}
+		}
+		if expired && !r.engine.IsPrimary() {
+			r.engine.StartViewChange(r.engine.View() + 1)
+			return
 		}
 	}
 	if oldest, ok := r.engine.OldestUncommitted(); ok && now.Sub(oldest) > r.cfg.LocalTimeout {
@@ -390,9 +417,16 @@ func (r *Replica) reproposeAwaiting() {
 	if !r.engine.IsPrimary() {
 		return
 	}
-	for d, p := range r.awaiting {
+	// Sorted-digest order: sequence assignment must not depend on map
+	// iteration order, or identically seeded runs diverge.
+	ds := make([]types.Digest, 0, len(r.awaiting))
+	for d := range r.awaiting {
+		ds = append(ds, d)
+	}
+	sort.Slice(ds, func(i, j int) bool { return bytes.Compare(ds[i][:], ds[j][:]) < 0 })
+	for _, d := range ds {
 		if _, done := r.proposed[d]; !done {
-			r.propose(p.batch, d)
+			r.propose(r.awaiting[d].batch, d)
 		}
 	}
 	r.tryProposeQueued()

@@ -42,6 +42,14 @@ type Network struct {
 	// linkDown, when non-nil, blocks delivery for (from,to) pairs it
 	// reports true for; used for partition / no-communication attacks.
 	linkDown func(from, to types.NodeID) bool
+	// linkLoss, when non-nil, returns a per-link drop probability that
+	// compounds with the global lossRate; lets a nemesis schedule storm a
+	// subset of links while the rest of the network stays healthy.
+	linkLoss func(from, to types.NodeID) float64
+	// linkDelay, when non-nil, returns extra one-way delay added on top of
+	// the latency model for (from,to) — message-delay skews and slow-link
+	// storms, installable and removable mid-run.
+	linkDelay func(from, to types.NodeID) time.Duration
 
 	// Jitter/loss sampling draws from a pool of independent RNGs instead of
 	// one mutex-guarded generator: every concurrent sender gets its own
@@ -191,6 +199,26 @@ func (n *Network) SetLinkFilter(f func(from, to types.NodeID) bool) {
 	n.linkDown = f
 }
 
+// SetLossFilter installs f as a per-link loss model: the drop probability
+// for a message from->to is max(global SetLossRate, f(from,to)). Pass nil
+// to clear. Nemesis schedules use it for targeted loss storms on chosen
+// link classes.
+func (n *Network) SetLossFilter(f func(from, to types.NodeID) float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkLoss = f
+}
+
+// SetDelayFilter installs f as a per-link extra-delay model: every message
+// from->to is delayed by an additional f(from,to) on top of the latency
+// model. Pass nil to clear. Nemesis schedules use it for message-delay
+// skews (slow links that stay connected).
+func (n *Network) SetDelayFilter(f func(from, to types.NodeID) time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkDelay = f
+}
+
 // Close stops future deliveries. In-flight timers become no-ops.
 func (n *Network) Close() { n.closed.Store(true) }
 
@@ -204,6 +232,15 @@ func (n *Network) send(from, to types.NodeID, m *types.Message) {
 	crashed := n.crashed[from] || n.crashed[to]
 	loss := n.lossRate
 	down := n.linkDown != nil && n.linkDown(from, to)
+	if n.linkLoss != nil {
+		if p := n.linkLoss(from, to); p > loss {
+			loss = p
+		}
+	}
+	var extraDelay time.Duration
+	if n.linkDelay != nil {
+		extraDelay = n.linkDelay(from, to)
+	}
 	n.mu.RUnlock()
 
 	size := int64(m.WireSize())
@@ -219,7 +256,7 @@ func (n *Network) send(from, to types.NodeID, m *types.Message) {
 		n.Stats.MsgsDropped.Add(1)
 		return
 	}
-	d := n.latency.Delay(srcRegion, dstRegion)
+	d := n.latency.Delay(srcRegion, dstRegion) + extraDelay
 	if loss > 0 || n.jitter > 0 {
 		rng := n.rngPool.Get().(*rand.Rand)
 		drop := loss > 0 && rng.Float64() < loss

@@ -118,6 +118,60 @@ func TestLossRateDropsRoughlyP(t *testing.T) {
 	}
 }
 
+func TestLossFilterTargetsLinks(t *testing.T) {
+	n := New(Options{Latency: FixedLatency{0}, Seed: 11})
+	defer n.Close()
+	a := n.Attach(types.ReplicaNode(0, 0), Oregon)
+	b := n.Attach(types.ReplicaNode(1, 0), Iowa)
+	c := n.Attach(types.ReplicaNode(0, 1), Oregon)
+	n.SetLossFilter(func(from, to types.NodeID) float64 {
+		if from.Shard != to.Shard {
+			return 1.0 // storm the cross-shard link only
+		}
+		return 0
+	})
+	a.Send(b.ID(), msg())
+	if got := recv(t, b, 50*time.Millisecond); got != nil {
+		t.Fatal("stormed link delivered")
+	}
+	a.Send(c.ID(), msg())
+	if recv(t, c, time.Second) == nil {
+		t.Fatal("healthy link lost the message")
+	}
+	n.SetLossFilter(nil)
+	a.Send(b.ID(), msg())
+	if recv(t, b, time.Second) == nil {
+		t.Fatal("healed link still dropping")
+	}
+}
+
+func TestDelayFilterSkewsLink(t *testing.T) {
+	n := New(Options{Latency: FixedLatency{0}})
+	defer n.Close()
+	a := n.Attach(types.ReplicaNode(0, 0), Oregon)
+	b := n.Attach(types.ReplicaNode(0, 1), Oregon)
+	n.SetDelayFilter(func(from, to types.NodeID) time.Duration {
+		return 30 * time.Millisecond
+	})
+	start := time.Now()
+	a.Send(b.ID(), msg())
+	if recv(t, b, time.Second) == nil {
+		t.Fatal("delayed message never arrived")
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delay filter not applied: delivered after %v", elapsed)
+	}
+	n.SetDelayFilter(nil)
+	start = time.Now()
+	a.Send(b.ID(), msg())
+	if recv(t, b, time.Second) == nil {
+		t.Fatal("not delivered after clearing filter")
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("cleared delay filter still delaying: %v", elapsed)
+	}
+}
+
 func TestPerLinkFIFO(t *testing.T) {
 	n := New(Options{Latency: FixedLatency{200 * time.Microsecond}})
 	defer n.Close()

@@ -279,7 +279,7 @@ func TestBadFramesDisconnect(t *testing.T) {
 	frames := [][]byte{
 		{0, 0, 0, 0},             // zero-length
 		{0xff, 0xff, 0xff, 0xff}, // oversized (4GiB-1 > maxFrame)
-		append(func() []byte {    // well-framed garbage that gob rejects
+		append(func() []byte { // well-framed garbage that gob rejects
 			var hdr [4]byte
 			binary.BigEndian.PutUint32(hdr[:], 8)
 			return hdr[:]

@@ -23,6 +23,23 @@ func OwnerShard(k Key, z int) ShardID {
 // deterministically so every non-faulty replica computes identical state.
 type Value uint64
 
+// HashValues folds a result vector into a deterministic FNV-1a hash.
+// Replicas expose their executed-result caches as digest->HashValues maps so
+// cross-replica checkers can compare execution outcomes without shipping the
+// vectors themselves.
+func HashValues(vals []Value) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	var buf [8]byte
+	for _, v := range vals {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		for _, b := range buf {
+			h = (h ^ uint64(b)) * prime64
+		}
+	}
+	return h
+}
+
 // TxnID uniquely identifies a client transaction.
 type TxnID struct {
 	Client ClientID
