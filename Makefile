@@ -1,8 +1,10 @@
-# Tier-1 verify is `make verify` (fmt-check + build + vet + test + race-
-# checked crypto, pbft, and wal — the pooled/cached fast paths and the
+# Tier-1 verify is `make verify` (fmt-check + build + vet + lint + test +
+# race-checked crypto, pbft, and wal — the pooled/cached fast paths and the
 # durability layer are the concurrency-sensitive code — plus race-checked
 # tcpnet and the loopback-TCP scenario suite, whose writer goroutines are
-# the transport's concurrency surface). The full test suite includes the
+# the transport's concurrency surface). `make lint` runs the protocol-
+# invariant analyzer suite (internal/analysis via cmd/ringbft-vet);
+# `make race-all` puts the whole module under the race detector. The full test suite includes the
 # chaos matrix (internal/chaos): ~34 seeded nemesis scenarios across
 # ringbft/ahl/sharper; `make chaos` runs just that matrix verbosely and
 # `make chaos-soak` explores fresh seeds for SOAK_BUDGET (nightly CI).
@@ -18,7 +20,7 @@
 GO ?= go
 SOAK_BUDGET ?= 10m
 
-.PHONY: build test vet fmt-check bench bench-crypto bench-wal bench-tcpnet race-crypto race-net chaos chaos-soak chaos-wallclock verify
+.PHONY: build test vet lint fmt-check bench bench-crypto bench-wal bench-tcpnet bench-consolidate race-crypto race-net race-all chaos chaos-soak chaos-wallclock verify
 
 build:
 	$(GO) build ./...
@@ -28,6 +30,13 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Protocol-invariant analyzers (internal/analysis, driven by ringbft-vet):
+# mapiter, verifyfirst, locksend, wallclock. Exits non-zero on any
+# unsuppressed finding or malformed //ringbft:ignore directive; honoured
+# suppressions are printed as a ledger with their reasons.
+lint:
+	$(GO) run ./cmd/ringbft-vet ./...
 
 # gofmt must be a no-op over the whole tree.
 fmt-check:
@@ -48,6 +57,12 @@ bench-wal:
 bench-tcpnet:
 	$(GO) test -run XXX -bench 'BenchmarkTransportSend' -benchmem -benchtime 200ms ./internal/tcpnet/
 
+# Regenerate the repo-root consolidated baseline document from the
+# per-package bench_baseline.json files; CI fails if the committed copy
+# drifted from its sources.
+bench-consolidate:
+	$(GO) run ./cmd/ringbft-benchmerge -o BENCH_PR6.json
+
 race-crypto:
 	$(GO) test -race ./internal/crypto/... ./internal/pbft/... ./internal/wal/...
 
@@ -57,6 +72,11 @@ race-crypto:
 race-net:
 	$(GO) test -race ./internal/tcpnet/
 	$(GO) test -race -run 'TestTCP' ./internal/harness/
+
+# The whole module under the race detector (CI's race job; race-crypto and
+# race-net above remain the fast local subset verify runs).
+race-all:
+	$(GO) test -race ./...
 
 # One deterministic pass over the chaos scenario matrix (seed-reproducible;
 # any failure prints the replay command).
@@ -71,4 +91,4 @@ chaos-soak:
 chaos-wallclock:
 	$(GO) run ./cmd/ringbft-chaos -mode wallclock -v
 
-verify: fmt-check build vet test race-crypto race-net
+verify: fmt-check build vet lint test race-crypto race-net

@@ -1,0 +1,82 @@
+// Command ringbft-benchmerge consolidates the per-package benchmark
+// baselines (internal/*/bench_baseline.json) into one repo-root document so
+// the bench trajectory is inspectable in a single place. CI's bench-smoke
+// job regenerates the file and fails if the committed copy drifted.
+//
+// Usage:
+//
+//	go run ./cmd/ringbft-benchmerge -o BENCH_PR6.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// baselines lists the per-package reference files, keyed by the name the
+// consolidated document uses.
+var baselines = map[string]string{
+	"crypto": "internal/crypto/bench_baseline.json",
+	"sched":  "internal/sched/bench_baseline.json",
+	"tcpnet": "internal/tcpnet/bench_baseline.json",
+	"wal":    "internal/wal/bench_baseline.json",
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR6.json", "output path (- for stdout)")
+	root := flag.String("root", ".", "repository root holding the baseline files")
+	flag.Parse()
+
+	doc := map[string]any{
+		"comment": "Consolidated micro-benchmark baselines, one section per package " +
+			"(sources: internal/*/bench_baseline.json; regenerate with `make bench-consolidate`). " +
+			"Each section keeps its package's own seed/fastpath structure and host line — " +
+			"numbers are comparable within a section, not across hosts.",
+		"sources": sortedValues(baselines),
+	}
+	for name, rel := range baselines {
+		raw, err := os.ReadFile(filepath.Join(*root, rel))
+		if err != nil {
+			fatalf("read %s: %v", rel, err)
+		}
+		var section any
+		if err := json.Unmarshal(raw, &section); err != nil {
+			fatalf("parse %s: %v", rel, err)
+		}
+		doc[name] = section
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatalf("encode: %v", err)
+	}
+	if *out == "-" {
+		os.Stdout.Write(buf.Bytes())
+		return
+	}
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s (%d sections)\n", *out, len(baselines))
+}
+
+func sortedValues(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ringbft-benchmerge: "+format+"\n", args...)
+	os.Exit(1)
+}

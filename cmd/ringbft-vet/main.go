@@ -1,0 +1,92 @@
+// Command ringbft-vet is the protocol-invariant multichecker: it runs the
+// internal/analysis suite — mapiter, verifyfirst, locksend, wallclock —
+// over the module and fails on any unsuppressed finding.
+//
+// `make lint` runs it as part of tier-1 verify; CI runs it in a dedicated
+// job. Suppressions (`//ringbft:ignore <analyzer> <reason>`) are honoured
+// but counted and printed, so the accepted-risk ledger is visible in every
+// run. See internal/analysis for the framework and the rules.
+//
+// Usage:
+//
+//	ringbft-vet [-list] [-only analyzer[,analyzer]] [-quiet] [packages]
+//
+// With no package arguments it analyzes ./....
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ringbft/internal/analysis"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "print the analyzers and their scopes, then exit")
+		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		quiet = flag.Bool("quiet", false, "suppress the suppression ledger and summary on success")
+	)
+	flag.Parse()
+
+	suite := analysis.DefaultSuite()
+	if *list {
+		for _, sc := range suite {
+			scope := "all packages"
+			if len(sc.Scope) > 0 {
+				scope = strings.Join(sc.Scope, ", ")
+			}
+			fmt.Printf("%-12s %s\n  scope: %s\n  why:   %s\n", sc.Analyzer.Name, sc.Analyzer.Doc, scope, sc.Why)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if analysis.ByName(name) == nil {
+				fmt.Fprintf(os.Stderr, "ringbft-vet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			keep[name] = true
+		}
+		var filtered []analysis.Scoped
+		for _, sc := range suite {
+			if keep[sc.Analyzer.Name] {
+				filtered = append(filtered, sc)
+			}
+		}
+		suite = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := analysis.Run("", suite, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringbft-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	failures := res.Failures()
+	for _, f := range failures {
+		fmt.Println(f)
+	}
+	suppressed := res.Suppressed()
+	if !*quiet {
+		for _, f := range suppressed {
+			fmt.Println(f)
+		}
+		for _, f := range res.Unused {
+			fmt.Printf("%s:%d: note: [%s] %s\n", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+		}
+		fmt.Printf("ringbft-vet: %d packages, %d findings (%d suppressed with reasons, %d failing)\n",
+			res.Packages, len(res.Findings), len(suppressed), len(failures))
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}

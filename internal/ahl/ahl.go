@@ -225,7 +225,8 @@ func (c *Committee) HandleTick(now time.Time) {
 	// form without re-solicitation (found by internal/chaos, loss-storm
 	// schedules — AHL executes strictly in order, so one starved cst
 	// wedges every shard it involves).
-	for _, cst := range c.csts {
+	for _, d := range types.SortedDigestKeys(c.csts) {
+		cst := c.csts[d]
 		if cst.ordered && !cst.decided && now.Sub(cst.lastNudge) > c.cfg.RemoteTimeout {
 			cst.lastNudge = now
 			c.broadcastToShards(cst.batch, &types.Message{
@@ -236,6 +237,7 @@ func (c *Committee) HandleTick(now time.Time) {
 	}
 }
 
+//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (c *Committee) onClientRequest(m *types.Message) {
 	b := m.Batch
 	if b == nil || len(b.Txns) == 0 || !b.IsCrossShard() {

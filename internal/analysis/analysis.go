@@ -1,0 +1,91 @@
+// Package analysis is a self-contained static-analysis framework plus the
+// suite of protocol-invariant analyzers for this repository.
+//
+// The chaos matrix (internal/chaos) found its PR 5 bugs by exploring seeded
+// fault schedules — expensive, probabilistic, and after the fact. Every one
+// of those bugs was an instance of a statically detectable pattern: Go map
+// iteration order leaking into protocol decisions, message payloads adopted
+// before an authenticity check, the event loop blocked while protocol state
+// is locked, wall-clock reads inside seed-deterministic code. This package
+// mechanizes those patterns as compile-time rules so the next regression of
+// a known class dies in `make lint` instead of a nightly soak.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so analyzers port over verbatim if the dependency ever
+// becomes available; the build environment is hermetic, so the framework —
+// package loading (load.go), the multichecker driver (runner.go), and the
+// fixture harness (analysistest.go) — is implemented on the standard
+// library's go/ast, go/parser, and go/types alone.
+//
+// Suppressions: a finding is silenced by a comment on its line, the line
+// above, or the enclosing function's declaration:
+//
+//	//ringbft:ignore <analyzer> <reason>
+//
+// The reason is mandatory — an ignore without one is itself a finding —
+// and the driver counts and reports every suppression so reviews see the
+// full ledger. See suite.go for the shipped analyzers and their scopes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant rule: a named pass over a type-checked
+// package that reports Diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, suppression comments, and
+	// the -only flag of cmd/ringbft-vet. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by `ringbft-vet -list`.
+	Doc string
+	// Run inspects one package via the Pass and reports findings through
+	// pass.Report. The returned value is unused (kept for x/tools parity).
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding. The driver owns suppression handling;
+	// analyzers always report.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic as emitted by the driver: position
+// translated, suppression state attached.
+type Finding struct {
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
+	// Reason is the justification carried by the matching ignore comment
+	// (suppressed findings only).
+	Reason string
+}
+
+func (f Finding) String() string {
+	state := ""
+	if f.Suppressed {
+		state = fmt.Sprintf(" (suppressed: %s)", f.Reason)
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s%s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message, state)
+}

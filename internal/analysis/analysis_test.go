@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// The fixture loader type-checks the module and stdlib dependencies once;
+// every fixture package shares it.
+var (
+	loaderOnce   sync.Once
+	sharedLoader *Loader
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { sharedLoader = NewLoader("") })
+	return sharedLoader
+}
+
+// TestFixtures runs every analyzer over its testdata/src/<analyzer>/<case>
+// fixture packages and checks the diagnostics against the // want
+// expectations. Every analyzer in the suite must ship fixtures: the a/
+// case pins the basic flagged and allowed shapes, the regress/ case pins
+// the real bug (PR 4 transport stall, PR 5 map-order and verify-order
+// bugs, the seed-replay class) the analyzer was written to catch.
+func TestFixtures(t *testing.T) {
+	for _, a := range Analyzers() {
+		root := filepath.Join("testdata", "src", a.Name)
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Errorf("%s: analyzer has no fixture directory: %v", a.Name, err)
+			continue
+		}
+		cases := 0
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			cases++
+			a, dir := a, filepath.Join(root, e.Name())
+			t.Run(a.Name+"/"+e.Name(), func(t *testing.T) {
+				if err := RunFixture(fixtureLoader(t), a, dir); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		if cases == 0 {
+			t.Errorf("%s: no fixture cases under %s", a.Name, root)
+		}
+	}
+}
+
+// TestFixturesHaveRegressions pins the PR-bug regression requirement: each
+// analyzer carries a regress/ fixture reproducing the hand-found bug shape.
+func TestFixturesHaveRegressions(t *testing.T) {
+	for _, a := range Analyzers() {
+		dir := filepath.Join("testdata", "src", a.Name, "regress")
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			t.Errorf("%s: missing regression fixture %s", a.Name, dir)
+		}
+	}
+}
+
+// TestSuiteShape pins the tentpole contract: at least four analyzers, each
+// named, documented, and resolvable through ByName.
+func TestSuiteShape(t *testing.T) {
+	as := Analyzers()
+	if len(as) < 4 {
+		t.Fatalf("suite has %d analyzers, want >= 4", len(as))
+	}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if ByName(a.Name) == nil {
+			t.Errorf("ByName(%q) = nil", a.Name)
+		}
+	}
+	if ByName("no-such-analyzer") != nil {
+		t.Error("ByName of an unknown analyzer should be nil")
+	}
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The fixture harness mirrors x/tools' analysistest: a fixture directory
+// under testdata/src/<analyzer>/<case>/ holds one package of .go files
+// whose lines carry expectations:
+//
+//	cs.batch = b // want `adopts message payload`
+//
+// Each `want` backquoted string is a regexp that must match a diagnostic
+// reported on that line; diagnostics with no matching want, and wants with
+// no matching diagnostic, fail the run. Fixtures may import real module
+// packages (ringbft/internal/types, ...), so regression fixtures reproduce
+// the actual PR 5 bug shapes against the actual types.
+
+var wantRe = regexp.MustCompile("//[ \t]*want[ \t]+((?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")(?:[ \t]+(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"))*)")
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// RunFixture applies analyzer a to the fixture package in dir and compares
+// diagnostics against the // want expectations. loader is shared across
+// fixtures so the module and stdlib dependencies type-check once.
+func RunFixture(loader *Loader, a *Analyzer, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("analysistest: no .go files in %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(loader.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("analysistest: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := loader.CheckFiles("fixture/"+a.Name+"/"+filepath.Base(dir), files)
+	if err != nil {
+		return err
+	}
+	if len(pkg.Errors) > 0 {
+		return fmt.Errorf("analysistest: fixture %s: %d type errors (first: %v)", dir, len(pkg.Errors), pkg.Errors[0])
+	}
+	diags, err := RunAnalyzer(a, pkg)
+	if err != nil {
+		return err
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+				pat := arg[1 : len(arg)-1] // strip quotes/backquotes
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return fmt.Errorf("analysistest: %s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				}
+				wants[key{name, i + 1}] = append(wants[key{name, i + 1}], re)
+			}
+		}
+	}
+
+	var problems []string
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil // consume
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message))
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			if re != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re))
+			}
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("analysistest %s/%s:\n%s", a.Name, filepath.Base(dir), strings.Join(problems, "\n"))
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeName returns the bare name of a call's callee — "VerifyMessageSig"
+// for crypto.VerifyMessageSig(...), "Lock" for t.mu.Lock() — or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// calleePkgFunc resolves a call to (package path, function name) when the
+// callee is a package-level function (possibly through a package selector);
+// methods resolve to their receiver's package. Returns ok=false for builtins
+// and indirect calls through function values.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (pkg, name string, ok bool) {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	}
+	fobj, isFunc := obj.(*types.Func)
+	if !isFunc || fobj.Pkg() == nil {
+		return "", "", false
+	}
+	return fobj.Pkg().Path(), fobj.Name(), true
+}
+
+// rootIdent walks to the leftmost identifier of a selector/index/call
+// chain: r in r.csts[d].batch, t in t.mu.Lock. Returns nil when the root is
+// not a plain identifier (composite literals, call results, ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isMapType reports whether e's type has a map underlying.
+func isMapType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// funcScopeLocal reports whether obj is declared inside fn (parameters,
+// results, or body-scoped) — i.e. writes to it cannot escape the call.
+// Pointer-typed locals still alias outer state, so callers must treat a
+// pointer-typed local as non-local.
+func funcScopeLocal(info *types.Info, fn *ast.FuncDecl, obj types.Object) bool {
+	if obj == nil || obj.Parent() == nil {
+		return false
+	}
+	scope, ok := info.Scopes[fn.Type]
+	if !ok {
+		return false
+	}
+	for s := obj.Parent(); s != nil; s = s.Parent() {
+		if s == scope {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverObj returns the method receiver object of fn, or nil for plain
+// functions and anonymous receivers.
+func receiverObj(info *types.Info, fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fn.Recv.List[0].Names[0]]
+}
+
+// hasVerifyName reports whether a bare callee name denotes an authenticity
+// check: Verify, VerifyMAC, VerifyCert, VerifyMessageSig, VerifyQuorum, and
+// unexported wrappers like verifyMAC or verifyShareCert.
+func hasVerifyName(name string) bool {
+	return strings.HasPrefix(name, "Verify") || strings.HasPrefix(name, "verify")
+}
+
+// isMethodCall reports whether call invokes a method (has a selection with
+// a receiver) rather than a package-level function: time.After(d) is a
+// package function, ef.After(dep) on a time.Time is not.
+func isMethodCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	_, isMethod := info.Selections[sel]
+	return isMethod
+}
+
+// isConstExpr reports whether e is a compile-time constant (literal, true,
+// false, nil, iota-free const reference) — the same value every loop
+// iteration, so repeated writes of it are idempotent.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "nil" {
+		return true
+	}
+	tv, ok := info.Types[e]
+	return ok && (tv.Value != nil || tv.IsNil())
+}

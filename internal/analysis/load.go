@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path     string
+	Dir      string
+	Standard bool
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+	// Errors holds type-check problems. Standard-library packages tolerate
+	// them (assembly intrinsics and linknames confuse a pure source check
+	// in rare corners); module packages must be error-free to be analyzed.
+	Errors []error
+}
+
+// Loader loads packages by shelling out to `go list` for build-system
+// metadata (file lists with build tags resolved, dependency graph) and
+// type-checking everything from source with go/types. No export data and
+// no third-party loader is needed, which keeps the toolchain hermetic.
+//
+// A Loader is safe for use from one goroutine; packages load once and are
+// cached for the Loader's lifetime (the fixture harness reuses one Loader
+// across all analyzer tests to pay the stdlib type-check cost once).
+type Loader struct {
+	Fset *token.FileSet
+
+	mu    sync.Mutex
+	metas map[string]*listMeta // ImportPath -> go list record
+	// importMap unifies the std library's vendor remappings (source path
+	// "golang.org/x/net/..." -> "vendor/golang.org/x/net/..."); within one
+	// build configuration the mapping is globally consistent.
+	importMap map[string]string
+	pkgs      map[string]*Package
+	dir       string // module root the go commands run in
+}
+
+type listMeta struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+}
+
+// NewLoader returns a Loader rooted at dir (the module to analyze; "" means
+// the current directory).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Fset:      token.NewFileSet(),
+		metas:     make(map[string]*listMeta),
+		importMap: make(map[string]string),
+		pkgs:      make(map[string]*Package),
+		dir:       dir,
+	}
+}
+
+// Load lists patterns (e.g. "./...") with the go tool and returns the
+// matched packages, type-checked, in deterministic (import path) order.
+// Dependencies are loaded and checked too but only the matches return.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	// One -deps pass records metadata for the whole dependency closure; the
+	// plain pass identifies which of those are the requested matches.
+	if _, err := l.list(append([]string{"-deps"}, patterns...)); err != nil {
+		return nil, err
+	}
+	matches, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range matches {
+		p, err := l.ensure(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// list runs `go list -json <args>`, records the metadata of every package
+// it reports, and returns their import paths in output order.
+func (l *Loader) list(args []string) ([]string, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard"}, args...)...)
+	cmd.Dir = l.dir
+	// CGO off: the analyzers read pure-Go sources; cgo-tagged files would
+	// not type-check without a C toolchain pass.
+	cmd.Env = append(cmd.Environ(), "CGO_ENABLED=0")
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var order []string
+	for {
+		var m listMeta
+		if err := dec.Decode(&m); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		meta := m
+		l.metas[meta.ImportPath] = &meta
+		for from, to := range meta.ImportMap {
+			l.importMap[from] = to
+		}
+		order = append(order, meta.ImportPath)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	return order, nil
+}
+
+// ensure returns the type-checked package for path, loading it (and its
+// dependencies, recursively) on first use.
+func (l *Loader) ensure(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: path, Standard: true, Types: types.Unsafe}, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	meta, ok := l.metas[path]
+	if !ok {
+		// A dependency surfaced outside any previous go list run (fixture
+		// imports resolve this way).
+		if _, err := l.list([]string{"-deps", path}); err != nil {
+			return nil, err
+		}
+		if meta, ok = l.metas[path]; !ok {
+			return nil, fmt.Errorf("analysis: package %q not found by go list", path)
+		}
+	}
+	for _, imp := range meta.Imports {
+		dep := imp
+		if mapped, ok := l.importMap[imp]; ok {
+			dep = mapped
+		}
+		if dep == "C" {
+			continue
+		}
+		if _, err := l.ensure(dep); err != nil {
+			return nil, err
+		}
+	}
+	var files []*ast.File
+	for _, f := range meta.GoFiles {
+		af, err := parser.ParseFile(l.Fset, filepath.Join(meta.Dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", f, err)
+		}
+		files = append(files, af)
+	}
+	p, err := l.check(meta.ImportPath, meta.Dir, meta.Standard, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// CheckFiles type-checks an ad-hoc package (the fixture harness) under
+// import path path, resolving its imports through this Loader.
+func (l *Loader) CheckFiles(path string, files []*ast.File) (*Package, error) {
+	return l.check(path, "", false, files)
+}
+
+func (l *Loader) check(path, dir string, standard bool, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	p := &Package{Path: path, Dir: dir, Standard: standard, Fset: l.Fset, Files: files, Info: info}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { p.Errors = append(p.Errors, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	p.Types = tpkg
+	// Standard-library corners (runtime intrinsics and the like) may not
+	// fully check from pure source; their exported API — all the analyzers
+	// consult — still does. Module packages must check clean.
+	if err != nil && !standard {
+		return nil, fmt.Errorf("analysis: type-check %s: %v (first of %d)", path, p.Errors[0], len(p.Errors))
+	}
+	return p, nil
+}
+
+// loaderImporter adapts Loader to go/types' Importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if mapped, ok := l.importMap[path]; ok {
+		path = mapped
+	}
+	p, err := l.ensure(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+var _ types.Importer = (*loaderImporter)(nil)

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockSend flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held.
+//
+// This is the event-loop-stall class PR 4 rewrote tcpnet to kill: the old
+// Transport.Send dialed with a 3-second timeout and wrote frames with no
+// deadline under a per-connection mutex on the replica event loop, so one
+// dead or backpressured peer froze every timer of every replica sharing the
+// loop. The protocol packages hold replica/engine state under mutexes in
+// several places; a blocking call inside such a critical section couples
+// every other lock holder to the slowest peer, disk, or timer.
+//
+// A critical section runs from x.Lock()/x.RLock() to the matching
+// x.Unlock()/x.RUnlock() in source order within one function, or to the end
+// of the function for `defer x.Unlock()`. Inside it the analyzer flags:
+//
+//   - channel sends, and channel receives outside a select with a default
+//     case (a send/recv under a held lock waits on a peer goroutine that
+//     may itself want the lock);
+//   - calls named Send, Dial*, Sleep, Sync, Flush, Wait, Accept, or
+//     (Read|Write)(Full|All)? on an os/net object — dials, fsyncs, socket
+//     I/O and goroutine joins;
+//   - time.After/Tick in any position (they park the goroutine when
+//     received under the lock).
+//
+// Lock identity is matched textually on the receiver chain (t.mu, r.state.mu),
+// which is exact for this codebase's flat lock fields.
+var LockSend = &Analyzer{
+	Name: "locksend",
+	Doc: "flags blocking operations (channel ops, Send/Dial/Sync/Sleep/Wait, " +
+		"socket I/O) while a mutex is held",
+	Run: runLockSend,
+}
+
+// blockingNames are callee base names that imply the caller can park.
+var blockingNames = map[string]bool{
+	"Send": true, "Dial": true, "DialContext": true, "DialTimeout": true,
+	"Sleep": true, "Sync": true, "Flush": true, "Wait": true, "Accept": true,
+	"ReadFull": true, "ReadAll": true, "WriteString": true,
+}
+
+func runLockSend(pass *Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockSend(pass, fd.Body)
+			// Closures get their own linear scan: a goroutine body that
+			// locks and blocks is the same bug one frame down.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkLockSend(pass, fl.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// lockEvent is one Lock/Unlock/blocking-op occurrence in source order.
+type lockEvent struct {
+	pos  token.Pos
+	kind int // 0 lock, 1 unlock, 2 deferred unlock, 3 blocking op
+	mu   string
+	desc string
+	// insideFuncLit marks events under a nested closure; the outer scan
+	// skips them (the closure scans itself), except deferred unlocks via
+	// `defer func() { ... mu.Unlock() ... }()` which release the outer
+	// section.
+	depth int
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.lo && p < r.hi }
+
+func checkLockSend(pass *Pass, body *ast.BlockStmt) {
+	// AST ranges nest strictly, so closure depth and defer membership of
+	// any position fall out of two pre-collected range lists.
+	var funcLits, deferRanges []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			funcLits = append(funcLits, posRange{x.Pos(), x.End()})
+		case *ast.DeferStmt:
+			deferRanges = append(deferRanges, posRange{x.Call.Pos(), x.Call.End()})
+		}
+		return true
+	})
+	depthOf := func(p token.Pos) int {
+		d := 0
+		for _, r := range funcLits {
+			if r.contains(p) {
+				d++
+			}
+		}
+		return d
+	}
+	inDefer := func(p token.Pos) bool {
+		for _, r := range deferRanges {
+			if r.contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// ast.Inspect visits in source order, so events replay linearly.
+	var events []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if name, mu, ok := mutexOp(pass.TypesInfo, x); ok {
+				kind := -1
+				switch {
+				case (name == "Lock" || name == "RLock") && !inDefer(x.Pos()):
+					kind = 0
+				case name == "Unlock" || name == "RUnlock":
+					kind = 1
+					if inDefer(x.Pos()) {
+						kind = 2
+					}
+				}
+				if kind >= 0 {
+					events = append(events, lockEvent{pos: x.Pos(), kind: kind, mu: mu, depth: depthOf(x.Pos())})
+				}
+				return true
+			}
+			if desc, ok := blockingCall(pass.TypesInfo, x); ok && !inDefer(x.Pos()) {
+				events = append(events, lockEvent{pos: x.Pos(), kind: 3, desc: desc, depth: depthOf(x.Pos())})
+			}
+		case *ast.SendStmt:
+			if !insideSelectDefault(body, x.Pos()) {
+				events = append(events, lockEvent{pos: x.Pos(), kind: 3, desc: "channel send", depth: depthOf(x.Pos())})
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !insideSelectDefault(body, x.Pos()) {
+				events = append(events, lockEvent{pos: x.Pos(), kind: 3, desc: "channel receive", depth: depthOf(x.Pos())})
+			}
+		}
+		return true
+	})
+
+	// Linear replay over depth-0 events: closures scan themselves (see
+	// runLockSend), but their deferred unlocks release the outer section.
+	held := map[string]token.Pos{}   // mu expr -> lock pos
+	deferredEnd := map[string]bool{} // mu held to end of function
+	for _, ev := range events {
+		switch {
+		case ev.kind == 0 && ev.depth == 0:
+			held[ev.mu] = ev.pos
+		case ev.kind == 1 && ev.depth == 0:
+			if !deferredEnd[ev.mu] {
+				delete(held, ev.mu)
+			}
+		case ev.kind == 2:
+			deferredEnd[ev.mu] = true
+		case ev.kind == 3 && ev.depth == 0 && len(held) > 0:
+			// One report per site, naming the first-held mutex
+			// deterministically (sorted — our own mapiter rule applies).
+			mus := make([]string, 0, len(held))
+			for mu := range held {
+				mus = append(mus, mu)
+			}
+			sort.Strings(mus)
+			pass.Reportf(ev.pos, "blocking %s while %s is held; a stalled peer or disk wedges every goroutine contending for the lock", ev.desc, mus[0])
+		}
+	}
+}
+
+// mutexOp matches x.Lock/Unlock/RLock/RUnlock where x is a sync.Mutex or
+// sync.RWMutex (directly or embedded), returning the op name and the
+// rendered mutex expression.
+func mutexOp(info *types.Info, call *ast.CallExpr) (op, mu string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	selection, found := info.Selections[sel]
+	if !found {
+		return "", "", false
+	}
+	fobj, isFunc := selection.Obj().(*types.Func)
+	if !isFunc || fobj.Pkg() == nil || fobj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return sel.Sel.Name, types.ExprString(sel.X), true
+}
+
+// blockingCall matches call shapes that can park the goroutine.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	pkg, name, resolved := calleePkgFunc(info, call)
+	base := calleeName(call)
+	if resolved {
+		// time.Time and time.Duration methods (ef.After(dep), d.Sleep-free
+		// arithmetic) resolve to pkg "time" too; only the package-level
+		// functions park the goroutine.
+		if pkg == "time" && !isMethodCall(info, call) &&
+			(name == "Sleep" || name == "After" || name == "Tick") {
+			return "time." + name, true
+		}
+		if pkg == "sync" && name == "Wait" {
+			return "WaitGroup.Wait", true
+		}
+		if strings.HasPrefix(pkg, "net") && strings.HasPrefix(name, "Dial") {
+			return pkg + "." + name, true
+		}
+		if pkg == "io" && (name == "ReadFull" || name == "ReadAll" || name == "Copy") {
+			return "io." + name, true
+		}
+	}
+	if blockingNames[base] {
+		return base + " call", true
+	}
+	return "", false
+}
+
+// insideSelectDefault reports whether pos sits inside a select statement
+// that has a default clause (making its channel ops non-blocking). body is
+// the function body to search within.
+func insideSelectDefault(body *ast.BlockStmt, pos token.Pos) bool {
+	inside := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if inside || n == nil {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || pos < sel.Pos() || pos >= sel.End() {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				inside = true
+				return false
+			}
+		}
+		return true
+	})
+	return inside
+}

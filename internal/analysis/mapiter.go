@@ -1,0 +1,475 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags `range` over a map in determinism-critical packages unless
+// the loop body is provably iteration-order-insensitive.
+//
+// This is the PR 5 bug class that made repropose-on-view-change assign
+// sequence numbers in Go map iteration order: two identically seeded
+// replicas walked awaitingProposal in different orders, proposed the same
+// batches under different sequences, and diverged. Anything a map range
+// feeds into protocol decisions — message emission, sequence assignment,
+// schedule construction — must iterate over sorted keys instead.
+//
+// A loop body is accepted as order-insensitive when every statement is one
+// of:
+//
+//   - k2 := <expr> — declarations are loop-local;
+//   - writes to variables declared inside the loop body;
+//   - x = append(x, ...) — the collect-then-sort idiom, accepted only if a
+//     sort call mentioning x follows the loop in the same function;
+//   - m2[k] = <expr> or delete(m2, k), keyed by the range key variable —
+//     distinct keys make the writes commute;
+//   - n += e, n++, n |= e, n &= e, n ^= e, counts[expr]++ — commutative
+//     accumulation into locals or map cells;
+//   - found = true — an idempotent latch (every iteration writes the same
+//     constant);
+//   - if x.Less(best) { best = x } — a guarded reduction: a plain write to a
+//     function-scoped local whose enclosing if-condition reads that local
+//     (min/max/argmin folds commute up to ties);
+//   - ent.field = <loop-invariant> through the range *value* variable — each
+//     element is re-armed exactly once with data no other iteration changes
+//     (the timer re-arm idiom), accepted only if the right-hand side reads
+//     nothing the loop body mutates;
+//   - if/else and nested loops containing only the above, plus `continue`.
+//
+// Early exits (break, return) and any other effect — sends, calls for
+// effect, writes through pointers — depend on which element the runtime
+// happens to visit first, and are flagged.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flags map iteration whose effects depend on Go's randomized order " +
+		"in determinism-critical packages; sort the keys first",
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapType(pass.TypesInfo, rs.X) {
+					return true
+				}
+				c := &mapIterCheck{pass: pass, fn: fd, loop: rs}
+				c.keyObj = rangeVarObj(pass.TypesInfo, rs.Key)
+				c.valObj = rangeVarObj(pass.TypesInfo, rs.Value)
+				if bad, why := c.orderSensitive(rs.Body); bad {
+					pass.Reportf(rs.Pos(), "iteration over map %s has order-dependent effects (%s); iterate sorted keys instead",
+						types.ExprString(rs.X), why)
+					return false // one finding per loop, not per nested issue
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+type mapIterCheck struct {
+	pass   *Pass
+	fn     *ast.FuncDecl
+	loop   *ast.RangeStmt
+	keyObj types.Object
+	valObj types.Object
+	// locals are objects declared inside the loop body; writes to them are
+	// invisible outside one iteration.
+	locals map[types.Object]bool
+	// mutated holds every object the loop body writes (assignment or ++/--
+	// root), excluding the range variables themselves. A value-rooted write
+	// whose RHS reads one of these sees different data depending on which
+	// elements ran first.
+	mutated map[types.Object]bool
+	// conds is the stack of enclosing if-conditions at the current walk
+	// position, for recognizing guarded reductions.
+	conds []ast.Expr
+}
+
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// orderSensitive walks stmts and returns (true, why) at the first construct
+// whose effect depends on iteration order.
+func (c *mapIterCheck) orderSensitive(body *ast.BlockStmt) (bool, string) {
+	if c.locals == nil {
+		c.locals = make(map[types.Object]bool)
+	}
+	c.collectMutated(body)
+	return c.stmts(body.List)
+}
+
+// collectMutated pre-scans the loop body for every object written by an
+// assignment or ++/--; the range variables themselves are excluded (a write
+// through the value pointer mutates the element, and element-derived reads
+// within the same iteration are fine).
+func (c *mapIterCheck) collectMutated(body *ast.BlockStmt) {
+	c.mutated = make(map[types.Object]bool)
+	note := func(e ast.Expr) {
+		root := rootIdent(e)
+		if root == nil {
+			return
+		}
+		obj := c.pass.TypesInfo.Uses[root]
+		if obj == nil || obj == c.keyObj || obj == c.valObj {
+			return
+		}
+		c.mutated[obj] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE {
+				for _, lhs := range st.Lhs {
+					note(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			note(st.X)
+		}
+		return true
+	})
+}
+
+// mentionsMutated reports whether e reads any object the loop body writes.
+func (c *mapIterCheck) mentionsMutated(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.mutated[c.pass.TypesInfo.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// condMentions reports whether any enclosing if-condition reads obj — the
+// guarded-reduction signature (`if x.Before(oldest) { oldest = x }`).
+func (c *mapIterCheck) condMentions(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	for _, cond := range c.conds {
+		found := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *mapIterCheck) stmts(list []ast.Stmt) (bool, string) {
+	for _, s := range list {
+		if bad, why := c.stmt(s); bad {
+			return true, why
+		}
+	}
+	return false, ""
+}
+
+func (c *mapIterCheck) stmt(s ast.Stmt) (bool, string) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		return c.assign(st)
+	case *ast.IncDecStmt:
+		if c.localOrCommutativeTarget(st.X) {
+			return false, ""
+		}
+		return true, "increments non-local state per element"
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						c.locals[c.pass.TypesInfo.Defs[name]] = true
+					}
+				}
+			}
+			return false, ""
+		}
+		return false, ""
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if calleeName(call) == "delete" && len(call.Args) == 2 && c.isRangeKey(call.Args[1]) {
+				return false, "" // delete keyed by the range key commutes
+			}
+		}
+		return true, "calls for effect inside the loop"
+	case *ast.IfStmt:
+		if st.Init != nil {
+			if bad, why := c.stmt(st.Init); bad {
+				return true, why
+			}
+		}
+		c.conds = append(c.conds, st.Cond)
+		defer func() { c.conds = c.conds[:len(c.conds)-1] }()
+		if bad, why := c.stmts(st.Body.List); bad {
+			return true, why
+		}
+		if st.Else != nil {
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				return c.stmts(e.List)
+			case *ast.IfStmt:
+				return c.stmt(e)
+			}
+		}
+		return false, ""
+	case *ast.BlockStmt:
+		return c.stmts(st.List)
+	case *ast.RangeStmt, *ast.ForStmt:
+		// A nested loop is order-insensitive iff its body is; its own
+		// iteration variables are loop-local.
+		var body *ast.BlockStmt
+		switch l := st.(type) {
+		case *ast.RangeStmt:
+			body = l.Body
+			for _, v := range []ast.Expr{l.Key, l.Value} {
+				if id, ok := v.(*ast.Ident); ok {
+					c.locals[c.pass.TypesInfo.Defs[id]] = true
+				}
+			}
+		case *ast.ForStmt:
+			body = l.Body
+			if l.Init != nil {
+				if bad, why := c.stmt(l.Init); bad {
+					return true, why
+				}
+			}
+		}
+		return c.stmts(body.List)
+	case *ast.BranchStmt:
+		if st.Tok == token.CONTINUE {
+			return false, ""
+		}
+		return true, "exits the loop early (picks an arbitrary element)"
+	case *ast.ReturnStmt:
+		return true, "returns from inside the loop (picks an arbitrary element)"
+	case *ast.EmptyStmt:
+		return false, ""
+	default:
+		// sends, go, defer, select, switch, labeled — all either block, run
+		// code per element, or branch on element identity.
+		return true, "statement with per-element effects"
+	}
+}
+
+func (c *mapIterCheck) assign(st *ast.AssignStmt) (bool, string) {
+	if st.Tok == token.DEFINE {
+		for _, lhs := range st.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				c.locals[c.pass.TypesInfo.Defs[id]] = true
+			}
+		}
+		// RHS of a define still runs per element; reject calls with likely
+		// effects? Reads are fine, and effectful RHS surfaces again when
+		// the value escapes through a flagged statement. Accept.
+		return false, ""
+	}
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative accumulation: order cannot matter for the final value.
+		for _, lhs := range st.Lhs {
+			if !c.localOrCommutativeTarget(lhs) {
+				return true, "accumulates into non-local state through a pointer"
+			}
+		}
+		return false, ""
+	case token.ASSIGN:
+		for i, lhs := range st.Lhs {
+			if c.allowedPlainTarget(lhs, rhsOf(st, i)) {
+				continue
+			}
+			return true, "assigns per-element state in iteration order"
+		}
+		return false, ""
+	default:
+		return true, "non-commutative compound assignment"
+	}
+}
+
+func rhsOf(st *ast.AssignStmt, i int) ast.Expr {
+	if len(st.Rhs) == len(st.Lhs) {
+		return st.Rhs[i]
+	}
+	if len(st.Rhs) == 1 {
+		return st.Rhs[0]
+	}
+	return nil
+}
+
+// allowedPlainTarget accepts the order-insensitive plain-assignment shapes:
+// loop-locals, constant latches and guarded reductions into function-scoped
+// locals, map writes keyed by the range key, element re-arms through the
+// range value variable, and the collect-append idiom (provided the slice is
+// sorted after the loop).
+func (c *mapIterCheck) allowedPlainTarget(lhs, rhs ast.Expr) bool {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if id.Name == "_" {
+			return true
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		if c.locals[obj] {
+			return true
+		}
+		// x = append(x, ...): the collect idiom. Only sound if x is sorted
+		// before use; demand a sort mentioning x later in this function.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && calleeName(call) == "append" {
+			if c.sortedAfterLoop(obj) {
+				return true
+			}
+		}
+		if funcScopeLocal(c.pass.TypesInfo, c.fn, obj) {
+			// found = true: every iteration writes the same constant.
+			if isConstExpr(c.pass.TypesInfo, rhs) {
+				return true
+			}
+			// if ent.t.Before(oldest) { oldest = ent.t }: a reduction whose
+			// guard reads the accumulator commutes up to ties.
+			if c.condMentions(obj) {
+				return true
+			}
+		}
+		return false
+	}
+	switch tgt := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		if c.isRangeKey(tgt.Index) && isMapType(c.pass.TypesInfo, tgt.X) {
+			return true // map writes under distinct keys commute
+		}
+	case *ast.SelectorExpr:
+		// ent.field = <loop-invariant> through the range value variable:
+		// each element written once, with data no other iteration changes.
+		root := rootIdent(tgt)
+		if root != nil && c.valObj != nil && c.pass.TypesInfo.Uses[root] == c.valObj &&
+			!c.mentionsMutated(rhs) {
+			return true
+		}
+	}
+	return false
+}
+
+// localOrCommutativeTarget accepts compound-assignment/inc-dec targets:
+// loop-locals, plain function-scoped variables, and map cells keyed by the
+// range key. Pointer dereferences and foreign fields stay flagged — the
+// accumulation itself commutes, but racing it through shared state is what
+// the locksend/race layers own, and a field write here usually feeds
+// protocol state.
+func (c *mapIterCheck) localOrCommutativeTarget(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[x]
+		return c.locals[obj] || funcScopeLocal(c.pass.TypesInfo, c.fn, obj)
+	case *ast.IndexExpr:
+		// counts[v.Shard]++ — commutative accumulation into any map cell
+		// commutes even under colliding keys, provided the key itself is not
+		// an order-dependent accumulator.
+		return isMapType(c.pass.TypesInfo, x.X) && !c.mentionsMutated(x.Index)
+	case *ast.SelectorExpr:
+		// field of a function-scoped *value* (not pointer) struct variable
+		root := rootIdent(x)
+		if root == nil {
+			return false
+		}
+		obj := c.pass.TypesInfo.Uses[root]
+		if obj == nil || !funcScopeLocal(c.pass.TypesInfo, c.fn, obj) {
+			return false
+		}
+		if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+func (c *mapIterCheck) isRangeKey(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || c.keyObj == nil {
+		return false
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[id]
+	}
+	return obj == c.keyObj
+}
+
+// sortedAfterLoop reports whether a call whose name contains "Sort"/"sort"
+// and mentions obj appears after the range loop in the enclosing function —
+// the second half of the collect-then-sort idiom.
+func (c *mapIterCheck) sortedAfterLoop(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= c.loop.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// sort.Slice/sort.Strings/slices.Sort*, or any helper whose name
+		// says it sorts (sortedAwaiting, digestSort, ...).
+		isSort := containsSort(calleeName(call))
+		if pkg, _, ok := calleePkgFunc(c.pass.TypesInfo, call); ok && (pkg == "sort" || pkg == "slices") {
+			isSort = true
+		}
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == obj {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func containsSort(name string) bool {
+	for i := 0; i+4 <= len(name); i++ {
+		s := name[i : i+4]
+		if s == "Sort" || s == "sort" {
+			return true
+		}
+	}
+	return false
+}

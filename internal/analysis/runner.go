@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Scoped binds an analyzer to the package scope it applies to. Scope
+// entries are import-path suffix patterns relative to the module (e.g.
+// "internal/pbft"); an empty Scope means every package.
+type Scoped struct {
+	Analyzer *Analyzer
+	// Scope lists the package import-path suffixes the analyzer runs on.
+	Scope []string
+	// Why documents the scope choice for `ringbft-vet -list`.
+	Why string
+}
+
+func (s Scoped) applies(pkgPath string) bool {
+	if len(s.Scope) == 0 {
+		return true
+	}
+	for _, suffix := range s.Scope {
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the outcome of one driver run.
+type Result struct {
+	// Findings holds every diagnostic, suppressed ones included, sorted by
+	// position. Failures are the unsuppressed subset.
+	Findings []Finding
+	// Malformed are broken //ringbft:ignore directives (always failures).
+	Malformed []Finding
+	// Unused are directives that silenced nothing (reported, non-fatal).
+	Unused []Finding
+	// Packages is how many packages were analyzed.
+	Packages int
+}
+
+// Failures returns the findings that should fail the build: unsuppressed
+// diagnostics plus malformed suppressions.
+func (r *Result) Failures() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	out = append(out, r.Malformed...)
+	return out
+}
+
+// Suppressed returns the accepted, justified findings — the ledger the
+// driver prints so every ignore stays visible.
+func (r *Result) Suppressed() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Run loads patterns and applies every scoped analyzer to the packages its
+// scope matches, resolving suppressions.
+func Run(dir string, suite []Scoped, patterns ...string) (*Result, error) {
+	loader := NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, pkg := range pkgs {
+		if pkg.Types == nil || len(pkg.Files) == 0 {
+			continue
+		}
+		if len(pkg.Errors) > 0 {
+			return nil, fmt.Errorf("analysis: %s has %d type errors (first: %v)", pkg.Path, len(pkg.Errors), pkg.Errors[0])
+		}
+		res.Packages++
+		sups := collectSuppressions(pkg.Fset, pkg.Files)
+		res.Malformed = append(res.Malformed, sups.malformed...)
+		for _, sc := range suite {
+			if !sc.applies(pkg.Path) {
+				continue
+			}
+			diags, err := RunAnalyzer(sc.Analyzer, pkg)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", sc.Analyzer.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				f := Finding{Analyzer: sc.Analyzer.Name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message}
+				if sup := sups.match(sc.Analyzer.Name, f.Pos); sup != nil {
+					f.Suppressed = true
+					f.Reason = sup.reason
+				}
+				res.Findings = append(res.Findings, f)
+			}
+		}
+		for _, sup := range sups.unused() {
+			res.Unused = append(res.Unused, Finding{
+				Analyzer: sup.analyzer,
+				Pos:      posOf(sup),
+				Message:  "unused suppression (no finding on this line); remove it",
+			})
+		}
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Malformed)
+	sortFindings(res.Unused)
+	return res, nil
+}
+
+// RunAnalyzer applies one analyzer to one package and returns its raw
+// diagnostics (no suppression handling) in positional order.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}
+
+func posOf(sup *suppression) token.Position {
+	return token.Position{Filename: sup.file, Line: sup.line, Column: 1}
+}

@@ -1,0 +1,57 @@
+package analysis
+
+// DefaultSuite returns the protocol-invariant analyzer suite with each
+// analyzer bound to the packages whose invariants it encodes. Scope
+// entries are module-relative import paths; cmd/ringbft-vet runs this
+// suite and `make lint` must exit zero on the repository.
+//
+// Adding a rule: write the Analyzer in its own file, give it fixtures
+// under testdata/src/<name>/ (see analysistest.go), wire it here with a
+// scope and a Why, and burn the existing findings down — fix real
+// violations, or annotate with `//ringbft:ignore <name> <reason>` where
+// the code is right and the rule's approximation is what's wrong.
+func DefaultSuite() []Scoped {
+	// Determinism-critical: packages whose control flow must replay
+	// identically across replicas (sequence assignment, message emission)
+	// or across reruns of one seed (chaos schedules, harness scheduling).
+	deterministic := []string{
+		"internal/pbft", "internal/ringbft", "internal/ahl",
+		"internal/sharper", "internal/chaos", "internal/harness",
+		"internal/protocols",
+	}
+	// Byzantine-facing: packages that handle messages from other nodes.
+	handlers := []string{
+		"internal/pbft", "internal/ringbft", "internal/ahl",
+		"internal/sharper", "internal/protocols",
+		"cmd/ringbft-client", "cmd/ringbft-node",
+	}
+	// Seed-deterministic: Scenario(seed) and jitter sampling must replay.
+	seeded := []string{"internal/chaos", "internal/simnet"}
+
+	return []Scoped{
+		{Analyzer: MapIter, Scope: deterministic,
+			Why: "map order must not reach sequence assignment, message emission, or schedules"},
+		{Analyzer: VerifyFirst, Scope: handlers,
+			Why: "payload adoption must be dominated by a Verify* authenticity check"},
+		{Analyzer: LockSend, Scope: nil,
+			Why: "no blocking op under any mutex, anywhere in the module"},
+		{Analyzer: WallClock, Scope: seeded,
+			Why: "seed-reproducibility: no wall clock or global rand in schedule construction"},
+	}
+}
+
+// Analyzers returns every analyzer in the default suite, unscoped (the
+// fixture harness and -only flag look analyzers up by name here).
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapIter, VerifyFirst, LockSend, WallClock}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix of a suppression:
+//
+//	//ringbft:ignore <analyzer> <reason...>
+//
+// It silences findings of <analyzer> on its own line, the line directly
+// below, or — when attached to a func declaration — anywhere in that
+// function. The reason is mandatory; the driver reports an ignore without
+// one as a finding in its own right, and counts every suppression it
+// honours so the ledger stays visible in `make lint` output.
+const ignoreDirective = "//ringbft:ignore"
+
+// suppression is one parsed ignore comment.
+type suppression struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	// funcEnd, when non-zero, extends the suppression to every line of the
+	// annotated function declaration [line, funcEnd].
+	funcEnd int
+	used    bool
+}
+
+// suppressions indexes every ignore directive of one package.
+type suppressions struct {
+	fset *token.FileSet
+	all  []*suppression
+	// malformed collects directives without a reason (or analyzer name);
+	// the driver reports these as findings.
+	malformed []Finding
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{fset: fset}
+	for _, f := range files {
+		// Map func-decl start lines to their body end, so a directive in a
+		// function's doc comment covers the whole function.
+		funcEnd := make(map[int]int)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			start := fset.Position(fd.Pos()).Line
+			if fd.Doc != nil {
+				start = fset.Position(fd.Doc.Pos()).Line
+			}
+			end := fset.Position(fd.End()).Line
+			for l := start; l <= fset.Position(fd.Pos()).Line; l++ {
+				funcEnd[l] = end
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" || reason == "" {
+					s.malformed = append(s.malformed, Finding{
+						Analyzer: "ignore",
+						Pos:      pos,
+						Message:  "malformed suppression: want //ringbft:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				s.all = append(s.all, &suppression{
+					analyzer: name,
+					reason:   reason,
+					file:     pos.Filename,
+					line:     pos.Line,
+					funcEnd:  funcEnd[pos.Line],
+				})
+			}
+		}
+	}
+	return s
+}
+
+// match returns the suppression covering a finding of analyzer at pos, or
+// nil. A directive covers its own line, the next line, and — on a func
+// declaration — the function body.
+func (s *suppressions) match(analyzer string, pos token.Position) *suppression {
+	for _, sup := range s.all {
+		if sup.analyzer != analyzer || sup.file != pos.Filename {
+			continue
+		}
+		if pos.Line == sup.line || pos.Line == sup.line+1 ||
+			(sup.funcEnd > 0 && pos.Line >= sup.line && pos.Line <= sup.funcEnd) {
+			sup.used = true
+			return sup
+		}
+	}
+	return nil
+}
+
+// unused returns the directives that silenced nothing — stale annotations
+// worth cleaning up (reported as notes, not failures: analyzers evolve).
+func (s *suppressions) unused() []*suppression {
+	var out []*suppression
+	for _, sup := range s.all {
+		if !sup.used {
+			out = append(out, sup)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseForSuppressions(t *testing.T, src string) *suppressions {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "sup.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return collectSuppressions(fset, []*ast.File{f})
+}
+
+func TestSuppressionCoverage(t *testing.T) {
+	src := `package p
+
+func a() {
+	//ringbft:ignore mapiter the loop only logs
+	x := 1
+	_ = x
+}
+
+//ringbft:ignore verifyfirst client requests carry no MAC by design
+func b() {
+	y := 2
+	_ = y
+}
+`
+	s := parseForSuppressions(t, src)
+	if len(s.all) != 2 {
+		t.Fatalf("got %d suppressions, want 2", len(s.all))
+	}
+
+	// A line-level directive covers its own line and the next, same
+	// analyzer only.
+	if s.match("mapiter", token.Position{Filename: "sup.go", Line: 5}) == nil {
+		t.Error("line below a mapiter directive should be suppressed")
+	}
+	if s.match("mapiter", token.Position{Filename: "sup.go", Line: 6}) != nil {
+		t.Error("two lines below the directive should not be suppressed")
+	}
+	if s.match("locksend", token.Position{Filename: "sup.go", Line: 5}) != nil {
+		t.Error("a mapiter directive must not silence locksend")
+	}
+	if s.match("mapiter", token.Position{Filename: "other.go", Line: 5}) != nil {
+		t.Error("a directive must not silence findings in another file")
+	}
+
+	// A func-doc directive covers the whole function body.
+	if s.match("verifyfirst", token.Position{Filename: "sup.go", Line: 11}) == nil {
+		t.Error("func-doc directive should cover the function body")
+	}
+	if s.match("verifyfirst", token.Position{Filename: "sup.go", Line: 20}) != nil {
+		t.Error("func-doc directive must not extend past the function end")
+	}
+
+	// Both directives matched something, so nothing is unused.
+	if un := s.unused(); len(un) != 0 {
+		t.Errorf("got %d unused suppressions, want 0", len(un))
+	}
+}
+
+func TestSuppressionUnused(t *testing.T) {
+	src := `package p
+
+//ringbft:ignore wallclock stale annotation
+func a() {}
+`
+	s := parseForSuppressions(t, src)
+	if len(s.all) != 1 {
+		t.Fatalf("got %d suppressions, want 1", len(s.all))
+	}
+	un := s.unused()
+	if len(un) != 1 || un[0].analyzer != "wallclock" {
+		t.Fatalf("unused = %+v, want the wallclock directive", un)
+	}
+}
+
+func TestSuppressionMalformed(t *testing.T) {
+	src := `package p
+
+//ringbft:ignore mapiter
+func a() {}
+
+//ringbft:ignore
+func b() {}
+`
+	s := parseForSuppressions(t, src)
+	if len(s.all) != 0 {
+		t.Fatalf("reason-less directives must not register, got %d", len(s.all))
+	}
+	if len(s.malformed) != 2 {
+		t.Fatalf("got %d malformed findings, want 2", len(s.malformed))
+	}
+	for _, f := range s.malformed {
+		if !strings.Contains(f.Message, "malformed suppression") {
+			t.Errorf("malformed finding message = %q", f.Message)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package a exercises the basic locksend shapes: parking the goroutine
+// (channel ops, dials, sleeps) while a mutex is held is flagged; the same
+// ops after Unlock, or made non-blocking by a select default, are not.
+package a
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type peer struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Channel send inside the critical section.
+func (p *peer) notifyLocked(v int) {
+	p.mu.Lock()
+	p.ch <- v // want `blocking channel send while p.mu is held`
+	p.mu.Unlock()
+}
+
+// A deferred unlock holds the lock for the rest of the function, so the
+// dial below is under it.
+func (p *peer) dialLocked(addr string) (net.Conn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return net.DialTimeout("tcp", addr, time.Second) // want `blocking net.DialTimeout while p.mu is held`
+}
+
+// Sleeping under the lock parks every contender.
+func (p *peer) napLocked() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `blocking time.Sleep while p.mu is held`
+}
+
+// Send after the unlock is fine.
+func (p *peer) notify(v int) {
+	p.mu.Lock()
+	p.mu.Unlock()
+	p.ch <- v
+}
+
+// A select with a default clause makes the send non-blocking even under
+// the lock.
+func (p *peer) tryNotify(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.ch <- v:
+	default:
+	}
+}
+
+// A goroutine body that locks and blocks is the same bug one frame down.
+func (p *peer) spawn() {
+	go func() {
+		p.mu.Lock()
+		p.ch <- 1 // want `blocking channel send while p.mu is held`
+		p.mu.Unlock()
+	}()
+}

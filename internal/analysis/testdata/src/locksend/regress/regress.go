@@ -1,0 +1,64 @@
+// Package regress reproduces the PR 4 transport stall: Transport.Send
+// dialed with a 3-second timeout while holding the connection-table mutex
+// on the replica event loop, so one dead peer froze every replica sharing
+// the table. The shipped fix (lock only around map access) and the
+// time.Time-method shape the analyzer once confused with time.After must
+// both stay silent.
+package regress
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type transport struct {
+	mu    sync.Mutex
+	conns map[string]net.Conn
+}
+
+// Send is the pre-PR4 shape: the dial happens inside the critical section.
+func (t *transport) Send(addr string, frame []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.conns[addr]
+	if !ok {
+		var err error
+		c, err = net.DialTimeout("tcp", addr, 3*time.Second) // want `blocking net.DialTimeout while t.mu is held`
+		if err != nil {
+			return err
+		}
+		t.conns[addr] = c
+	}
+	_, err := c.Write(frame)
+	return err
+}
+
+// sendFixed is the post-PR4 shape: the lock only guards the map; the dial
+// and the write happen outside the critical section.
+func (t *transport) sendFixed(addr string, frame []byte) error {
+	t.mu.Lock()
+	c, ok := t.conns[addr]
+	t.mu.Unlock()
+	if !ok {
+		var err error
+		c, err = net.DialTimeout("tcp", addr, 3*time.Second)
+		if err != nil {
+			return err
+		}
+		t.mu.Lock()
+		t.conns[addr] = c
+		t.mu.Unlock()
+	}
+	_, err := c.Write(frame)
+	return err
+}
+
+// ef.After(dep) is time.Time arithmetic, not the package-level timer: the
+// analyzer must distinguish methods from package functions (regression for
+// the simnet false positive).
+func (t *transport) expired(ef, dep time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return ef.After(dep)
+}

@@ -1,0 +1,97 @@
+// Package a exercises the basic mapiter shapes: loops whose per-element
+// effects depend on Go's randomized map order are flagged; order-insensitive
+// reductions, collect-then-sort, and keyed writes are not.
+package a
+
+import "sort"
+
+type item struct {
+	seq int
+	due int
+}
+
+type state struct {
+	last string
+	seen map[string]int
+}
+
+// Sending (or any effectful call) per element in map order is the canonical
+// violation: every replica walks the map differently.
+func emitUnsorted(m map[string]int, send func(string)) {
+	for k := range m { // want `order-dependent effects`
+		send(k)
+	}
+}
+
+// Early exit: which element wins depends on iteration order.
+func pickArbitrary(m map[string]int) (string, bool) {
+	for k := range m { // want `order-dependent effects`
+		return k, true
+	}
+	return "", false
+}
+
+// Last-writer-wins into non-local state: the surviving value is random.
+func lastWins(m map[string]int, s *state) {
+	for k := range m { // want `order-dependent effects`
+		s.last = k
+	}
+}
+
+// Pairing a counter with an effect: elements get different numbers on every
+// replica even though each individual increment commutes.
+func assignSeqs(m map[string]*item, propose func(int)) {
+	next := 0
+	for range m { // want `order-dependent effects`
+		next++
+		propose(next)
+	}
+}
+
+// Collect then sort after the loop: canonical.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Commutative reductions: sums, counters keyed by the element, min/max
+// latches guarded by conditions on the element, and constant latches.
+func reductions(m map[string]int) (max int, found bool, total int) {
+	counts := map[int]int{}
+	for _, v := range m {
+		total += v
+		counts[v]++
+		if v > max {
+			max = v
+			found = true
+		}
+	}
+	_ = counts
+	return
+}
+
+// Re-arming fields of the element itself with loop-invariant values: each
+// element sees the same write regardless of visit order.
+func rearm(m map[string]*item, now int) {
+	for _, it := range m {
+		if it.due < now {
+			it.due = now
+		}
+	}
+}
+
+// Deleting by the range key and writing cells keyed by the range key both
+// touch exactly the visited element: order cannot matter.
+func keyedWrites(m map[string]int, dst map[string]int, bad func(string) bool) {
+	for k, v := range m {
+		if bad(k) {
+			delete(m, k)
+			continue
+		}
+		dst[k] = v * 2
+	}
+}

@@ -1,0 +1,36 @@
+// Package regress reproduces the PR 5 repropose bug that chaos hunting
+// found by hand: on view change the new primary walked its pending-proposal
+// map and assigned fresh sequence numbers in Go map iteration order, so
+// identically seeded replicas proposed the same batches under different
+// sequences and diverged. The fixed shape — iterate types.SortedDigestKeys —
+// must stay silent.
+package regress
+
+import "ringbft/internal/types"
+
+type pendingProposal struct {
+	batch *types.Batch
+}
+
+type primary struct {
+	nextSeq  types.SeqNum
+	awaiting map[types.Digest]*pendingProposal
+	propose  func(types.SeqNum, *types.Batch)
+}
+
+// repropose is the pre-PR5 shape: sequence assignment in map order.
+func (p *primary) repropose() {
+	for _, pp := range p.awaiting { // want `order-dependent effects`
+		p.nextSeq++
+		p.propose(p.nextSeq, pp.batch)
+	}
+}
+
+// reproposeSorted is the shipped fix: canonical digest order, so every
+// replica that replays the view change assigns the same sequences.
+func (p *primary) reproposeSorted() {
+	for _, d := range types.SortedDigestKeys(p.awaiting) {
+		p.nextSeq++
+		p.propose(p.nextSeq, p.awaiting[d].batch)
+	}
+}

@@ -1,0 +1,68 @@
+// Package a exercises the basic verifyfirst shapes: a handler may read,
+// route, copy, and allocate before the Verify* barrier, but must not let
+// message-derived values reach receiver state above it.
+package a
+
+import "ringbft/internal/types"
+
+type replica struct {
+	votes map[types.NodeID]struct{}
+	seen  map[types.Digest]*types.Batch
+	log   []types.Digest
+}
+
+func (r *replica) verifyMAC(m *types.Message) bool { return len(m.MAC) == 32 }
+func (r *replica) record(types.Digest)             {}
+func (r *replica) dispatch(m *types.Message)       {}
+
+// Adopting payload above the barrier is the violation; the same write after
+// the barrier is fine.
+func (r *replica) onPrepare(m *types.Message) {
+	r.seen[m.Digest] = m.Batch // want `adopts message payload`
+	if !r.verifyMAC(m) {
+		return
+	}
+	r.votes[m.From] = struct{}{}
+}
+
+// Taint flows through locals: d came from the message, so pushing it into a
+// receiver-rooted call pre-barrier is an adoption too.
+func (r *replica) onCommit(m *types.Message) {
+	d := m.Digest
+	r.record(d) // want `passes unverified message payload`
+	if !r.verifyMAC(m) {
+		return
+	}
+	r.record(d)
+}
+
+// Pre-barrier reads, well-formedness checks, value copies, fresh
+// allocations, and whole-message dispatch are exactly what belongs above
+// the barrier.
+func (r *replica) onForward(m *types.Message) {
+	if m.Batch == nil || m.Digest.IsZero() {
+		return
+	}
+	fwd := *m
+	fwd.From = types.NodeID{}
+	out := &types.Message{Type: m.Type, Digest: m.Digest}
+	out.Seq = m.Seq
+	r.dispatch(&fwd)
+	if !r.verifyMAC(m) {
+		return
+	}
+	r.seen[m.Digest] = m.Batch
+	_ = out
+}
+
+// A handler-named function with no barrier anywhere is held to the rule for
+// its whole body.
+func (r *replica) onGossip(m *types.Message) {
+	r.log = append(r.log, m.Digest) // want `adopts message payload`
+}
+
+// A non-handler helper without a barrier is not: its callers sit behind
+// their own barriers and are checked there.
+func (r *replica) noteDigest(m *types.Message) {
+	r.log = append(r.log, m.Digest)
+}

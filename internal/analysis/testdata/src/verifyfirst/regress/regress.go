@@ -1,0 +1,59 @@
+// Package regress reproduces the two PR 5 bugs in the verify-before-adopt
+// class that chaos hunting found by hand, plus the shipped fixes:
+//
+//   - the pbft engine buffered Prepare votes into the entry before checking
+//     the sender's MAC, letting an equivocating primary convert honest votes
+//     for batch A into prepared state for batch B;
+//   - ringbft-client counted Response votes toward f+1 without verifying the
+//     responder's MAC, so any spoofer satisfied the quorum.
+package regress
+
+import "ringbft/internal/types"
+
+type engine struct {
+	prepares map[types.NodeID]types.Digest
+}
+
+func (e *engine) verifyMAC(m *types.Message) bool { return len(m.MAC) == 32 }
+
+// onPrepare is the pre-PR5 shape: count the vote, then (too late) check it.
+func (e *engine) onPrepare(m *types.Message) {
+	e.prepares[m.From] = m.Digest // want `adopts message payload`
+	if !e.verifyMAC(m) {
+		delete(e.prepares, m.From)
+	}
+}
+
+// onPrepareFixed is the shipped fix: verify, then count.
+func (e *engine) onPrepareFixed(m *types.Message) {
+	if !e.verifyMAC(m) {
+		return
+	}
+	e.prepares[m.From] = m.Digest
+}
+
+type client struct {
+	votes map[types.Digest]map[types.NodeID]struct{}
+}
+
+func verifyResponseMAC(m *types.Message) bool { return len(m.MAC) == 32 }
+
+// onResponse is the pre-PR5 shape: the vote set keyed and filled straight
+// from the unauthenticated message.
+func (c *client) onResponse(m *types.Message) {
+	if c.votes[m.Digest] == nil {
+		c.votes[m.Digest] = make(map[types.NodeID]struct{}) // want `adopts message payload`
+	}
+	c.votes[m.Digest][m.From] = struct{}{} // want `adopts message payload`
+}
+
+// onResponseFixed verifies the responder before counting toward f+1.
+func (c *client) onResponseFixed(m *types.Message) {
+	if !verifyResponseMAC(m) {
+		return
+	}
+	if c.votes[m.Digest] == nil {
+		c.votes[m.Digest] = make(map[types.NodeID]struct{})
+	}
+	c.votes[m.Digest][m.From] = struct{}{}
+}

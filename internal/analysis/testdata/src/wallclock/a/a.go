@@ -1,0 +1,41 @@
+// Package a exercises the basic wallclock shapes: wall-clock reads and
+// global math/rand draws are flagged; seeded generators and time.Time
+// arithmetic are the sanctioned replacements.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall-clock reads couple a "deterministic" run to the host clock.
+func stamp() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func wait(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep reads the wall clock`
+}
+
+func timer(d time.Duration) *time.Timer {
+	return time.NewTimer(d) // want `time.NewTimer reads the wall clock`
+}
+
+// Global math/rand draws from the process-shared source every other test
+// mutates.
+func jitter(max int64) time.Duration {
+	return time.Duration(rand.Int63n(max)) // want `global rand.Int63n draws from process-shared randomness`
+}
+
+// Seeded generators and time arithmetic on values threaded in are the
+// sanctioned shapes.
+func seeded(seed int64, base time.Time, max int64) time.Time {
+	rng := rand.New(rand.NewSource(seed))
+	return base.Add(time.Duration(rng.Int63n(max)))
+}
+
+// Methods on time.Time are pure arithmetic, not clock reads (regression:
+// ef.After(dep) was once confused with the package-level time.After).
+func compare(ef, dep time.Time) bool {
+	return ef.After(dep)
+}

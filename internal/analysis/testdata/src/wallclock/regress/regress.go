@@ -1,0 +1,44 @@
+// Package regress reproduces the seed-replay bug class the wallclock
+// analyzer was written for: chaos schedule construction that samples the
+// host clock or the global rand source builds a different schedule on every
+// run, so the failure seed printed by the matrix no longer replays the
+// failure. The fixed shape threads the scenario seed through a local
+// generator and a logical tick clock.
+package regress
+
+import (
+	"math/rand"
+	"time"
+)
+
+type event struct {
+	at time.Duration
+	op int
+}
+
+// buildScheduleBroken is the bug shape: the horizon anchors at time.Now and
+// the op sequence draws from the global source.
+func buildScheduleBroken(n int) []event {
+	start := time.Now() // want `time.Now reads the wall clock`
+	out := make([]event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, event{
+			at: time.Since(start), // want `time.Since reads the wall clock`
+			op: rand.Intn(8),      // want `global rand.Intn draws from process-shared randomness`
+		})
+	}
+	return out
+}
+
+// buildSchedule is the fixed shape: everything derives from the seed, so
+// Scenario(protocol, fault, seed) replays byte-identically.
+func buildSchedule(seed int64, n int) []event {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]event, 0, n)
+	var tick time.Duration
+	for i := 0; i < n; i++ {
+		tick += time.Duration(rng.Intn(100)) * time.Millisecond
+		out = append(out, event{at: tick, op: rng.Intn(8)})
+	}
+	return out
+}

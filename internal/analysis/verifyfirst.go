@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// VerifyFirst flags message-handler code that adopts message payload into
+// replica state before an authenticity check dominates the use.
+//
+// Two of the bugs chaos hunting caught by hand were instances of this
+// class: the pbft engine buffered Prepare/Commit votes digest-blind (an
+// equivocating primary converted honest votes for batch A into committed
+// state for batch B), and ringbft-client counted Response votes without
+// verifying the responder's MAC, so any spoofer satisfied f+1. The static
+// shape is always the same — a field of a *types.Message flows into state
+// (a map insert, a field write, a store/ledger/engine call) above the
+// VerifyMessageSig / VerifyMessageMAC / VerifyCert call that authenticates
+// the sender.
+//
+// Concretely, for every function with a types.Message (or *types.Message)
+// parameter:
+//
+//   - the "barrier" is the first call whose callee name starts with
+//     "Verify" (VerifyMessageSig, VerifyMessageMAC, VerifyCert, VerifyMAC,
+//     Verify, ...);
+//   - before the barrier the function may read the message freely —
+//     routing, well-formedness checks, digest comparisons are exactly what
+//     belongs there — but must not let message-derived values reach
+//     receiver state: no assignment or append whose target roots at the
+//     receiver (or a pointer obtained from it), and no receiver-rooted
+//     method call carrying a message-derived argument. Passing the whole
+//     message to another handler (dispatch) is allowed: the callee is
+//     analyzed on its own.
+//   - a function with no barrier at all is held to the same rule for its
+//     whole body when its name marks it a handler entry point (onX,
+//     handleX, HandleX, OnX): adopting unauthenticated payload there needs
+//     an explicit //ringbft:ignore with the reason the path is safe.
+//
+// The check approximates dominance by source order inside one function
+// body, which matches the early-return style of every handler here; the
+// fixture suite pins the approximation.
+var VerifyFirst = &Analyzer{
+	Name: "verifyfirst",
+	Doc: "flags handlers that write message payload into replica state " +
+		"before a Verify* authenticity check",
+	Run: runVerifyFirst,
+}
+
+func runVerifyFirst(pass *Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			msgParams := messageParams(pass, fd)
+			if len(msgParams) == 0 {
+				continue
+			}
+			v := &verifyFirstCheck{pass: pass, fn: fd, msgs: msgParams}
+			v.run()
+		}
+	}
+	return nil, nil
+}
+
+// messageParams returns the parameter objects of fd whose type is
+// types.Message or *types.Message.
+func messageParams(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isMessageType(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isMessageType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "Message" && n.Obj().Pkg() != nil &&
+		strings.HasSuffix(n.Obj().Pkg().Path(), "internal/types")
+}
+
+type verifyFirstCheck struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+	msgs map[types.Object]bool
+	// tainted holds locals derived from message payload (d := m.Batch.Digest()).
+	tainted map[types.Object]bool
+	// fresh holds pointer locals that point at allocations made in this
+	// function (fwd := &types.Message{...}); writing through them cannot
+	// reach replica state.
+	fresh   map[types.Object]bool
+	barrier token.Pos // position of the first Verify* call; NoPos = none
+}
+
+func (v *verifyFirstCheck) run() {
+	v.tainted = make(map[types.Object]bool)
+	v.fresh = make(map[types.Object]bool)
+	v.barrier = v.findBarrier()
+	handler := v.barrier != token.NoPos || isHandlerName(v.fn.Name.Name)
+	if !handler {
+		return
+	}
+	// Single source-order walk: track taint as locals are defined, flag
+	// adoption sites that precede the barrier.
+	ast.Inspect(v.fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if v.barrier != token.NoPos && n.Pos() >= v.barrier {
+			return false // authenticated from here on
+		}
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false // deferred/async bodies run after the handler
+		case *ast.AssignStmt:
+			v.assign(st)
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+				v.callStmt(call)
+			}
+		}
+		return true
+	})
+}
+
+// findBarrier locates the first Verify*-named call in the function body
+// proper (closures run at some other time and guard nothing).
+func (v *verifyFirstCheck) findBarrier() token.Pos {
+	pos := token.NoPos
+	ast.Inspect(v.fn.Body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && hasVerifyName(calleeName(call)) {
+			pos = call.Pos()
+			return false
+		}
+		return true
+	})
+	return pos
+}
+
+func isHandlerName(name string) bool {
+	for _, prefix := range []string{"on", "On", "handle", "Handle"} {
+		if rest, ok := strings.CutPrefix(name, prefix); ok && rest != "" {
+			r := rest[0]
+			if r >= 'A' && r <= 'Z' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// assign propagates taint into defined locals and flags pre-barrier writes
+// of message-derived values into non-local state.
+func (v *verifyFirstCheck) assign(st *ast.AssignStmt) {
+	taintedRHS := false
+	for _, rhs := range st.Rhs {
+		if v.exprTainted(rhs) {
+			taintedRHS = true
+		}
+	}
+	for i, lhs := range st.Lhs {
+		id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+		if st.Tok == token.DEFINE && isIdent {
+			if obj := v.pass.TypesInfo.Defs[id]; obj != nil {
+				if taintedRHS {
+					v.tainted[obj] = true
+				}
+				if len(st.Rhs) == len(st.Lhs) && isFreshAlloc(st.Rhs[i]) {
+					v.fresh[obj] = true
+				}
+			}
+			continue
+		}
+		if isIdent {
+			obj := v.pass.TypesInfo.Uses[id]
+			if funcScopeLocal(v.pass.TypesInfo, v.fn, obj) {
+				if taintedRHS && obj != nil {
+					v.tainted[obj] = true
+				}
+				continue
+			}
+		}
+		// Non-ident target: receiver field, map cell, or write through a
+		// local. Writes into non-pointer function locals (a scratch map, a
+		// value-struct copy like fwd := *m) or through fresh local
+		// allocations stay invisible to replica state; everything else with
+		// message-derived data — cs.batch = b, votes[m.From] = struct{}{} —
+		// is an adoption.
+		if root := rootIdent(lhs); root != nil {
+			obj := v.pass.TypesInfo.Uses[root]
+			if obj != nil && funcScopeLocal(v.pass.TypesInfo, v.fn, obj) &&
+				(!isPointerVar(obj) || v.fresh[obj]) {
+				continue
+			}
+		}
+		if taintedRHS || v.exprTainted(lhs) {
+			v.pass.Reportf(st.Pos(), "%s adopts message payload into %s before any Verify* check authenticates the sender",
+				v.fn.Name.Name, types.ExprString(lhs))
+		}
+	}
+}
+
+func isPointerVar(obj types.Object) bool {
+	_, ok := obj.Type().Underlying().(*types.Pointer)
+	return ok
+}
+
+// isFreshAlloc reports whether e evaluates to storage allocated at this
+// site: &T{...}, T{...}, or new(T).
+func isFreshAlloc(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		return calleeName(x) == "new"
+	}
+	return false
+}
+
+// callStmt flags pre-barrier statement-level method calls that push
+// message-derived data into state: calls rooted at the receiver or a
+// tainted local (cs.mergeCarried(m.WriteSets), r.chain.Append(...)).
+// Expression-position calls are treated as reads — validation predicates
+// (isPeer, PrevInRing, Digest) live there, and a mutation's result is
+// almost never consumed inline in this codebase; the fixtures pin this
+// approximation.
+func (v *verifyFirstCheck) callStmt(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if hasVerifyName(sel.Sel.Name) {
+		return
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return
+	}
+	robj := v.pass.TypesInfo.Uses[root]
+	if robj == nil {
+		return
+	}
+	if v.fresh[robj] {
+		return // mutating a fresh local allocation cannot adopt payload
+	}
+	recv := receiverObj(v.pass.TypesInfo, v.fn)
+	onReceiver := robj == recv || !funcScopeLocal(v.pass.TypesInfo, v.fn, robj)
+	if !onReceiver && !v.tainted[robj] {
+		return // a call on an untainted local cannot adopt payload
+	}
+	taintedArg := false
+	for _, arg := range call.Args {
+		if v.isMessageVar(arg) {
+			// Relaying or dispatching the whole message is fine: the
+			// receiver of a relayed copy re-verifies, and a dispatch
+			// callee is analyzed on its own.
+			continue
+		}
+		if v.exprTainted(arg) {
+			taintedArg = true
+		}
+	}
+	if v.tainted[robj] && !onReceiver {
+		v.pass.Reportf(call.Pos(), "%s mutates state reached through unverified message data (%s.%s) before any Verify* check",
+			v.fn.Name.Name, root.Name, sel.Sel.Name)
+		return
+	}
+	if taintedArg {
+		v.pass.Reportf(call.Pos(), "%s passes unverified message payload to %s.%s before any Verify* check authenticates the sender",
+			v.fn.Name.Name, types.ExprString(sel.X), sel.Sel.Name)
+	}
+}
+
+// isMessageVar reports whether e is a whole message: the parameter itself,
+// or any expression of type types.Message / *types.Message (a relayed copy
+// like &fwd after fwd := *m). Whole messages travel to peers or other
+// handlers, which authenticate them on their own.
+func (v *verifyFirstCheck) isMessageVar(e ast.Expr) bool {
+	if tv, ok := v.pass.TypesInfo.Types[ast.Unparen(e)]; ok && tv.Type != nil && isMessageType(tv.Type) {
+		return true
+	}
+	return false
+}
+
+// exprTainted reports whether e derives from a message parameter or a
+// tainted local: any identifier inside e resolving to one marks the whole
+// expression.
+func (v *verifyFirstCheck) exprTainted(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			obj := v.pass.TypesInfo.Uses[id]
+			if obj != nil && (v.msgs[obj] || v.tainted[obj]) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallClock flags wall-clock and global-randomness reads inside the
+// seed-deterministic packages.
+//
+// The chaos engine's contract is that Scenario(protocol, fault, seed)
+// replays byte-identically (TestSeedDeterminism pins it), and simnet's
+// jitter/loss sampling must derive from seeded RNGs for the same reason. A
+// single time.Now, time.Since, or global math/rand call inside schedule
+// construction silently couples the "deterministic" run to the host's
+// clock or the global rand state shared with every other test in the
+// process — reruns stop reproducing, and a failure seed printed by the
+// matrix no longer replays the failure.
+//
+// Flagged: time.Now, time.Since, time.Until, time.Sleep, time.After,
+// time.AfterFunc, time.Tick, time.NewTimer, time.NewTicker, and every
+// package-level math/rand / math/rand/v2 function (rand.Int, rand.Intn,
+// rand.Float64, rand.Perm, rand.Shuffle, ...). Seeded generators —
+// rand.New(rand.NewSource(seed)) — are the sanctioned replacement and are
+// not flagged.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "flags time.Now/Since/Sleep/timers and global math/rand in " +
+		"seed-deterministic packages; derive from the schedule clock and seeded RNGs",
+	Run: runWallClock,
+}
+
+var wallClockTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// randConstructors build seeded generators; everything else at package
+// level draws from the global, cross-test-shared source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewChaCha8": true, "NewPCG": true,
+}
+
+func runWallClock(pass *Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, resolved := calleePkgFunc(pass.TypesInfo, call)
+			if !resolved {
+				return true
+			}
+			switch pkg {
+			case "time":
+				// Methods on time.Time/time.Duration (t.After(u), t.Sub(u))
+				// are pure arithmetic; only the package functions read the
+				// clock.
+				if wallClockTimeFuncs[name] && isPackageLevelFunc(pass, call) {
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock in a seed-deterministic package; thread the schedule clock instead", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[name] && isPackageLevelFunc(pass, call) {
+					pass.Reportf(call.Pos(), "global %s.%s draws from process-shared randomness; use a seeded rand.New(rand.NewSource(seed))", pkgBase(pkg), name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isPackageLevelFunc distinguishes rand.Intn(...) (global source) from
+// rng.Intn(...) on a seeded *rand.Rand: methods have a receiver.
+func isPackageLevelFunc(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return true // dot-import or alias; resolved pkg already said rand
+	}
+	// A method call has a selection entry; package functions do not.
+	_, isMethod := pass.TypesInfo.Selections[sel]
+	return !isMethod
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -70,7 +70,13 @@ func CheckStates(states []harness.ReplicaState) []Violation {
 		for i, st := range group {
 			byBlocks[keys[i]] = append(byBlocks[keys[i]], st)
 		}
-		for _, same := range byBlocks {
+		blockKeys := make([]string, 0, len(byBlocks))
+		for k := range byBlocks {
+			blockKeys = append(blockKeys, k)
+		}
+		sort.Strings(blockKeys)
+		for _, k := range blockKeys {
+			same := byBlocks[k]
 			for i := 1; i < len(same); i++ {
 				if same[i].StateDigest != same[0].StateDigest {
 					out = append(out, Violation{"state-agreement",
@@ -84,7 +90,8 @@ func CheckStates(states []harness.ReplicaState) []Violation {
 		for i := 0; i < len(group); i++ {
 			for j := i + 1; j < len(group); j++ {
 				a, b := group[i], group[j]
-				for d, ha := range a.Executed {
+				for _, d := range types.SortedDigestKeys(a.Executed) {
+					ha := a.Executed[d]
 					if hb, ok := b.Executed[d]; ok && ha != hb {
 						out = append(out, Violation{"executed-agreement",
 							fmt.Sprintf("shard %d batch %x: %v and %v executed to different results",

@@ -41,6 +41,8 @@ func (r *WallClockResult) FailureReport() string {
 // nemesisFromSchedule translates the deterministic schedule into a
 // harness.Nemesis: event ticks map proportionally onto the measurement
 // window, and ops drive the harness Controller.
+//
+//ringbft:ignore wallclock the wall-clock bridge is the one sanctioned exit from seeded time: the schedule is fully built (seed-deterministically) before this runs, and only its pacing maps onto real time here
 func nemesisFromSchedule(sc Scenario, sched Schedule, window time.Duration) harness.Nemesis {
 	return func(ctx context.Context, ctl *harness.Controller) {
 		start := time.Now()

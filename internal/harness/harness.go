@@ -608,7 +608,8 @@ func runClient(ctx context.Context, cl *cluster, id types.ClientID, m *metrics) 
 			}
 		case <-ticker.C:
 			now := time.Now()
-			for _, fl := range inflight {
+			for _, d := range types.SortedDigestKeys(inflight) {
+				fl := inflight[d]
 				if now.Sub(fl.sentAt) > timeout {
 					fl.sentAt = now
 					msg := &types.Message{

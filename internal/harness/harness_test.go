@@ -3,10 +3,19 @@ package harness
 import (
 	"testing"
 	"time"
+
+	"ringbft/internal/raceflag"
 )
 
 func smoke(t *testing.T, p Protocol, crossPct float64) Result {
 	t.Helper()
+	// The race detector slows the event loops 5-20x; a 100%-cross-shard
+	// batch needs a full ring traversal to commit, so the measurement
+	// window must stretch with the build or the liveness assertions flake.
+	scale := time.Duration(1)
+	if raceflag.Enabled {
+		scale = 8
+	}
 	res, err := Run(Config{
 		Protocol:         p,
 		Shards:           3,
@@ -16,8 +25,8 @@ func smoke(t *testing.T, p Protocol, crossPct float64) Result {
 		InvolvedShards:   3,
 		Clients:          4,
 		ClientWindow:     2,
-		Warmup:           150 * time.Millisecond,
-		Duration:         400 * time.Millisecond,
+		Warmup:           scale * 150 * time.Millisecond,
+		Duration:         scale * 400 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatalf("%s run: %v", p, err)

@@ -1,0 +1,17 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"ringbft/internal/leakcheck"
+)
+
+// Every scenario here boots a full cluster — replica event loops, client
+// drivers, the simulated WAN's timer goroutines, WAL sync loops. The leak
+// gate runs once after the whole suite: a teardown path that strands one
+// of those goroutines fails the binary with the stack, instead of
+// surfacing as a flaky hang later.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.CheckMain(m))
+}

@@ -3,6 +3,8 @@ package harness
 import (
 	"testing"
 	"time"
+
+	"ringbft/internal/leakcheck"
 )
 
 // The loopback-TCP scenario suite: the same cluster scenarios the simnet
@@ -28,6 +30,7 @@ func tcpScenarioConfig() Config {
 // TestTCPCommit: the baseline scenario — a 2-shard cluster over real
 // sockets commits single- and cross-shard batches.
 func TestTCPCommit(t *testing.T) {
+	leakcheck.Check(t)
 	res, err := Run(tcpScenarioConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -50,6 +53,7 @@ func TestTCPCommit(t *testing.T) {
 // caller's event loop for up to the 3s dial timeout, stalling the timers
 // that liveness under the paper's A1/C1/C2 attacks depends on.
 func TestTCPUnreachableReplicaCommits(t *testing.T) {
+	leakcheck.Check(t)
 	cfg := tcpScenarioConfig()
 	cfg.TCPUnreachable = true
 	res, err := Run(cfg)
@@ -81,6 +85,7 @@ func TestTCPUnreachableReplicaCommits(t *testing.T) {
 // TestTCPPrimaryFailure: the Fig 9 scenario over sockets — crash shard 0's
 // primary mid-run, require a view change and resumed commits.
 func TestTCPPrimaryFailure(t *testing.T) {
+	leakcheck.Check(t)
 	cfg := tcpScenarioConfig()
 	cfg.Duration = 3 * time.Second
 	cfg.FailPrimaries = 1
@@ -114,6 +119,7 @@ func TestTCPPrimaryFailure(t *testing.T) {
 // crashes, restarts from its WAL, and the transports on both sides redial
 // through the restart.
 func TestTCPCrashRestart(t *testing.T) {
+	leakcheck.Check(t)
 	cfg := tcpScenarioConfig()
 	cfg.Duration = 3 * time.Second
 	cfg.CheckpointInterval = 8

@@ -1,0 +1,115 @@
+// Package leakcheck asserts that a test (or a whole test binary) does not
+// leave goroutines behind — a stdlib-only take on goleak. The harness and
+// transport suites spin up entire clusters (event loops, per-peer writer
+// goroutines, WAL sync loops); a teardown path that forgets one of them
+// shows up here as a named stack instead of as a flaky hang three PRs
+// later.
+//
+// Detection polls runtime.Stack until only known-benign goroutines remain
+// or the deadline passes: goroutines legitimately take a moment to unwind
+// after Close/cancel returns, so a single snapshot would flake.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// defaultDeadline bounds how long Check waits for goroutines to unwind.
+// Teardown paths here close sockets and cancel contexts; anything alive
+// seconds later is a leak, not a straggler.
+const defaultDeadline = 5 * time.Second
+
+// benignMarkers identify goroutines the test harness itself owns. A
+// goroutine whose stack contains any marker is never reported.
+var benignMarkers = []string{
+	"testing.Main(",
+	"testing.(*M).Run",
+	"testing.tRunner(",
+	"testing.runTests",
+	"testing.runFuzzing",
+	"testing.runFuzzTests",
+	"testing.(*T).Run",
+	"runtime.ReadTrace",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ensureSigM",
+}
+
+// Check registers a cleanup on t that fails the test if goroutines beyond
+// the benign set survive teardown. Call it first in the test body so the
+// cleanup runs after every other cleanup (t.Cleanup is LIFO).
+func Check(t testing.TB) {
+	t.Helper()
+	t.Cleanup(func() {
+		if leaked := wait(defaultDeadline); len(leaked) > 0 {
+			t.Errorf("leakcheck: %d goroutine(s) survived teardown:\n\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+	})
+}
+
+// CheckMain wraps m.Run for TestMain: it runs the tests, then fails the
+// binary if stray goroutines outlive the whole suite. Use when individual
+// tests share package-level state and per-test checks would trip on each
+// other:
+//
+//	func TestMain(m *testing.M) { os.Exit(leakcheck.CheckMain(m)) }
+func CheckMain(m *testing.M) int {
+	code := m.Run()
+	if leaked := wait(defaultDeadline); len(leaked) > 0 {
+		fmt.Printf("leakcheck: %d goroutine(s) survived the test binary:\n\n%s\n",
+			len(leaked), strings.Join(leaked, "\n\n"))
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// wait polls until no leaked goroutines remain or the deadline passes,
+// returning the final set of offending stacks.
+func wait(deadline time.Duration) []string {
+	var leaked []string
+	for end := time.Now().Add(deadline); ; {
+		leaked = snapshot()
+		if len(leaked) == 0 || time.Now().After(end) {
+			return leaked
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// snapshot returns the stacks of all current goroutines that are neither
+// the caller's nor benign harness machinery.
+func snapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var leaked []string
+	for i, g := range strings.Split(string(buf), "\n\n") {
+		if i == 0 {
+			continue // the goroutine running the check
+		}
+		benign := false
+		for _, marker := range benignMarkers {
+			if strings.Contains(g, marker) {
+				benign = true
+				break
+			}
+		}
+		if !benign {
+			leaked = append(leaked, g)
+		}
+	}
+	return leaked
+}

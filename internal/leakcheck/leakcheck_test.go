@@ -1,0 +1,37 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotIgnoresHarness(t *testing.T) {
+	if leaked := wait(2 * time.Second); len(leaked) != 0 {
+		t.Fatalf("clean state reported %d leaks:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+func TestSnapshotCatchesLeak(t *testing.T) {
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	leaked := wait(100 * time.Millisecond)
+	close(stop)
+	if len(leaked) == 0 {
+		t.Fatal("a parked goroutine was not reported")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "leakcheck.TestSnapshotCatchesLeak") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak report misses the offender:\n%s", strings.Join(leaked, "\n\n"))
+	}
+	// The goroutine unwinds after close(stop); leave the state clean for
+	// the package's own teardown.
+	if leaked := wait(2 * time.Second); len(leaked) != 0 {
+		t.Fatalf("offender did not unwind: %s", strings.Join(leaked, "\n\n"))
+	}
+}

@@ -35,9 +35,12 @@ func (e *Engine) recordCheckpoint(from types.NodeID, seq types.SeqNum, state typ
 	}
 	votes[from] = state
 
-	// Stabilize when nf replicas vouch for the same state digest.
+	// Stabilize when nf replicas vouch for the same state digest. Voters are
+	// walked in canonical order so the stabilize callback fires on the same
+	// vote in every replay, not whichever one map iteration reached first.
 	counts := make(map[types.Digest]int, 2)
-	for _, d := range votes {
+	for _, from := range types.SortedNodeKeys(votes) {
+		d := votes[from]
 		counts[d]++
 		if counts[d] >= e.nf && seq > e.stableSeq {
 			e.stabilize(seq)

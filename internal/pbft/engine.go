@@ -321,6 +321,7 @@ func (e *Engine) OnMessage(m *types.Message) {
 		// not guaranteed by the network).
 		if m.View > e.view || (e.inViewChange && m.View == e.view) {
 			if len(e.future) < 8192 {
+				//ringbft:ignore verifyfirst bounded stash only: the message is replayed through this same OnMessage (and its MAC checks) once the view installs; nothing is adopted here
 				e.future = append(e.future, m)
 			}
 			return
@@ -531,8 +532,11 @@ func (e *Engine) maybeCommitted(seq types.SeqNum, ent *entry) {
 		ent.prepared = true
 	}
 	ent.committed = true
+	// Canonical voter order: the certificate travels in messages, so its
+	// layout must not depend on map iteration order (replay divergence).
 	cert := make([]types.Signed, 0, e.nf)
-	for from, cv := range ent.commits {
+	for _, from := range types.SortedNodeKeys(ent.commits) {
+		cv := ent.commits[from]
 		if cv.digest != ent.digest {
 			continue
 		}

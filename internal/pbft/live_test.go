@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ringbft/internal/crypto"
+	"ringbft/internal/raceflag"
 	"ringbft/internal/simnet"
 	"ringbft/internal/types"
 )
@@ -67,8 +68,15 @@ func TestLiveWindowSliding(t *testing.T) {
 		}(nodes[i], eps[i].Inbox())
 	}
 	// Propose 1200 batches as fast as the window allows; give up on a
-	// stall so the test reports diagnostics instead of hanging.
-	stallUntil := time.Now().Add(8 * time.Second)
+	// stall so the test reports diagnostics instead of hanging. The
+	// budgets are caps, not pacing — a healthy run finishes well under
+	// them — but they must absorb the race detector's slowdown (a -race
+	// build reaches ~1150/1200 right as the unscaled budget expires).
+	scale := time.Duration(1)
+	if raceflag.Enabled {
+		scale = 4
+	}
+	stallUntil := time.Now().Add(scale * 8 * time.Second)
 	for k := 1; k <= 1200; {
 		nodes[0].mu.Lock()
 		_, err := nodes[0].engine.Propose(batchOf(uint64(k)))
@@ -83,7 +91,7 @@ func TestLiveWindowSliding(t *testing.T) {
 		}
 		k++
 	}
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(scale * 10 * time.Second)
 	for time.Now().Before(deadline) {
 		done := true
 		for _, ns := range nodes {

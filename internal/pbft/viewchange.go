@@ -1,6 +1,7 @@
 package pbft
 
 import (
+	"sort"
 	"time"
 
 	"ringbft/internal/types"
@@ -32,6 +33,9 @@ func (e *Engine) StartViewChange(target types.View) {
 			})
 		}
 	}
+	// The P set travels in the signed ViewChange; canonicalize its order so
+	// identically seeded replicas emit byte-identical messages.
+	sort.Slice(proofs, func(i, j int) bool { return proofs[i].Seq < proofs[j].Seq })
 	// Seq mirrors StableSeq because the canonical signed tuple covers Seq:
 	// the NewView justification reconstructs exactly this tuple.
 	m := &types.Message{
@@ -95,7 +99,10 @@ func (e *Engine) maybeNewView(v types.View) {
 	best := make(map[types.SeqNum]types.PreparedProof)
 	maxSeq := types.SeqNum(0)
 	justification := make([]types.Signed, 0, len(msgs))
-	for from, vc := range msgs {
+	// Canonical voter order: the justification list is embedded in the
+	// NewView message, so its layout must not follow map iteration order.
+	for _, from := range types.SortedNodeKeys(msgs) {
+		vc := msgs[from]
 		if vc.StableSeq > maxStable {
 			maxStable = vc.StableSeq
 		}

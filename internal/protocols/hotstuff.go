@@ -72,6 +72,7 @@ func (h *HotStuffNode) handle(m *types.Message) {
 	}
 }
 
+//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (h *HotStuffNode) onClientRequest(m *types.Message) {
 	if !h.isLeader || m.Batch == nil || len(m.Batch.Txns) == 0 {
 		return

@@ -63,6 +63,7 @@ func (p *PoENode) handle(m *types.Message) {
 	}
 }
 
+//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (p *PoENode) onClientRequest(m *types.Message) {
 	if !p.isPrimary || m.Batch == nil || len(m.Batch.Txns) == 0 {
 		return

@@ -75,6 +75,7 @@ func (s *SBFTNode) handle(m *types.Message) {
 	}
 }
 
+//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (s *SBFTNode) onClientRequest(m *types.Message) {
 	if !s.isPrimary || m.Batch == nil || len(m.Batch.Txns) == 0 {
 		return
@@ -149,8 +150,11 @@ func (s *SBFTNode) maybeAggregate(seq types.SeqNum, sl *sbftSlot, commit bool) {
 	if len(shares) < s.nf || (commit && sl.fullComm) || (!commit && sl.fullPrep) {
 		return
 	}
+	// Canonical share order: the certificate is broadcast, so its layout
+	// must not depend on map iteration order.
 	cert := make([]types.Signed, 0, s.nf)
-	for from, sig := range shares {
+	for _, from := range types.SortedNodeKeys(shares) {
+		sig := shares[from]
 		cert = append(cert, types.Signed{
 			From: from, Type: shareType, Seq: seq, Digest: sl.digest, Sig: sig,
 		})

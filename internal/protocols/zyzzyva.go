@@ -51,6 +51,7 @@ func (z *ZyzzyvaNode) handle(m *types.Message) {
 	}
 }
 
+//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (z *ZyzzyvaNode) onClientRequest(m *types.Message) {
 	if !z.isPrimary || m.Batch == nil || len(m.Batch.Txns) == 0 {
 		return

@@ -114,7 +114,11 @@ func (r *Replica) evaluateTransfer() {
 	if r.transfer == nil {
 		return
 	}
-	for from, p := range r.transfer.pending {
+	// Canonical donor order: "first payload that validates" must mean the
+	// same payload on every replay, not whichever one map iteration reached
+	// first.
+	for _, from := range types.SortedNodeKeys(r.transfer.pending) {
+		p := r.transfer.pending[from]
 		if p.Seq <= r.kmax {
 			delete(r.transfer.pending, from)
 			continue

@@ -55,7 +55,10 @@ func (r *Replica) HandleTick(now time.Time) {
 		}
 	}
 
-	for _, cs := range r.csts {
+	// Canonical cst order: this pass emits RemoteView complaints and Forward
+	// retransmits, so traffic order must not follow map iteration order.
+	for _, d := range types.SortedDigestKeys(r.csts) {
+		cs := r.csts[d]
 		// Remote timer (Fig 6), two starvation modes: (a) first rotation —
 		// we saw at least one Forward copy but fewer than f+1 within the
 		// timeout; (b) second rotation — consensus and locks are done but

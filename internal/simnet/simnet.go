@@ -274,6 +274,7 @@ func (n *Network) send(from, to types.NodeID, m *types.Message) {
 	// serializes through the sender's egress queue, propagates for d, then
 	// serializes through the receiver's ingress queue (NIC + per-message
 	// CPU).
+	//ringbft:ignore wallclock simnet delivers in real time by design; the seed governs loss/jitter sampling only, and those draw from the per-network seeded rngPool above
 	now := time.Now()
 	var tx time.Duration
 	if n.nodeBps > 0 {
@@ -335,6 +336,7 @@ func (n *Network) armLink(lq *linkQueue, now time.Time) {
 	if wait < 0 {
 		wait = 0
 	}
+	//ringbft:ignore wallclock real-time delivery timer; link ordering (TCP-like FIFO) is enforced under linkMu, not by timer granularity
 	time.AfterFunc(wait, func() { n.fireLink(lq) })
 }
 
@@ -347,6 +349,7 @@ func (n *Network) fireLink(lq *linkQueue) {
 	head := lq.pending[0]
 	lq.pending = lq.pending[1:]
 	if len(lq.pending) > 0 {
+		//ringbft:ignore wallclock real-time re-arm of the link timer; see armLink
 		n.armLink(lq, time.Now())
 	} else {
 		lq.armed = false

@@ -1,0 +1,15 @@
+package tcpnet
+
+import (
+	"os"
+	"testing"
+
+	"ringbft/internal/leakcheck"
+)
+
+// The transport owns accept loops, per-peer writer pipelines, and reader
+// goroutines; Close must reap all of them. The leak gate runs after the
+// whole suite so any stranded goroutine fails the binary with its stack.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.CheckMain(m))
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"ringbft/internal/leakcheck"
 	"ringbft/internal/types"
 )
 
@@ -48,6 +49,10 @@ func testOptions() Options {
 
 func pair(t *testing.T) (*Transport, *Transport, types.NodeID, types.NodeID) {
 	t.Helper()
+	// Registered before the Close cleanups below, so it runs after them
+	// (LIFO): every accept loop, reader, and writer must be gone once both
+	// transports have closed.
+	leakcheck.Check(t)
 	a, b := types.ReplicaNode(0, 0), types.ReplicaNode(0, 1)
 	ta, err := New(a, "127.0.0.1:0", nil, testOptions())
 	if err != nil {

@@ -4,7 +4,10 @@
 // single-primary baselines.
 package types
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // ShardID identifies a shard. Shards are logically arranged in a ring in
 // increasing ShardID order (the paper's id(S); Section 3, "Ring Order").
@@ -76,6 +79,31 @@ func (n NodeID) String() string {
 	default:
 		return fmt.Sprintf("?%d/%d", n.Shard, n.Index)
 	}
+}
+
+// Less orders NodeIDs canonically by (Kind, Shard, Index). Protocol code
+// iterating a NodeID-keyed map must do so in this order wherever the
+// iteration emits messages or assigns state — Go's randomized map order
+// must never reach a protocol decision (internal/analysis, mapiter rule).
+func (n NodeID) Less(o NodeID) bool {
+	if n.Kind != o.Kind {
+		return n.Kind < o.Kind
+	}
+	if n.Shard != o.Shard {
+		return n.Shard < o.Shard
+	}
+	return n.Index < o.Index
+}
+
+// SortedNodeKeys returns the keys of m in canonical NodeID order: the
+// deterministic replacement for ranging over a NodeID-keyed map.
+func SortedNodeKeys[V any](m map[NodeID]V) []NodeID {
+	out := make([]NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
 }
 
 // View is a PBFT view number. The primary of view v in a shard of n

@@ -1,6 +1,7 @@
 package types
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"sort"
@@ -105,6 +106,18 @@ type Digest [32]byte
 
 // IsZero reports whether d is the all-zero digest.
 func (d Digest) IsZero() bool { return d == Digest{} }
+
+// SortedDigestKeys returns the keys of m in lexicographic byte order: the
+// deterministic replacement for ranging over a Digest-keyed map wherever
+// iteration order can reach a protocol decision or the network.
+func SortedDigestKeys[V any](m map[Digest]V) []Digest {
+	out := make([]Digest, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i][:], out[j][:]) < 0 })
+	return out
+}
 
 // Batch is the unit of consensus: the primary aggregates client transactions
 // into a batch and runs consensus on the batch (Section 7, "Blockchain").
