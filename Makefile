@@ -5,7 +5,7 @@
 # the transport's concurrency surface). `make lint` runs the protocol-
 # invariant analyzer suite (internal/analysis via cmd/ringbft-vet);
 # `make race-all` puts the whole module under the race detector. The full test suite includes the
-# chaos matrix (internal/chaos): ~34 seeded nemesis scenarios across
+# chaos matrix (internal/chaos): ~37 seeded nemesis scenarios across
 # ringbft/ahl/sharper; `make chaos` runs just that matrix verbosely and
 # `make chaos-soak` explores fresh seeds for SOAK_BUDGET (nightly CI).
 #

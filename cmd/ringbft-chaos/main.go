@@ -28,6 +28,7 @@ func main() {
 		proto   = flag.String("proto", "", "run a single scenario: protocol (ringbft|ahl|sharper)")
 		fault   = flag.String("fault", "", "run a single scenario: fault class (see internal/chaos.Faults)")
 		seed    = flag.Int64("chaos.seed", 0, "scenario seed (single-scenario mode; soak start seed)")
+		shards  = flag.Int("chaos.shards", 0, "ring size in shards (single-scenario mode; 0 = scenario default)")
 		budget  = flag.Duration("budget", 10*time.Minute, "soak time budget")
 		window  = flag.Duration("window", 3*time.Second, "wall-clock measurement window per scenario")
 		verbose = flag.Bool("v", false, "log every scenario, not only failures")
@@ -55,7 +56,7 @@ func main() {
 
 	switch {
 	case *proto != "" || *fault != "":
-		sc := chaos.Scenario{Protocol: harness.Protocol(*proto), Fault: chaos.Fault(*fault), Seed: *seed}
+		sc := chaos.Scenario{Protocol: harness.Protocol(*proto), Fault: chaos.Fault(*fault), Seed: *seed, Shards: *shards}
 		runDet(sc)
 
 	case *mode == "det":

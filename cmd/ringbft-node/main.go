@@ -26,13 +26,16 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"ringbft/internal/evidence"
 	"ringbft/internal/ringbft"
 	"ringbft/internal/tcpnet"
 	"ringbft/internal/topology"
 	"ringbft/internal/types"
+	"ringbft/internal/wal"
 )
 
 func main() {
@@ -104,6 +107,14 @@ func main() {
 		if !rec.Empty() {
 			log.Printf("ringbft-node %v recovering from %s", self, m.Dir())
 		}
+		// Misbehavior evidence shares the data dir so accusations survive
+		// restarts — a crash must not launder a recorded equivocation.
+		ev, err := evidence.Open(wal.OSFS{}, filepath.Join(m.Dir(), "evidence"))
+		if err != nil {
+			log.Fatalf("ringbft-node: open evidence log: %v", err)
+		}
+		defer ev.Close()
+		opts.Evidence = ev
 	}
 	r := ringbft.New(opts)
 	r.Preload(topo.Records)
@@ -126,6 +137,9 @@ func main() {
 	st := r.Stats()
 	log.Printf("ringbft-node %v stopped: executed %d txns (%d cross-shard), %d view changes, ledger height %d",
 		self, st.ExecutedTxns, st.ExecutedCross, st.ViewChanges, st.LedgerHeight)
+	// Accountability: everything this replica can prove about peer or client
+	// misbehavior, deduplicated. "evidence: none" is the healthy-run output.
+	log.Printf("ringbft-node %v %s", self, r.Evidence().Summary())
 	// Message loss is silent by design (BFT timers absorb it); the shutdown
 	// summary is where operators see how much of it there was and why.
 	ns := transport.Stats()

@@ -207,10 +207,26 @@ func (c *Committee) HandleTick(now time.Time) {
 		return
 	}
 	expired := false
-	for _, p := range c.awaiting {
+	// Sorted-digest order: the re-proposal below assigns sequence numbers,
+	// which must not depend on map iteration order.
+	for _, d := range types.SortedDigestKeys(c.awaiting) {
+		p := c.awaiting[d]
 		if now.Sub(p.since) > c.cfg.LocalTimeout {
 			p.since = now
 			expired = true
+			if c.engine.IsPrimary() {
+				// An awaiting entry that expired on the primary was lost in
+				// flight. Decision batches have no client to retry them, so
+				// the proposed latch — set when a PRIOR primacy of this
+				// member proposed it into a view that died — would dedupe
+				// the re-proposal forever: every member latches after
+				// enough view changes and the cst wedges with no recovery
+				// path (found by internal/chaos, loss-storm schedules).
+				// Clear the latch and propose again; a double commit is
+				// absorbed by the ordered/notified latches in onCommitted.
+				delete(c.proposed, d)
+				c.propose(p.batch, d)
+			}
 		}
 	}
 	if expired && !c.engine.IsPrimary() {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ringbft/internal/crypto"
+	"ringbft/internal/evidence"
 	"ringbft/internal/ledger"
 	"ringbft/internal/pbft"
 	"ringbft/internal/sched"
@@ -33,6 +34,9 @@ type ReplicaOptions struct {
 	// baseline — so durability here covers crash-restart only.
 	Durability *wal.Manager
 	Recovered  *wal.Recovered
+
+	// Evidence is the misbehavior evidence log (nil = fresh in-memory log).
+	Evidence *evidence.Log
 }
 
 // Replica is one AHL shard replica: plain PBFT for single-shard
@@ -77,6 +81,10 @@ type Replica struct {
 	// equivalent note in internal/ringbft).
 	lastVC time.Time
 
+	// ev is the misbehavior evidence log (always non-nil; see
+	// internal/evidence).
+	ev *evidence.Log
+
 	viewChanges int64
 }
 
@@ -92,6 +100,11 @@ type replicaCst struct {
 	voted     bool
 	decisions map[types.NodeID]struct{}
 	decided   bool
+	// cert is the committee's commit certificate from the first verified
+	// AHLPrepare: the justification for replicating this cross-shard batch
+	// locally, carried into view-change P-set proofs so a NewView can prove
+	// it to replicas the prepare broadcast never reached.
+	cert []types.Signed
 	// lastNudge paces head-of-line vote retransmission (see HandleTick).
 	lastNudge time.Time
 }
@@ -102,6 +115,10 @@ func NewReplica(opts ReplicaOptions) *Replica {
 		opts.Clock = time.Now
 	}
 	verifier := crypto.NewVerifier(opts.Auth, opts.Config.VerifyWorkers)
+	ev := opts.Evidence
+	if ev == nil {
+		ev = evidence.NewMemory()
+	}
 	r := &Replica{
 		cfg:       opts.Config,
 		shard:     opts.Shard,
@@ -124,6 +141,7 @@ func NewReplica(opts ReplicaOptions) *Replica {
 		dur:       opts.Durability,
 		rec:       opts.Recovered,
 		snapEvery: opts.Config.SnapshotInterval,
+		ev:        ev,
 	}
 	if r.snapEvery <= 0 {
 		r.snapEvery = opts.Config.CheckpointInterval
@@ -136,9 +154,63 @@ func NewReplica(opts ReplicaOptions) *Replica {
 			r.lastVC = r.clock()
 			r.repropose()
 		},
+		// AHL's analogue of RingBFT's Forward gate: a cross-shard batch may
+		// be replicated locally only once the committee's AHLPrepare
+		// certificate vouches for it. Without this a Byzantine shard primary
+		// commits a cst the committee never ordered — it blocks drainExec
+		// forever (no decision will ever arrive for it).
+		Justify: func(b *types.Batch) bool { return r.justified(b) },
+		Justification: func(b *types.Batch) []types.Signed {
+			if b == nil || !b.IsCrossShard() {
+				return nil
+			}
+			if cs, ok := r.csts[b.Digest()]; ok {
+				return cs.cert
+			}
+			return nil
+		},
+		VerifyJustification: func(b *types.Batch, just []types.Signed) bool {
+			if b == nil || !b.IsCrossShard() || len(just) == 0 {
+				return false
+			}
+			return pbft.VerifyCert(r.verifier, types.CommitteeShard, b.Digest(), just, r.cfg.NF()) == nil
+		},
+		Equivocation: func(first, second *types.Message) {
+			r.ev.Add(evidence.Record{
+				Kind: evidence.KindEquivocation, Accused: first.From,
+				Shard: r.shard, View: first.View, Seq: first.Seq,
+				First: evidence.MsgOf(first), Second: evidence.MsgOf(second),
+			})
+		},
+		UnjustifiedNewView: func(m *types.Message, p types.PreparedProof) {
+			r.ev.Add(evidence.Record{
+				Kind: evidence.KindUnjustifiedNewView, Accused: m.From,
+				Shard: r.shard, View: m.View, Seq: p.Seq,
+				First: evidence.MsgOf(m),
+				Second: evidence.Msg{
+					From: m.From, Type: types.MsgPrePrepare, Shard: r.shard,
+					View: p.View, Seq: p.Seq, Digest: p.Digest,
+				},
+				Transferable: true,
+			})
+		},
 	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier})
 	return r
 }
+
+// justified reports whether batch b may enter local consensus: cross-shard
+// batches need the committee's AHLPrepare acceptance (f+1 members, verified
+// certificate — see onPrepare). Single-shard batches always pass.
+func (r *Replica) justified(b *types.Batch) bool {
+	if b == nil || !b.IsCrossShard() {
+		return true
+	}
+	cs, ok := r.csts[b.Digest()]
+	return ok && cs.accepted
+}
+
+// Evidence returns the replica's misbehavior evidence log.
+func (r *Replica) Evidence() *evidence.Log { return r.ev }
 
 // Preload installs this shard's store partition, then applies any state
 // recovered from disk (durable replicas).
@@ -262,10 +334,28 @@ func (r *Replica) HandleTick(now time.Time) {
 	}
 	if now.Sub(r.lastVC) > r.cfg.LocalTimeout {
 		expired := false
-		for _, p := range r.awaiting {
+		// Sorted-digest order: the re-proposal below assigns sequence
+		// numbers, which must not depend on map iteration order.
+		for _, d := range types.SortedDigestKeys(r.awaiting) {
+			p := r.awaiting[d]
 			if now.Sub(p.since) > r.cfg.LocalTimeout {
 				p.since = now
+				// Unjustified entries (committee certificate still in
+				// flight) re-arm without escalating: no primary can propose
+				// them yet, so view-changing cannot help.
+				if !r.justified(p.batch) {
+					continue
+				}
 				expired = true
+				if r.engine.IsPrimary() {
+					// The proposed latch may date from a previous primacy
+					// whose proposal died with its view; after enough view
+					// changes every member is latched and the batch can
+					// never be proposed again (found by internal/chaos,
+					// loss-storm schedules). Clear it and re-propose.
+					delete(r.proposed, d)
+					r.propose(p.batch, d)
+				}
 			}
 		}
 		if expired && !r.engine.IsPrimary() {
@@ -333,6 +423,12 @@ func (r *Replica) enqueue(b *types.Batch, d types.Digest) {
 
 func (r *Replica) propose(b *types.Batch, d types.Digest) {
 	if _, done := r.proposed[d]; done {
+		return
+	}
+	if !r.justified(b) {
+		// Keep the proposed flag unburnt: the batch stays in awaiting and
+		// onPrepare re-enqueues it once the committee certificate arrives
+		// (same middle-shard-wedge reasoning as internal/ringbft propose).
 		return
 	}
 	if _, err := r.engine.Propose(b); err != nil {
@@ -414,6 +510,12 @@ func (r *Replica) onPrepare(m *types.Message) {
 	if cs.batch == nil {
 		cs.batch = b
 	}
+	if cs.cert == nil {
+		// One verified copy suffices: the certificate is self-certifying
+		// (nf committee commit signatures) and justifies view-change
+		// re-proposals of this batch (Justification callback).
+		cs.cert = m.Cert
+	}
 	cs.prepares[m.From] = struct{}{}
 	if cs.accepted {
 		if cs.voted && !cs.decided {
@@ -427,6 +529,9 @@ func (r *Replica) onPrepare(m *types.Message) {
 		return
 	}
 	cs.accepted = true
+	// The acceptance is the justification the PBFT engine gates cross-shard
+	// proposals on; re-feed any PrePrepare that arrived ahead of it.
+	r.engine.ReplayParked()
 	r.enqueue(b, d)
 }
 

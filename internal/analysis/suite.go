@@ -17,12 +17,14 @@ func DefaultSuite() []Scoped {
 	deterministic := []string{
 		"internal/pbft", "internal/ringbft", "internal/ahl",
 		"internal/sharper", "internal/chaos", "internal/harness",
-		"internal/protocols",
+		"internal/protocols", "internal/evidence",
 	}
 	// Byzantine-facing: packages that handle messages from other nodes.
+	// internal/evidence qualifies twice over: records are built from peer
+	// messages, and transferable records are re-verified on foreign nodes.
 	handlers := []string{
 		"internal/pbft", "internal/ringbft", "internal/ahl",
-		"internal/sharper", "internal/protocols",
+		"internal/sharper", "internal/protocols", "internal/evidence",
 		"cmd/ringbft-client", "cmd/ringbft-node",
 	}
 	// Seed-deterministic: Scenario(seed) and jitter sampling must replay.

@@ -69,6 +69,25 @@ const (
 	// FaultByzEquivocate makes a primary send conflicting, correctly
 	// MAC'd PrePrepares to different backups at the same (view, seq).
 	FaultByzEquivocate Fault = "byz-equivocate"
+	// FaultByzNewView darkens the view-0 primary of a non-initiator shard
+	// to force a view change, then makes the successor primary append a
+	// fabricated, justification-free cross-shard re-proposal to the NewView
+	// it must send. Honest replicas must reject the NewView wholesale at
+	// the justification gate, record evidence naming the forger, and
+	// recover liveness by escalating past it. RingBFT only (the baselines
+	// carry no justification certificates for the gate to check).
+	FaultByzNewView Fault = "byz-newview"
+	// FaultClientDuplicate makes one client fan every fresh request out to
+	// all replicas of the initiating shard instead of just the primary.
+	// This is legal traffic — honest retransmission does exactly the same —
+	// so the protocol must dedupe it and no replica may record evidence
+	// against the client.
+	FaultClientDuplicate Fault = "client-duplicate"
+	// FaultClientConflict makes one client send two different batches
+	// carrying the same transaction IDs. Replicas must stay safe (the two
+	// digests commit as distinct batches, consistently everywhere) and
+	// record client-conflict evidence naming exactly that client.
+	FaultClientConflict Fault = "client-conflict"
 )
 
 // Faults lists every fault class, matrix order.
@@ -76,7 +95,8 @@ func Faults() []Fault {
 	return []Fault{
 		FaultNone, FaultPartitionShard, FaultPartitionAsym, FaultPartitionLane,
 		FaultLossStorm, FaultDelaySkew, FaultCrashRestart, FaultWipeRejoin,
-		FaultByzSilent, FaultByzEquivocate,
+		FaultByzSilent, FaultByzEquivocate, FaultByzNewView,
+		FaultClientDuplicate, FaultClientConflict,
 	}
 }
 
@@ -138,16 +158,23 @@ func (s Scenario) Normalize() Scenario {
 	return s
 }
 
-// Name is the scenario's stable identifier: protocol/fault/seed.
+// Name is the scenario's stable identifier: protocol/fault/seed, plus the
+// shard count when it deviates from the default topology.
 func (s Scenario) Name() string {
-	return fmt.Sprintf("%s/%s/seed=%d", s.Protocol, s.Fault, s.Seed)
+	n := s.Normalize()
+	name := fmt.Sprintf("%s/%s/seed=%d", n.Protocol, n.Fault, n.Seed)
+	if n.Shards != 2 {
+		name += fmt.Sprintf("/shards=%d", n.Shards)
+	}
+	return name
 }
 
 // ReproCmd prints the command that replays exactly this scenario; every
 // checker failure message embeds it.
 func (s Scenario) ReproCmd() string {
-	return fmt.Sprintf("go test ./internal/chaos/ -run TestReplaySeed -chaos.proto=%s -chaos.fault=%s -chaos.seed=%d -v",
-		s.Protocol, s.Fault, s.Seed)
+	n := s.Normalize()
+	return fmt.Sprintf("go test ./internal/chaos/ -run TestReplaySeed -chaos.proto=%s -chaos.fault=%s -chaos.seed=%d -chaos.shards=%d -v",
+		n.Protocol, n.Fault, n.Seed, n.Shards)
 }
 
 // Op is one declarative nemesis operation; the deterministic engine and the
@@ -155,16 +182,19 @@ func (s Scenario) ReproCmd() string {
 type Op int
 
 const (
-	OpPartitionShard Op = iota // isolate Shard, both directions
-	OpPartitionAsym            // block Shard -> Shard2 only
-	OpPartitionLane            // sever cross-shard links of replica index Index (and Index2 if >= 0)
-	OpLoss                     // drop replica traffic with probability P
-	OpDelay                    // add Ticks delay to cross-shard links
-	OpCrash                    // crash replica (Shard, Index)
-	OpRestart                  // restart replica (Shard, Index); Wipe erases its data dir first
-	OpByzSilent                // replica (Shard, Index) drops all outbound traffic
-	OpByzEquivocate            // replica (Shard, Index) equivocates PrePrepares
-	OpHeal                     // clear partitions, loss, delay, and Byzantine modes
+	OpPartitionShard  Op = iota // isolate Shard, both directions
+	OpPartitionAsym             // block Shard -> Shard2 only
+	OpPartitionLane             // sever cross-shard links of replica index Index (and Index2 if >= 0)
+	OpLoss                      // drop replica traffic with probability P
+	OpDelay                     // add Ticks delay to cross-shard links
+	OpCrash                     // crash replica (Shard, Index)
+	OpRestart                   // restart replica (Shard, Index); Wipe erases its data dir first
+	OpByzSilent                 // replica (Shard, Index) drops all outbound traffic
+	OpByzEquivocate             // replica (Shard, Index) equivocates PrePrepares
+	OpByzNewView                // replica (Shard, Index) appends an unjustified re-proposal to its NewViews
+	OpClientDuplicate           // the adversarial client fans every fresh request out to all replicas
+	OpClientConflict            // the adversarial client pairs every fresh request with a conflicting same-TxnID variant
+	OpHeal                      // clear partitions, loss, delay, Byzantine modes, and client faults
 )
 
 func (o Op) String() string {
@@ -187,6 +217,12 @@ func (o Op) String() string {
 		return "byz-silent"
 	case OpByzEquivocate:
 		return "byz-equivocate"
+	case OpByzNewView:
+		return "byz-newview"
+	case OpClientDuplicate:
+		return "client-duplicate"
+	case OpClientConflict:
+		return "client-conflict"
 	case OpHeal:
 		return "heal"
 	}
@@ -277,6 +313,25 @@ func BuildSchedule(sc Scenario) Schedule {
 		add(Event{At: heal, Op: OpHeal})
 	case FaultByzEquivocate:
 		add(Event{At: start, Op: OpByzEquivocate, Shard: victimShard, Index: 0})
+		add(Event{At: heal, Op: OpHeal})
+	case FaultByzNewView:
+		// The forger must sit on a non-initiator shard: shard 0 initiates
+		// every batch a forger could fabricate, so its own Justify gate
+		// would pass (see harness.ForgeUnjustifiedProof). Darken the view-0
+		// primary to force the view change, then let its successor (the
+		// view-1 primary, index 1) forge the NewView it now owes.
+		byzShard := types.ShardID(0)
+		if sc.Shards > 1 {
+			byzShard = types.ShardID(1 + rng.Intn(sc.Shards-1))
+		}
+		add(Event{At: start, Op: OpByzSilent, Shard: byzShard, Index: 0})
+		add(Event{At: start, Op: OpByzNewView, Shard: byzShard, Index: 1})
+		add(Event{At: heal, Op: OpHeal})
+	case FaultClientDuplicate:
+		add(Event{At: start, Op: OpClientDuplicate})
+		add(Event{At: heal, Op: OpHeal})
+	case FaultClientConflict:
+		add(Event{At: start, Op: OpClientConflict})
 		add(Event{At: heal, Op: OpHeal})
 	default:
 		panic(fmt.Sprintf("chaos: unknown fault %q", sc.Fault))

@@ -10,9 +10,10 @@ import (
 // Replay flags: any matrix failure prints the exact command that re-runs
 // just that scenario (see Scenario.ReproCmd).
 var (
-	flagSeed  = flag.Int64("chaos.seed", 0, "replay the scenario with this seed (TestReplaySeed)")
-	flagProto = flag.String("chaos.proto", "ringbft", "protocol for TestReplaySeed")
-	flagFault = flag.String("chaos.fault", "partition-shard", "fault class for TestReplaySeed")
+	flagSeed   = flag.Int64("chaos.seed", 0, "replay the scenario with this seed (TestReplaySeed)")
+	flagProto  = flag.String("chaos.proto", "ringbft", "protocol for TestReplaySeed")
+	flagFault  = flag.String("chaos.fault", "partition-shard", "fault class for TestReplaySeed")
+	flagShards = flag.Int("chaos.shards", 0, "shard count for TestReplaySeed (0 = default)")
 )
 
 // TestChaosMatrix runs the full scenario matrix: every fault class against
@@ -54,6 +55,7 @@ func TestReplaySeed(t *testing.T) {
 		Protocol: harness.Protocol(*flagProto),
 		Fault:    Fault(*flagFault),
 		Seed:     *flagSeed,
+		Shards:   *flagShards,
 	}
 	res, err := RunScenario(sc)
 	if err != nil {
@@ -78,6 +80,8 @@ func TestSeedDeterminism(t *testing.T) {
 		{Protocol: harness.ProtoRingBFT, Fault: FaultWipeRejoin, Seed: 14},
 		{Protocol: harness.ProtoAHL, Fault: FaultCrashRestart, Seed: 15},
 		{Protocol: harness.ProtoSharper, Fault: FaultDelaySkew, Seed: 16},
+		{Protocol: harness.ProtoRingBFT, Fault: FaultByzNewView, Seed: 17, Shards: 3},
+		{Protocol: harness.ProtoRingBFT, Fault: FaultClientConflict, Seed: 18, Shards: 3},
 	}
 	for _, sc := range cases {
 		sc := sc

@@ -104,6 +104,72 @@ func CheckStates(states []harness.ReplicaState) []Violation {
 	return out
 }
 
+// Expectation names the nodes a schedule actually made faulty. Culprits is
+// the full set evidence may accuse — a record naming anyone else is a false
+// accusation of an honest node. Required is the subset whose misbehavior
+// leaves verifiable evidence (equivocation, forged NewViews, conflicting
+// client batches) and therefore must be accused by at least one replica;
+// silent nodes are faulty but never provably so, and belong only to
+// Culprits.
+type Expectation struct {
+	Culprits map[types.NodeID]bool
+	Required []types.NodeID
+}
+
+// ExpectedCulprits derives the accountability expectation from the schedule
+// the scenario actually ran: exactly the nodes its events corrupted, split
+// into provable and unprovable misbehavior. Duplicate-storm clients are
+// deliberately absent — duplicates are indistinguishable from honest
+// retransmission, so accusing that client is a false accusation.
+func ExpectedCulprits(sched Schedule) Expectation {
+	exp := Expectation{Culprits: make(map[types.NodeID]bool)}
+	required := make(map[types.NodeID]bool)
+	for _, e := range sched.Events {
+		switch e.Op {
+		case OpByzSilent:
+			// Faulty but unprovable: silence looks like a slow network.
+			exp.Culprits[types.ReplicaNode(e.Shard, e.Index)] = true
+		case OpByzEquivocate, OpByzNewView:
+			id := types.ReplicaNode(e.Shard, e.Index)
+			exp.Culprits[id] = true
+			required[id] = true
+		case OpClientConflict:
+			id := types.ClientNode(advClientID)
+			exp.Culprits[id] = true
+			required[id] = true
+		}
+	}
+	exp.Required = types.SortedNodeKeys(required)
+	return exp
+}
+
+// CheckAccountability asserts the Byzantine-accountability contract over the
+// captured evidence logs: every record accuses an actually faulty node (zero
+// honest accusations, the soundness half) and every provably faulty node is
+// accused by at least one replica (no silent pardons, the completeness
+// half).
+func CheckAccountability(states []harness.ReplicaState, exp Expectation) []Violation {
+	var out []Violation
+	accused := make(map[types.NodeID]bool)
+	for _, st := range states {
+		for _, rec := range st.Evidence {
+			accused[rec.Accused] = true
+			if !exp.Culprits[rec.Accused] {
+				out = append(out, Violation{"accountability",
+					fmt.Sprintf("replica %v accuses honest node %v of %s at seq %d",
+						st.ID, rec.Accused, rec.Kind, rec.Seq)})
+			}
+		}
+	}
+	for _, id := range exp.Required {
+		if !accused[id] {
+			out = append(out, Violation{"accountability",
+				fmt.Sprintf("provably faulty node %v was never accused — no replica holds evidence", id)})
+		}
+	}
+	return out
+}
+
 // CheckConvergence demands that at least minPerShard replicas of every shard
 // fully agree: identical committed block sets and identical state digests.
 // With minPerShard = n-f this asserts the cluster actually converged after

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"ringbft/internal/evidence"
 	"ringbft/internal/harness"
 	"ringbft/internal/types"
 )
@@ -99,6 +100,77 @@ func TestCheckerDetectsMissedConvergence(t *testing.T) {
 	hasViolation(t, vs, "convergence")
 	if !strings.Contains(vs[0].Detail, "shard 0") {
 		t.Fatalf("violation does not name the shard: %v", vs[0])
+	}
+}
+
+func TestCheckerDetectsFalseAccusation(t *testing.T) {
+	// Evidence naming a node the schedule never corrupted is itself a bug:
+	// the soundness half of the accountability contract.
+	a := replica(0, 0, nil, 1, 0)
+	a.Evidence = []evidence.Record{{
+		Kind: evidence.KindEquivocation, Accused: types.ReplicaNode(1, 0), Shard: 1,
+	}}
+	vs := CheckAccountability([]harness.ReplicaState{a},
+		Expectation{Culprits: map[types.NodeID]bool{}})
+	hasViolation(t, vs, "accountability")
+	if !strings.Contains(vs[0].Detail, "honest") {
+		t.Fatalf("violation does not flag the accusation as false: %v", vs[0])
+	}
+}
+
+func TestCheckerDetectsMissedAccusation(t *testing.T) {
+	// A provably faulty node no replica accused: the completeness half.
+	culprit := types.ReplicaNode(1, 0)
+	a := replica(0, 0, nil, 1, 0) // holds no evidence
+	exp := Expectation{
+		Culprits: map[types.NodeID]bool{culprit: true},
+		Required: []types.NodeID{culprit},
+	}
+	hasViolation(t, CheckAccountability([]harness.ReplicaState{a}, exp), "accountability")
+}
+
+func TestCheckerAcceptsExactAccountability(t *testing.T) {
+	// One replica accusing exactly the required culprit satisfies both
+	// halves; an unprovably faulty culprit (silent) needs no accuser.
+	culprit := types.ReplicaNode(1, 0)
+	silent := types.ReplicaNode(0, 2)
+	a := replica(0, 0, nil, 1, 0)
+	a.Evidence = []evidence.Record{{
+		Kind: evidence.KindUnjustifiedNewView, Accused: culprit, Shard: 1,
+	}}
+	b := replica(0, 1, nil, 1, 0)
+	exp := Expectation{
+		Culprits: map[types.NodeID]bool{culprit: true, silent: true},
+		Required: []types.NodeID{culprit},
+	}
+	if vs := CheckAccountability([]harness.ReplicaState{a, b}, exp); len(vs) != 0 {
+		t.Fatalf("exact accountability flagged as violation: %v", vs)
+	}
+}
+
+func TestExpectedCulpritsFromSchedule(t *testing.T) {
+	sched := Schedule{Events: []Event{
+		{At: 10, Op: OpByzSilent, Shard: 1, Index: 0},
+		{At: 10, Op: OpByzNewView, Shard: 1, Index: 1},
+		{At: 12, Op: OpClientConflict},
+		{At: 20, Op: OpClientDuplicate}, // legal traffic: never a culprit
+		{At: 90, Op: OpHeal},
+	}}
+	exp := ExpectedCulprits(sched)
+	if !exp.Culprits[types.ReplicaNode(1, 0)] || !exp.Culprits[types.ReplicaNode(1, 1)] ||
+		!exp.Culprits[types.ClientNode(advClientID)] {
+		t.Fatalf("culprits incomplete: %v", exp.Culprits)
+	}
+	if len(exp.Culprits) != 3 {
+		t.Fatalf("unexpected extra culprits: %v", exp.Culprits)
+	}
+	if len(exp.Required) != 2 { // the silent node is faulty but unprovable
+		t.Fatalf("want 2 required accusations (forger + client), got %v", exp.Required)
+	}
+	for _, id := range exp.Required {
+		if id == types.ReplicaNode(1, 0) {
+			t.Fatalf("silent node must not require accusation: %v", exp.Required)
+		}
 	}
 }
 

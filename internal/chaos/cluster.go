@@ -69,17 +69,27 @@ type Cluster struct {
 	lastAt map[[2]types.NodeID]int
 
 	// Nemesis state.
-	down      map[types.NodeID]bool
-	byzSilent map[types.NodeID]bool
-	byzEquiv  map[types.NodeID]bool
-	partition func(from, to types.NodeID) bool
-	lossP     float64
-	delayX    int // extra ticks on cross-shard links
+	down       map[types.NodeID]bool
+	byzSilent  map[types.NodeID]bool
+	byzEquiv   map[types.NodeID]bool
+	byzNewView map[types.NodeID]bool
+	partition  func(from, to types.NodeID) bool
+	lossP      float64
+	delayX     int // extra ticks on cross-shard links
+	// Client faults flip the adversarial client's (advClientID) behaviour:
+	// duplicate storms fan identical requests everywhere, conflict storms
+	// pair every fresh request with a same-TxnID variant (see stepClient).
+	clientDup      bool
+	clientConflict bool
 
 	clients        []*dclient
 	lastCommitTick int
 	committed      int
 }
+
+// advClientID names the client the client-fault classes corrupt; the
+// accountability expectation (checkers.go) must point at the same one.
+const advClientID types.ClientID = 1
 
 // dclient is one deterministic closed-loop client.
 type dclient struct {
@@ -111,16 +121,17 @@ func NewCluster(sc Scenario) *Cluster {
 	cfg.DataDir = "data"
 
 	c := &Cluster{
-		sc:        sc,
-		cfg:       cfg,
-		kg:        crypto.NewKeygen(sc.Seed),
-		fs:        wal.NewMemFS(),
-		auths:     make(map[types.NodeID]crypto.Authenticator),
-		nodes:     make(map[types.NodeID]node),
-		lastAt:    make(map[[2]types.NodeID]int),
-		down:      make(map[types.NodeID]bool),
-		byzSilent: make(map[types.NodeID]bool),
-		byzEquiv:  make(map[types.NodeID]bool),
+		sc:         sc,
+		cfg:        cfg,
+		kg:         crypto.NewKeygen(sc.Seed),
+		fs:         wal.NewMemFS(),
+		auths:      make(map[types.NodeID]crypto.Authenticator),
+		nodes:      make(map[types.NodeID]node),
+		lastAt:     make(map[[2]types.NodeID]int),
+		down:       make(map[types.NodeID]bool),
+		byzSilent:  make(map[types.NodeID]bool),
+		byzEquiv:   make(map[types.NodeID]bool),
+		byzNewView: make(map[types.NodeID]bool),
 	}
 	c.shardPeers = make([][]types.NodeID, sc.Shards)
 	var all []types.NodeID
@@ -257,6 +268,12 @@ func (c *Cluster) sender(id types.NodeID) func(to types.NodeID, m *types.Message
 			var buf [types.SigBytesLen]byte
 			cp.MAC = c.auths[id].MAC(to, cp.AppendSigBytes(buf[:0]))
 			m = &cp
+		}
+		if c.byzNewView[id] && m.Type == types.MsgNewView {
+			// The NewView signature covers only the canonical tuple, so the
+			// forged re-proposal needs no re-signing (the gap the receiver's
+			// justification gate must close).
+			m = harness.ForgeUnjustifiedProof(id, m)
 		}
 		c.enqueue(id, to, m)
 	}
@@ -449,12 +466,21 @@ func (c *Cluster) apply(e Event) {
 		c.byzSilent[types.ReplicaNode(e.Shard, e.Index)] = true
 	case OpByzEquivocate:
 		c.byzEquiv[types.ReplicaNode(e.Shard, e.Index)] = true
+	case OpByzNewView:
+		c.byzNewView[types.ReplicaNode(e.Shard, e.Index)] = true
+	case OpClientDuplicate:
+		c.clientDup = true
+	case OpClientConflict:
+		c.clientConflict = true
 	case OpHeal:
 		c.partition = nil
 		c.lossP = 0
 		c.delayX = 0
 		c.byzSilent = make(map[types.NodeID]bool)
 		c.byzEquiv = make(map[types.NodeID]bool)
+		c.byzNewView = make(map[types.NodeID]bool)
+		c.clientDup = false
+		c.clientConflict = false
 	}
 }
 
@@ -575,9 +601,35 @@ func (c *Cluster) stepClient(cl *dclient) {
 			batch: b, digest: d, sentTick: c.tick,
 			votes: make(map[types.NodeID]struct{}),
 		}
-		c.enqueue(from, c.route(cl, b), &types.Message{
+		m := &types.Message{
 			Type: types.MsgClientRequest, From: from, Batch: b, Digest: d,
-		})
+		}
+		if c.clientDup && cl.id == advClientID {
+			// Duplicate storm: fan the identical request out to the whole
+			// shard — exactly what honest retransmission does, so this is
+			// legal traffic the protocol must dedupe without accusing anyone.
+			for _, to := range c.fanout(b) {
+				c.enqueue(from, to, m)
+			}
+			continue
+		}
+		c.enqueue(from, c.route(cl, b), m)
+		if c.clientConflict && cl.id == advClientID {
+			// Conflict storm: a second batch carrying the same transaction
+			// IDs under a different digest, blasted at the whole shard.
+			// Replicas commit both digests as distinct batches (consensus
+			// is keyed by digest, so safety holds) and record
+			// client-conflict evidence naming this client. The client never
+			// tracks the variant — any votes for it are ignored above.
+			evil := harness.EquivocateBatch(b)
+			em := &types.Message{
+				Type: types.MsgClientRequest, From: from,
+				Batch: evil, Digest: evil.Digest(),
+			}
+			for _, to := range c.fanout(b) {
+				c.enqueue(from, to, em)
+			}
+		}
 	}
 }
 

@@ -112,6 +112,12 @@ func applyWallClock(ctl *harness.Controller, e Event) {
 		ctl.SetByzantine(types.ReplicaNode(e.Shard, e.Index), harness.ByzSilent)
 	case OpByzEquivocate:
 		ctl.SetByzantine(types.ReplicaNode(e.Shard, e.Index), harness.ByzEquivocate)
+	case OpByzNewView:
+		ctl.SetByzantine(types.ReplicaNode(e.Shard, e.Index), harness.ByzNewView)
+	case OpClientDuplicate, OpClientConflict:
+		// Client faults are deterministic-engine behaviours: the wall-clock
+		// harness drives its own closed-loop clients, which these ops cannot
+		// reach. Documented no-ops.
 	case OpHeal:
 		ctl.HealAll()
 	}

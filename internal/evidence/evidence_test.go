@@ -1,0 +1,210 @@
+package evidence
+
+import (
+	"strings"
+	"testing"
+
+	"ringbft/internal/crypto"
+	"ringbft/internal/types"
+	"ringbft/internal/wal"
+)
+
+func digest(b byte) (d types.Digest) {
+	d[0] = b
+	return
+}
+
+func sampleRecord(view types.View, first, second byte) Record {
+	accused := types.ReplicaNode(1, 0)
+	return Record{
+		Kind: KindEquivocation, Accused: accused, Shard: 1, View: view, Seq: 7,
+		First: Msg{
+			From: accused, Type: types.MsgPrePrepare, Shard: 1, View: view,
+			Seq: 7, Digest: digest(first), MAC: []byte{1, 2, 3},
+		},
+		Second: Msg{
+			From: accused, Type: types.MsgPrePrepare, Shard: 1, View: view,
+			Seq: 7, Digest: digest(second), MAC: []byte{4, 5, 6},
+		},
+	}
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	recs := []Record{
+		sampleRecord(3, 0xaa, 0xbb),
+		{
+			Kind: KindUnjustifiedNewView, Accused: types.ReplicaNode(2, 1),
+			Shard: 2, View: 5, Seq: 9,
+			First: Msg{
+				From: types.ReplicaNode(2, 1), Type: types.MsgNewView, Shard: 2,
+				View: 5, Digest: digest(0xcc), Sig: []byte{9, 9},
+			},
+			Transferable: true, // Second deliberately zero
+		},
+		{
+			Kind: KindConflictingClient, Accused: types.ClientNode(1), Shard: 0,
+			First:  Msg{From: types.ClientNode(1), Type: types.MsgClientRequest, Digest: digest(1)},
+			Second: Msg{From: types.ClientNode(1), Type: types.MsgClientRequest, Digest: digest(2)},
+		},
+	}
+	for _, want := range recs {
+		got, ok := decode(encode(&want))
+		if !ok {
+			t.Fatalf("decode failed for %v", want)
+		}
+		if got.Key() != want.Key() || got.Transferable != want.Transferable {
+			t.Fatalf("roundtrip mismatch: got %+v want %+v", got, want)
+		}
+		if got.Second.IsZero() != want.Second.IsZero() {
+			t.Fatalf("roundtrip lost Second zero-ness: %+v", got)
+		}
+		if string(got.First.Sig) != string(want.First.Sig) ||
+			string(got.First.MAC) != string(want.First.MAC) {
+			t.Fatalf("roundtrip lost authenticators: %+v", got.First)
+		}
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	rec := sampleRecord(3, 0xaa, 0xbb)
+	buf := encode(&rec)
+	for n := 0; n < len(buf); n++ {
+		if _, ok := decode(buf[:n]); ok {
+			t.Fatalf("truncated payload of %d/%d bytes decoded", n, len(buf))
+		}
+	}
+	if _, ok := decode(append(buf, 0)); ok {
+		t.Fatal("payload with trailing garbage decoded")
+	}
+}
+
+func TestDedupByKey(t *testing.T) {
+	l := NewMemory()
+	if !l.Add(sampleRecord(3, 0xaa, 0xbb)) {
+		t.Fatal("first add rejected")
+	}
+	// A retransmission re-detects the same offense: same Key, new MAC bytes.
+	dup := sampleRecord(3, 0xaa, 0xbb)
+	dup.First.MAC = []byte{7, 7, 7}
+	if l.Add(dup) {
+		t.Fatal("duplicate offense recorded twice")
+	}
+	// The same pair at another view is a distinct offense.
+	if !l.Add(sampleRecord(4, 0xaa, 0xbb)) {
+		t.Fatal("distinct offense deduplicated")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("want 2 records, got %d", l.Len())
+	}
+}
+
+func TestWALReplay(t *testing.T) {
+	fs := wal.NewMemFS()
+	l, err := Open(fs, "ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Add(sampleRecord(3, 0xaa, 0xbb))
+	l.Add(sampleRecord(4, 0xaa, 0xcc))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(fs, "ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 2 {
+		t.Fatalf("replay lost records: want 2, got %d", re.Len())
+	}
+	// Replayed records keep deduplicating against new detections.
+	if re.Add(sampleRecord(3, 0xaa, 0xbb)) {
+		t.Fatal("replayed record re-recorded after restart")
+	}
+	recs := re.Records()
+	if recs[0].View != 3 || recs[1].View != 4 {
+		t.Fatalf("append order lost across restart: %+v", recs)
+	}
+}
+
+func TestReverify(t *testing.T) {
+	kg := crypto.NewKeygen(1)
+	accused := types.ReplicaNode(0, 1)
+	recorder := types.ReplicaNode(0, 0)
+	third := types.ReplicaNode(0, 2)
+	for _, id := range []types.NodeID{accused, recorder, third} {
+		kg.Register(id)
+	}
+	accusedRing, _ := kg.Ring(accused)
+	recorderRing, _ := kg.Ring(recorder)
+	thirdRing, _ := kg.Ring(third)
+
+	mk := func(d types.Digest) Msg {
+		m := Msg{
+			From: accused, Type: types.MsgForward, Shard: 0, View: 1, Seq: 4, Digest: d,
+		}
+		m.Sig = accusedRing.Sign(m.sigBytes())
+		return m
+	}
+	rec := Record{
+		Kind: KindConflictingForward, Accused: accused, Shard: 0, View: 1, Seq: 4,
+		First: mk(digest(0xaa)), Second: mk(digest(0xbb)), Transferable: true,
+	}
+	// Transferable records verify for any key-ring holder, not just the
+	// recorder.
+	for _, a := range []crypto.Authenticator{recorderRing, thirdRing} {
+		if err := rec.Reverify(a); err != nil {
+			t.Fatalf("transferable record failed reverification: %v", err)
+		}
+	}
+	// Tampering with the incriminating digest must break reverification.
+	bad := rec
+	bad.First.Digest = digest(0xdd)
+	if err := bad.Reverify(thirdRing); err == nil {
+		t.Fatal("tampered record reverified")
+	}
+
+	// A MAC'd pair verifies only with the recorder's own ring.
+	mac := sampleRecord(3, 0xaa, 0xbb)
+	mac.Accused = accused
+	mac.First.From, mac.Second.From = accused, accused
+	mac.First.Shard, mac.Second.Shard = 0, 0
+	mac.Shard = 0
+	mac.First.MAC = accusedRing.MAC(recorder, mac.First.sigBytes())
+	mac.Second.MAC = accusedRing.MAC(recorder, mac.Second.sigBytes())
+	if err := mac.Reverify(recorderRing); err != nil {
+		t.Fatalf("recorder-local record failed for recorder: %v", err)
+	}
+	if err := mac.Reverify(thirdRing); err == nil {
+		t.Fatal("recorder-local MAC record verified for a third party")
+	}
+}
+
+func TestSummaryAndAccused(t *testing.T) {
+	l := NewMemory()
+	if got := l.Summary(); got != "evidence: none" {
+		t.Fatalf("empty summary: %q", got)
+	}
+	l.Add(sampleRecord(3, 0xaa, 0xbb))
+	l.Add(sampleRecord(4, 0xaa, 0xcc))
+	cl := Record{
+		Kind: KindConflictingClient, Accused: types.ClientNode(1),
+		First:  Msg{From: types.ClientNode(1), Type: types.MsgClientRequest, Digest: digest(1)},
+		Second: Msg{From: types.ClientNode(1), Type: types.MsgClientRequest, Digest: digest(2)},
+	}
+	l.Add(cl)
+	s := l.Summary()
+	if !strings.Contains(s, "3 record(s)") ||
+		!strings.Contains(s, "2× equivocation") ||
+		!strings.Contains(s, "1× conflicting-client") {
+		t.Fatalf("summary missing counts: %q", s)
+	}
+	acc := l.Accused()
+	if len(acc) != 2 {
+		t.Fatalf("want 2 accused, got %v", acc)
+	}
+	if acc[0] != types.ReplicaNode(1, 0) && acc[1] != types.ReplicaNode(1, 0) {
+		t.Fatalf("accused replica missing: %v", acc)
+	}
+}

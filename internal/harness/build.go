@@ -69,7 +69,7 @@ func build(cfg Config) (*cluster, error) {
 					return nil, err
 				}
 				peers := shardPeers[s]
-				send := cl.interceptSend(cfg, a, ep.Send)
+				send := cl.interceptSend(cfg, id, a, ep.Send)
 				mk := func() node {
 					opts := ringbft.Options{
 						Config: tcfg, Shard: id.Shard, Self: id,
@@ -115,7 +115,7 @@ func build(cfg Config) (*cluster, error) {
 				r := sharper.New(sharper.Options{
 					Config: tcfg, Shard: types.ShardID(s), Self: id,
 					Peers: shardPeers[s], Auth: a,
-					Send: sharper.Sender(cl.interceptSend(cfg, a, ep.Send)),
+					Send: sharper.Sender(cl.interceptSend(cfg, id, a, ep.Send)),
 				})
 				r.Preload(cfg.Records)
 				cl.nodes = append(cl.nodes, r)
@@ -141,7 +141,7 @@ func build(cfg Config) (*cluster, error) {
 			}
 			r := ahl.NewCommittee(ahl.CommitteeOptions{
 				Config: tcfg, Self: id, Peers: committee, Auth: a,
-				Send:       ahl.Sender(cl.interceptSend(cfg, a, ep.Send)),
+				Send:       ahl.Sender(cl.interceptSend(cfg, id, a, ep.Send)),
 				ShardPeers: shardPeers,
 			})
 			_ = i
@@ -161,7 +161,7 @@ func build(cfg Config) (*cluster, error) {
 				r := ahl.NewReplica(ahl.ReplicaOptions{
 					Config: tcfg, Shard: types.ShardID(s), Self: id,
 					Peers: shardPeers[s], Committee: committee, Auth: a,
-					Send: ahl.Sender(cl.interceptSend(cfg, a, ep.Send)),
+					Send: ahl.Sender(cl.interceptSend(cfg, id, a, ep.Send)),
 				})
 				r.Preload(cfg.Records)
 				cl.nodes = append(cl.nodes, r)

@@ -10,8 +10,11 @@ import (
 func smoke(t *testing.T, p Protocol, crossPct float64) Result {
 	t.Helper()
 	// The race detector slows the event loops 5-20x; a 100%-cross-shard
-	// batch needs a full ring traversal to commit, so the measurement
-	// window must stretch with the build or the liveness assertions flake.
+	// batch needs a full ring traversal (or, for AHL, a 3-committee 2PC)
+	// to commit, so both the measurement window and the view-change
+	// timeout must stretch with the build or the liveness assertions
+	// flake: with the wall-clock timer unscaled, honest slow rounds expire
+	// it and the run burns in view-change churn instead of committing.
 	scale := time.Duration(1)
 	if raceflag.Enabled {
 		scale = 8
@@ -27,6 +30,7 @@ func smoke(t *testing.T, p Protocol, crossPct float64) Result {
 		ClientWindow:     2,
 		Warmup:           scale * 150 * time.Millisecond,
 		Duration:         scale * 400 * time.Millisecond,
+		LocalTimeout:     scale * 400 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatalf("%s run: %v", p, err)

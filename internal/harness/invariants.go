@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"ringbft/internal/evidence"
 	"ringbft/internal/ledger"
 	"ringbft/internal/store"
 	"ringbft/internal/types"
@@ -47,6 +48,10 @@ type ReplicaState struct {
 	CrossOrder []types.Digest
 	// Executed maps executed batch digests to a hash of their results.
 	Executed map[types.Digest]uint64
+	// Evidence is the replica's misbehavior evidence log at capture time.
+	// The accountability checker asserts every record accuses an actually
+	// faulty node and every Byzantine fault left a record somewhere.
+	Evidence []evidence.Record
 }
 
 // The accessors a node must expose to be capturable. All three sharded
@@ -57,6 +62,7 @@ type executedProvider interface {
 	ExecutedResults() map[types.Digest]uint64
 }
 type watermarkProvider interface{ ExecutedThrough() types.SeqNum }
+type evidenceProvider interface{ Evidence() *evidence.Log }
 
 // CaptureReplica snapshots one node's commit state for invariant checking.
 // ok is false for nodes that expose no ledger (e.g. the AHL reference
@@ -89,6 +95,9 @@ func CaptureReplica(id types.NodeID, n any) (ReplicaState, bool) {
 	}
 	if wp, ok := n.(watermarkProvider); ok {
 		st.ExecutedThrough = wp.ExecutedThrough()
+	}
+	if vp, ok := n.(evidenceProvider); ok {
+		st.Evidence = vp.Evidence().Records()
 	}
 	return st, true
 }

@@ -25,6 +25,12 @@ const (
 	// replica's own keys, at the same (view, seq). Safety demands no two
 	// honest replicas commit different digests at one sequence regardless.
 	ByzEquivocate
+	// ByzNewView appends a fabricated cross-shard re-proposal — carrying no
+	// justification certificate — to every outbound NewView. The NewView
+	// signature covers only the canonical tuple, so the message still
+	// verifies; honest receivers must reject it at the justification gate
+	// (and record evidence) rather than adopt the phantom batch.
+	ByzNewView
 )
 
 // sendFunc is the protocol-agnostic shape of a node's outbound hook; it
@@ -37,6 +43,7 @@ type sendFunc func(to types.NodeID, m *types.Message)
 type byzState struct {
 	mode atomic.Int32
 	auth crypto.Authenticator
+	self types.NodeID
 }
 
 // wrap intercepts a node's outbound traffic according to the current mode.
@@ -56,9 +63,50 @@ func (b *byzState) wrap(inner sendFunc) sendFunc {
 				inner(to, &cp)
 				return
 			}
+		case ByzNewView:
+			if m.Type == types.MsgNewView {
+				inner(to, ForgeUnjustifiedProof(b.self, m))
+				return
+			}
 		}
 		inner(to, m)
 	}
+}
+
+// ForgeUnjustifiedProof returns a copy of NewView m with a fabricated
+// cross-shard re-proposal appended: a phantom batch initiated by the
+// previous shard (so the forger's shard cannot justify it as initiator),
+// carrying no justification certificate, at a sequence above every honest
+// re-proposal. The NewView signature covers only the canonical tuple
+// (type/shard/view/seq/digest/from), so no re-signing is needed — which is
+// exactly the gap the receiver-side justification gate closes. Non-NewView
+// messages and shard-0 forgers (whose shard initiates every batch it could
+// fabricate this way) pass through unchanged. Shared by the wall-clock
+// interceptor above and the deterministic chaos engine (internal/chaos).
+func ForgeUnjustifiedProof(self types.NodeID, m *types.Message) *types.Message {
+	if m.Type != types.MsgNewView || self.Shard <= 0 {
+		return m
+	}
+	evil := &types.Batch{
+		Txns: []types.Txn{{
+			ID:     types.TxnID{Client: 9999, Seq: uint64(m.View)},
+			Reads:  []types.Key{types.Key(self.Shard - 1)},
+			Writes: []types.Key{types.Key(self.Shard)},
+			Delta:  7,
+		}},
+		Involved: []types.ShardID{self.Shard - 1, self.Shard},
+	}
+	seq := m.StableSeq
+	for i := range m.Prepared {
+		if m.Prepared[i].Seq > seq {
+			seq = m.Prepared[i].Seq
+		}
+	}
+	cp := *m
+	cp.Prepared = append(append([]types.PreparedProof(nil), m.Prepared...), types.PreparedProof{
+		View: m.View - 1, Seq: seq + 1, Digest: evil.Digest(), Batch: evil,
+	})
+	return &cp
 }
 
 // EquivocateBatch derives a conflicting but well-formed batch: same client
@@ -81,12 +129,12 @@ func EquivocateBatch(b *types.Batch) *types.Batch {
 // interceptor when a nemesis is configured; otherwise the raw fabric send
 // is used unchanged. Must be called exactly once per node, in cl.nodes
 // append order, so cl.byz indexes line up with cl.ids.
-func (cl *cluster) interceptSend(cfg Config, a crypto.Authenticator, raw sendFunc) sendFunc {
+func (cl *cluster) interceptSend(cfg Config, id types.NodeID, a crypto.Authenticator, raw sendFunc) sendFunc {
 	if cfg.Nemesis == nil {
 		cl.byz = append(cl.byz, nil)
 		return raw
 	}
-	bz := &byzState{auth: a}
+	bz := &byzState{auth: a, self: id}
 	cl.byz = append(cl.byz, bz)
 	return bz.wrap(raw)
 }

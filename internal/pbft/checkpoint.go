@@ -9,12 +9,19 @@ import "ringbft/internal/types"
 // primary observe progress, and they advance the stable watermark so the log
 // can be garbage-collected.
 func (e *Engine) MakeCheckpoint(seq types.SeqNum, state types.Digest) {
-	e.recordCheckpoint(e.self, seq, state)
 	m := &types.Message{
 		Type: types.MsgCheckpoint, From: e.self, Shard: e.shard,
 		Seq: seq, Digest: state,
 	}
-	e.broadcastSigned(m)
+	m.Sig = e.auth.Sign(m.SigBytes())
+	e.recordCheckpoint(e.self, seq, state, m.Sig)
+	for _, p := range e.peers {
+		if p == e.self {
+			continue
+		}
+		cp := *m
+		e.cb.Send(p, &cp)
+	}
 }
 
 func (e *Engine) onCheckpoint(m *types.Message) {
@@ -24,23 +31,32 @@ func (e *Engine) onCheckpoint(m *types.Message) {
 	if err := e.auth.Verify(m.From, m.SigBytes(), m.Sig); err != nil {
 		return
 	}
-	e.recordCheckpoint(m.From, m.Seq, m.Digest)
+	e.recordCheckpoint(m.From, m.Seq, m.Digest, m.Sig)
 }
 
-func (e *Engine) recordCheckpoint(from types.NodeID, seq types.SeqNum, state types.Digest) {
+// cpVote is one replica's signed checkpoint vote. The signature is retained
+// so a quorum can later be re-assembled into a transferable certificate
+// (CheckpointCert) — peer catch-up payloads carry it so a requester that
+// never observed the quorum itself can still validate against it.
+type cpVote struct {
+	state types.Digest
+	sig   []byte
+}
+
+func (e *Engine) recordCheckpoint(from types.NodeID, seq types.SeqNum, state types.Digest, sig []byte) {
 	votes, ok := e.checkpoints[seq]
 	if !ok {
-		votes = make(map[types.NodeID]types.Digest)
+		votes = make(map[types.NodeID]cpVote)
 		e.checkpoints[seq] = votes
 	}
-	votes[from] = state
+	votes[from] = cpVote{state: state, sig: sig}
 
 	// Stabilize when nf replicas vouch for the same state digest. Voters are
 	// walked in canonical order so the stabilize callback fires on the same
 	// vote in every replay, not whichever one map iteration reached first.
 	counts := make(map[types.Digest]int, 2)
 	for _, from := range types.SortedNodeKeys(votes) {
-		d := votes[from]
+		d := votes[from].state
 		counts[d]++
 		if counts[d] >= e.nf && seq > e.stableSeq {
 			e.stabilize(seq)
@@ -50,6 +66,48 @@ func (e *Engine) recordCheckpoint(from types.NodeID, seq types.SeqNum, state typ
 			return
 		}
 	}
+}
+
+// CheckpointCert re-assembles the nf-signed checkpoint certificate at seq,
+// if this replica holds a full quorum of matching votes: the agreed digest
+// plus nf transferable Signed proofs. Votes are retained for the current
+// stable checkpoint (stabilize GCs only below it), so a replica that
+// stabilized through a vote quorum can serve the certificate to peers.
+func (e *Engine) CheckpointCert(seq types.SeqNum) (types.Digest, []types.Signed, bool) {
+	votes := e.checkpoints[seq]
+	counts := make(map[types.Digest]int, 2)
+	for _, v := range votes {
+		counts[v.state]++
+	}
+	var agreed types.Digest
+	found := false
+	for _, d := range types.SortedDigestKeys(counts) {
+		if counts[d] >= e.nf {
+			agreed, found = d, true
+			break
+		}
+	}
+	if !found {
+		return types.Digest{}, nil, false
+	}
+	cert := make([]types.Signed, 0, e.nf)
+	for _, from := range types.SortedNodeKeys(votes) {
+		v := votes[from]
+		if v.state != agreed || len(v.sig) == 0 {
+			continue
+		}
+		cert = append(cert, types.Signed{
+			From: from, Type: types.MsgCheckpoint, Shard: e.shard,
+			Seq: seq, Digest: agreed, Sig: v.sig,
+		})
+		if len(cert) == e.nf {
+			break
+		}
+	}
+	if len(cert) < e.nf {
+		return types.Digest{}, nil, false
+	}
+	return agreed, cert, true
 }
 
 // stabilize advances the stable watermark to seq and garbage-collects log

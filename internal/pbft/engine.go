@@ -52,6 +52,34 @@ type Callbacks struct {
 	// transaction no other shard will ever execute (found by
 	// internal/chaos, byz-equivocate schedules).
 	Justify func(batch *types.Batch) bool
+	// Justification, when non-nil, returns the transferable certificate
+	// that entitles batch to be proposed at this shard (for RingBFT, the
+	// previous shard's nf-signed commit certificate carried by Forward; for
+	// AHL, the committee's AHLPrepare certificate). The engine attaches it
+	// to PreparedProofs in ViewChange P sets and NewView re-proposals so a
+	// receiver that has not locally accepted the certificate can still
+	// verify the re-proposal instead of parking it forever. Nil or empty
+	// for batches that need no justification.
+	Justification func(batch *types.Batch) []types.Signed
+	// VerifyJustification, when non-nil, checks a carried justification for
+	// a batch the local Justify gate rejects. A NewView whose re-proposal
+	// fails both gates is rejected wholesale — without this check a
+	// Byzantine new primary injects an unjustified batch through the
+	// re-proposal path that Justify blocks on the normal path.
+	VerifyJustification func(batch *types.Batch, justification []types.Signed) bool
+	// Equivocation, when non-nil, fires when this replica holds verifiable
+	// proof that the primary proposed two different digests at one
+	// (view, seq): either a directly conflicting PrePrepare pair, or the
+	// accepted PrePrepare plus the first of f+1 Prepares from distinct
+	// senders for a different digest (at least one of f+1 distinct senders
+	// is honest and echoes what the primary sent it, so accusing the
+	// primary is sound). Both messages are MAC-authenticated to this
+	// replica; the host records them as evidence.
+	Equivocation func(first, second *types.Message)
+	// UnjustifiedNewView, when non-nil, fires when a NewView is rejected
+	// because re-proposal p carries no valid justification; m is the
+	// offending signed NewView.
+	UnjustifiedNewView func(m *types.Message, p types.PreparedProof)
 }
 
 // commitVote is one replica's signed Commit for an entry, tagged with the
@@ -80,6 +108,13 @@ type entry struct {
 	// helped tracks the view in which a straggler catch-up Commit was last
 	// re-sent per peer (see replyCommit).
 	helped map[types.NodeID]types.View
+	// ppMsg retains the accepted PrePrepare so it can be paired with a
+	// conflicting message as equivocation evidence; conflicts collects the
+	// first Prepare per sender whose digest contradicts it, and accused
+	// latches once the f+1 threshold fired the Equivocation callback.
+	ppMsg     *types.Message
+	conflicts map[types.NodeID]*types.Message
+	accused   bool
 }
 
 // Engine is one replica's PBFT state machine for one shard. Not safe for
@@ -102,7 +137,7 @@ type Engine struct {
 
 	stableSeq   types.SeqNum
 	window      types.SeqNum
-	checkpoints map[types.SeqNum]map[types.NodeID]types.Digest
+	checkpoints map[types.SeqNum]map[types.NodeID]cpVote
 
 	// future stashes normal-case messages that arrived for a view we have
 	// not installed yet (e.g. a PrePrepare racing ahead of its NewView);
@@ -173,7 +208,7 @@ func New(shard types.ShardID, self types.NodeID, peers []types.NodeID, auth cryp
 		log:         make(map[types.SeqNum]*entry),
 		window:      opts.Window,
 		vcTimeout:   opts.ViewTimeout,
-		checkpoints: make(map[types.SeqNum]map[types.NodeID]types.Digest),
+		checkpoints: make(map[types.SeqNum]map[types.NodeID]cpVote),
 		vcMsgs:      make(map[types.View]map[types.NodeID]*types.Message),
 		vcVotes:     make(map[types.View]map[types.NodeID]struct{}),
 	}
@@ -369,8 +404,14 @@ func (e *Engine) onPrePrepare(m *types.Message) {
 	}
 	ent := e.getEntry(m.Seq)
 	// "r did not accept a k-th proposal from pS" (Fig 5 line 10): refuse a
-	// conflicting proposal at the same (view, seq).
+	// conflicting proposal at the same (view, seq). Two MAC-valid
+	// PrePrepares from one primary at one (view, seq) with different
+	// digests are direct equivocation evidence.
 	if ent.preprepared && (ent.view != m.View || ent.digest != m.Digest) {
+		if ent.view == m.View && ent.ppMsg != nil && !ent.accused && e.cb.Equivocation != nil {
+			ent.accused = true
+			e.cb.Equivocation(ent.ppMsg, m)
+		}
 		return
 	}
 	if ent.preprepared {
@@ -380,6 +421,7 @@ func (e *Engine) onPrePrepare(m *types.Message) {
 	ent.digest = m.Digest
 	ent.batch = m.Batch
 	ent.preprepared = true
+	ent.ppMsg = m
 	// Count the primary's PrePrepare as its Prepare, then vote ourselves.
 	ent.prepares[m.From] = m.Digest
 	ent.prepares[e.self] = m.Digest
@@ -402,6 +444,7 @@ func (e *Engine) onPrepare(m *types.Message) {
 	}
 	ent := e.getEntry(m.Seq)
 	if ent.preprepared && ent.digest != m.Digest {
+		e.noteConflictingPrepare(ent, m)
 		return
 	}
 	if ent.committed {
@@ -415,6 +458,31 @@ func (e *Engine) onPrepare(m *types.Message) {
 	}
 	ent.prepares[m.From] = m.Digest
 	e.maybePrepared(m.Seq, ent)
+}
+
+// noteConflictingPrepare records a MAC-valid Prepare whose digest
+// contradicts the accepted PrePrepare at the same (view, seq). No single
+// conflicting vote incriminates the primary — the sender itself could be
+// Byzantine — but f+1 distinct conflicting senders include at least one
+// honest replica echoing what the primary actually sent it, so at that
+// threshold the primary provably equivocated and the Equivocation callback
+// fires with the PrePrepare plus the canonically-first conflicting Prepare.
+func (e *Engine) noteConflictingPrepare(ent *entry, m *types.Message) {
+	if e.cb.Equivocation == nil || ent.accused || ent.ppMsg == nil || m.View != ent.view {
+		return
+	}
+	if ent.conflicts == nil {
+		ent.conflicts = make(map[types.NodeID]*types.Message)
+	}
+	if _, dup := ent.conflicts[m.From]; !dup {
+		ent.conflicts[m.From] = m
+	}
+	if len(ent.conflicts) <= e.f {
+		return
+	}
+	ent.accused = true
+	first := ent.conflicts[types.SortedNodeKeys(ent.conflicts)[0]]
+	e.cb.Equivocation(ent.ppMsg, first)
 }
 
 // maybePrepared transitions to prepared once the entry has a PrePrepare and
@@ -662,11 +730,21 @@ func (e *Engine) ReplayParked() {
 // safety. The window anchors at stable, so the recovered replica accepts
 // exactly the proposals its restored state can extend.
 func (e *Engine) ResumeAt(stable, next types.SeqNum) {
-	e.stableSeq = stable
+	// Monotonic on purpose: besides crash recovery (fresh engine, both
+	// watermarks at zero), hosts call this after an in-flight peer state
+	// transfer, where the engine is live — regressing stableSeq would
+	// re-open a GC'd window and regressing nextSeq would make a future
+	// primary re-propose sequences the shard already committed.
+	if stable > e.stableSeq {
+		e.stableSeq = stable
+	}
 	if next <= stable {
 		next = stable + 1
 	}
-	e.nextSeq = next
+	if next > e.nextSeq {
+		e.nextSeq = next
+	}
+	stable = e.stableSeq
 	for s := range e.log {
 		if s <= stable {
 			delete(e.log, s)

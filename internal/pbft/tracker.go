@@ -47,11 +47,7 @@ func (t *CheckpointTracker) Committed(e *Engine, seq types.SeqNum, batch *types.
 		}
 		delete(t.pending, t.next+1)
 		t.next++
-		var buf [72]byte
-		copy(buf[:32], t.prefix[:])
-		copy(buf[32:64], d[:])
-		binary.BigEndian.PutUint64(buf[64:], uint64(t.next))
-		t.prefix = sha256.Sum256(buf[:])
+		t.prefix = FoldStep(t.prefix, t.next, d)
 		// Checkpoints must land on exact interval boundaries: replicas
 		// drain their contiguous prefixes in different-sized bursts, and
 		// only votes for the *same* sequence number can form a quorum.
@@ -59,6 +55,43 @@ func (t *CheckpointTracker) Committed(e *Engine, seq types.SeqNum, batch *types.
 			t.last = t.next
 			e.MakeCheckpoint(t.next, t.prefix)
 		}
+	}
+}
+
+// FoldStep extends a rolling commit-prefix digest with the batch digest
+// committed at seq. Exposed so hosts can re-derive a peer's certified prefix
+// from shipped blocks during catch-up: starting from their own contiguous
+// fold, one FoldStep per sequence (batch digest for shipped blocks, the
+// empty-batch digest for view-change no-op gaps) must land exactly on the
+// digest nf replicas signed — anything a Byzantine responder substituted
+// breaks the chain.
+func FoldStep(prefix types.Digest, seq types.SeqNum, d types.Digest) types.Digest {
+	var buf [72]byte
+	copy(buf[:32], prefix[:])
+	copy(buf[32:64], d[:])
+	binary.BigEndian.PutUint64(buf[64:], uint64(seq))
+	return sha256.Sum256(buf[:])
+}
+
+// Advance repositions the tracker at a transferred checkpoint: the host
+// validated (via FoldStep against an nf-signed certificate) that the shard's
+// fold at seq is prefix, and installed the corresponding blocks. Pending
+// digests the transfer covered are dropped; the emission boundary moves so
+// the next checkpoint fires at the next interval crossing, not for the
+// boundaries the transfer skipped over.
+func (t *CheckpointTracker) Advance(seq types.SeqNum, prefix types.Digest) {
+	if seq <= t.next {
+		return
+	}
+	t.next = seq
+	t.prefix = prefix
+	for s := range t.pending {
+		if s <= seq {
+			delete(t.pending, s)
+		}
+	}
+	if boundary := seq - seq%t.interval; boundary > t.last {
+		t.last = boundary
 	}
 }
 

@@ -1,7 +1,6 @@
 package pbft
 
 import (
-	"sort"
 	"time"
 
 	"ringbft/internal/types"
@@ -25,17 +24,26 @@ func (e *Engine) StartViewChange(target types.View) {
 
 	// P set: every prepared-but-unstable entry, with its batch so the new
 	// primary can re-propose it.
+	// The P set travels in the signed ViewChange; walk the log in canonical
+	// sequence order so identically seeded replicas emit byte-identical
+	// messages.
 	var proofs []types.PreparedProof
-	for seq, ent := range e.log {
+	for _, seq := range types.SortedSeqKeys(e.log) {
+		ent := e.log[seq]
 		if ent.prepared && seq > e.stableSeq {
-			proofs = append(proofs, types.PreparedProof{
+			p := types.PreparedProof{
 				View: ent.view, Seq: seq, Digest: ent.digest, Batch: ent.batch,
-			})
+			}
+			// Carry the certificate that justified this batch: preparing it
+			// required the local Justify gate to pass, so the host holds the
+			// certificate, and the new primary's NewView must present it to
+			// receivers that never accepted it themselves.
+			if e.cb.Justification != nil {
+				p.Justification = e.cb.Justification(ent.batch)
+			}
+			proofs = append(proofs, p)
 		}
 	}
-	// The P set travels in the signed ViewChange; canonicalize its order so
-	// identically seeded replicas emit byte-identical messages.
-	sort.Slice(proofs, func(i, j int) bool { return proofs[i].Seq < proofs[j].Seq })
 	// Seq mirrors StableSeq because the canonical signed tuple covers Seq:
 	// the NewView justification reconstructs exactly this tuple.
 	m := &types.Message{
@@ -128,6 +136,12 @@ func (e *Engine) maybeNewView(v types.View) {
 	var reproposals []types.PreparedProof
 	for s := maxStable + 1; s <= maxSeq; s++ {
 		if p, ok := best[s]; ok {
+			// A P-set proof from a replica that never attached the
+			// justification (older sender, lost field) is topped up from
+			// this primary's own certificate store.
+			if len(p.Justification) == 0 && e.cb.Justification != nil {
+				p.Justification = e.cb.Justification(p.Batch)
+			}
 			reproposals = append(reproposals, p)
 		} else {
 			noop := &types.Batch{}
@@ -175,10 +189,41 @@ func (e *Engine) onNewView(m *types.Message) {
 	if e.verifier.VerifyQuorum(entries, e.nf) < e.nf {
 		return
 	}
+	// Justification gate: every re-proposal this replica would adopt must
+	// either pass the local Justify gate or carry a verifiable certificate.
+	// One unjustified batch rejects the whole NewView — adopting the rest
+	// would let a Byzantine new primary split the shard between replicas
+	// that saw different NewView variants — and the view-change timer then
+	// escalates past the faulty primary (Tick).
+	for i := range m.Prepared {
+		p := &m.Prepared[i]
+		if ent, ok := e.log[p.Seq]; ok && ent.committed {
+			continue // already decided locally; nothing is adopted for it
+		}
+		if p.Batch == nil || e.justifiedProof(p) {
+			continue
+		}
+		if e.cb.UnjustifiedNewView != nil {
+			e.cb.UnjustifiedNewView(m, *p)
+		}
+		return
+	}
 	if m.StableSeq > e.stableSeq {
 		e.stabilize(m.StableSeq)
 	}
 	e.installView(m.View, m.StableSeq, m.Prepared, false)
+}
+
+// justifiedProof reports whether re-proposal p may be adopted: the local
+// Justify gate passes (this replica holds the evidence itself), or the
+// proof carries a justification the host verifies (this replica is behind —
+// e.g. its Forward quorum never completed — but the certificate is
+// transferable and speaks for itself).
+func (e *Engine) justifiedProof(p *types.PreparedProof) bool {
+	if e.cb.Justify == nil || e.cb.Justify(p.Batch) {
+		return true
+	}
+	return e.cb.VerifyJustification != nil && e.cb.VerifyJustification(p.Batch, p.Justification)
 }
 
 // installView moves the replica into view v, resets per-view state, and
@@ -211,6 +256,12 @@ func (e *Engine) installView(v types.View, stable types.SeqNum, reproposals []ty
 			ent.prepares = make(map[types.NodeID]types.Digest)
 			ent.commits = make(map[types.NodeID]commitVote)
 			ent.firstSeen = now
+			// Equivocation evidence is per-(view, pre-prepare); the new
+			// view's proposal is the NewView itself, so the pairing state
+			// resets (the evidence log retains anything already recorded).
+			ent.ppMsg = nil
+			ent.conflicts = nil
+			ent.accused = false
 		}
 	}
 	for _, p := range reproposals {

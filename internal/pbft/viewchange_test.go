@@ -1,0 +1,252 @@
+package pbft
+
+import (
+	"testing"
+	"time"
+
+	"ringbft/internal/crypto"
+	"ringbft/internal/types"
+)
+
+// justState is the host-level justification layer for a harness: which batch
+// digests each replica holds local evidence for (a RingBFT Forward quorum, an
+// AHL committee certificate), the transferable certificates backing them, and
+// the UnjustifiedNewView rejections each replica reported.
+type justState struct {
+	voucher     types.NodeID
+	voucherRing *crypto.KeyRing
+	vouched     []map[types.Digest]bool
+	certs       map[types.Digest][]types.Signed
+	unjust      map[int][]types.PreparedProof
+}
+
+// vouch mints the transferable certificate for b and records local evidence
+// at the given replicas (the rest must rely on the carried certificate).
+func (js *justState) vouch(b *types.Batch, replicas ...int) {
+	d := b.Digest()
+	s := types.Signed{From: js.voucher, Type: types.MsgForward, Shard: 0, Digest: d}
+	s.Sig = js.voucherRing.Sign(s.SigBytes())
+	js.certs[d] = []types.Signed{s}
+	for _, i := range replicas {
+		js.vouched[i][d] = true
+	}
+}
+
+// newJustifiedHarness wires n engines whose proposal paths are gated on
+// host-level justification, mirroring how ringbft/ahl/sharper hosts install
+// the Justify/Justification/VerifyJustification callbacks. It also returns
+// the per-replica key rings so tests can forge Byzantine messages.
+func newJustifiedHarness(t *testing.T, n int) (*harness, *justState, []*crypto.KeyRing) {
+	t.Helper()
+	h := &harness{t: t, n: n, shard: 0, commits: make(map[int][]commitRec), views: make(map[int][]types.View)}
+	js := &justState{
+		voucher: types.ReplicaNode(1, 0),
+		vouched: make([]map[types.Digest]bool, n),
+		certs:   make(map[types.Digest][]types.Signed),
+		unjust:  make(map[int][]types.PreparedProof),
+	}
+	peers := make([]types.NodeID, n)
+	for i := 0; i < n; i++ {
+		peers[i] = types.ReplicaNode(0, i)
+	}
+	kg := crypto.NewKeygen(7)
+	for _, p := range peers {
+		kg.Register(p)
+	}
+	kg.Register(js.voucher)
+	var err error
+	if js.voucherRing, err = kg.Ring(js.voucher); err != nil {
+		t.Fatal(err)
+	}
+	rings := make([]*crypto.KeyRing, n)
+	for i := 0; i < n; i++ {
+		i := i
+		js.vouched[i] = make(map[types.Digest]bool)
+		if rings[i], err = kg.Ring(peers[i]); err != nil {
+			t.Fatal(err)
+		}
+		ring := rings[i]
+		e := New(0, peers[i], peers, ring, Callbacks{
+			Send: func(to types.NodeID, m *types.Message) {
+				if h.drop != nil && h.drop(m.From, to, m) {
+					return
+				}
+				h.queue = append(h.queue, routed{to, m})
+			},
+			Committed: func(seq types.SeqNum, b *types.Batch, cert []types.Signed) {
+				h.commits[i] = append(h.commits[i], commitRec{seq, b.Digest(), b, cert})
+			},
+			ViewChanged: func(v types.View) {
+				h.views[i] = append(h.views[i], v)
+			},
+			Justify: func(b *types.Batch) bool {
+				return len(b.Txns) == 0 || js.vouched[i][b.Digest()]
+			},
+			Justification: func(b *types.Batch) []types.Signed {
+				if !js.vouched[i][b.Digest()] {
+					return nil
+				}
+				return js.certs[b.Digest()]
+			},
+			VerifyJustification: func(b *types.Batch, cert []types.Signed) bool {
+				for k := range cert {
+					s := &cert[k]
+					if s.From == js.voucher && s.Digest == b.Digest() &&
+						ring.Verify(s.From, s.SigBytes(), s.Sig) == nil {
+						return true
+					}
+				}
+				return false
+			},
+			UnjustifiedNewView: func(m *types.Message, p types.PreparedProof) {
+				js.unjust[i] = append(js.unjust[i], p)
+			},
+		}, Options{})
+		h.engines = append(h.engines, e)
+	}
+	return h, js, rings
+}
+
+// TestNewViewCarriesJustification: a batch prepared under a Forward-style
+// certificate must survive a view change even at a replica that never
+// obtained the certificate locally — the NewView re-proposal carries it, the
+// receiver verifies it, and commits the byte-identical batch in the new view.
+func TestNewViewCarriesJustification(t *testing.T) {
+	h, js, _ := newJustifiedHarness(t, 4)
+	b := batchOf(5)
+	js.vouch(b, 0, 1, 2) // replica 3's Forward quorum never completed
+
+	// Prepare everywhere it can, but let no replica commit in view 0.
+	h.drop = func(from, to types.NodeID, m *types.Message) bool {
+		return m.Type == types.MsgCommit
+	}
+	if _, err := h.engines[0].Propose(b); err != nil {
+		t.Fatal(err)
+	}
+	h.pump()
+	for i := 0; i < 4; i++ {
+		if len(h.commits[i]) != 0 {
+			t.Fatalf("replica %d committed prematurely", i)
+		}
+	}
+
+	h.drop = nil
+	for i := 0; i < 4; i++ {
+		h.engines[i].StartViewChange(1)
+	}
+	h.pump()
+	for i := 0; i < 4; i++ {
+		if got := h.engines[i].View(); got != 1 {
+			t.Fatalf("replica %d view = %d, want 1", i, got)
+		}
+		found := false
+		for _, c := range h.commits[i] {
+			if c.digest == b.Digest() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("replica %d lost the justified batch across the view change", i)
+		}
+	}
+	if len(js.unjust[3]) != 0 {
+		t.Fatalf("replica 3 flagged a justified NewView: %+v", js.unjust[3])
+	}
+}
+
+// TestUnjustifiedNewViewRejected: a Byzantine new primary injects a batch no
+// certificate vouches for through the NewView re-proposal path. Honest
+// receivers must reject the whole NewView, surface the offending proof
+// through UnjustifiedNewView (the hosts' evidence hook), and escalate past
+// the faulty primary to a view that recovers liveness.
+func TestUnjustifiedNewViewRejected(t *testing.T) {
+	h, js, rings := newJustifiedHarness(t, 4)
+
+	// Capture the signed ViewChange messages for view 1 while keeping them
+	// away from replica 1 — the Byzantine primary-elect must not assemble an
+	// honest NewView before we forge ours.
+	captured := make(map[types.NodeID]*types.Message)
+	h.drop = func(from, to types.NodeID, m *types.Message) bool {
+		if m.Type == types.MsgViewChange && m.View == 1 {
+			captured[m.From] = m
+		}
+		return to == types.ReplicaNode(0, 1)
+	}
+	for _, i := range []int{0, 2, 3} {
+		h.engines[i].StartViewChange(1)
+	}
+	h.pump()
+	if len(captured) < 3 {
+		t.Fatalf("captured %d view-change messages, want 3", len(captured))
+	}
+
+	// Forge replica 1's NewView: the quorum justification is genuine, but the
+	// re-proposal smuggles in an unjustified batch with no certificate.
+	evil := batchOf(99)
+	nv := &types.Message{
+		Type: types.MsgNewView, From: types.ReplicaNode(0, 1), Shard: 0, View: 1,
+		Prepared: []types.PreparedProof{
+			{View: 0, Seq: 1, Digest: evil.Digest(), Batch: evil},
+		},
+	}
+	for _, from := range types.SortedNodeKeys(captured) {
+		vc := captured[from]
+		nv.ViewMsgs = append(nv.ViewMsgs, types.Signed{
+			From: from, Type: types.MsgViewChange, Shard: 0,
+			View: vc.View, Seq: vc.StableSeq, Sig: vc.Sig,
+		})
+	}
+	nv.Sig = rings[1].Sign(nv.SigBytes())
+
+	h.engines[2].OnMessage(nv)
+	if got := h.engines[2].View(); got != 0 {
+		t.Fatalf("replica 2 installed the unjustified view: view = %d", got)
+	}
+	if !h.engines[2].InViewChange() {
+		t.Fatal("replica 2 abandoned its view change")
+	}
+	if len(js.unjust[2]) != 1 || js.unjust[2][0].Digest != evil.Digest() {
+		t.Fatalf("UnjustifiedNewView evidence missing or wrong: %+v", js.unjust[2])
+	}
+
+	// Escalation recovers: the stalled view change times out, the honest
+	// replicas target view 2, and its primary (replica 2) restores liveness.
+	later := time.Now().Add(time.Second)
+	for _, i := range []int{0, 2, 3} {
+		h.engines[i].Tick(later)
+	}
+	h.pump()
+	for _, i := range []int{0, 2, 3} {
+		if got := h.engines[i].View(); got != 2 {
+			t.Fatalf("replica %d view = %d, want 2", i, got)
+		}
+		if h.engines[i].InViewChange() {
+			t.Fatalf("replica %d still in view change", i)
+		}
+	}
+	b := batchOf(7)
+	js.vouch(b, 0, 1, 2, 3)
+	if !h.engines[2].IsPrimary() {
+		t.Fatal("replica 2 should be primary of view 2")
+	}
+	if _, err := h.engines[2].Propose(b); err != nil {
+		t.Fatal(err)
+	}
+	h.pump()
+	for _, i := range []int{0, 2, 3} {
+		found := false
+		for _, c := range h.commits[i] {
+			if c.digest == b.Digest() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("replica %d did not commit after escalation", i)
+		}
+		for _, c := range h.commits[i] {
+			if c.digest == evil.Digest() {
+				t.Fatalf("replica %d committed the unjustified batch", i)
+			}
+		}
+	}
+}

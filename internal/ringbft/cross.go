@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 
 	"ringbft/internal/crypto"
+	"ringbft/internal/evidence"
 	"ringbft/internal/pbft"
 	"ringbft/internal/types"
 )
@@ -96,6 +97,11 @@ func (r *Replica) onForward(m *types.Message) {
 	if crypto.VerifyMessageSig(r.auth, m) != nil {
 		return
 	}
+	// Detection before the certificate check: the Forward signature alone
+	// binds the sender to (seq, digest), and a conflicting claim whose
+	// certificate is garbage is exactly as indicting as one whose
+	// certificate verifies.
+	r.noteForward(m)
 	// The Forward must prove the previous shard replicated the batch:
 	// nf valid commit signatures from that shard (checked once per sender).
 	if err := pbft.VerifyCert(r.verifier, m.From.Shard, d, m.Cert, r.cfg.NF()); err != nil {
@@ -107,6 +113,12 @@ func (r *Replica) onForward(m *types.Message) {
 		// Adopt the batch as soon as one valid Forward is seen: the remote
 		// timer needs it to complain (Fig 6) even before f+1 copies arrive.
 		cs.batch = b
+	}
+	if cs.fwdCert == nil {
+		// One verified copy suffices to hold the justification certificate:
+		// it is self-certifying (nf signed commits), independent of the f+1
+		// copy count that gates acceptance below.
+		cs.fwdCert = m.Cert
 	}
 	if _, dup := cs.fwdFrom[m.From]; dup {
 		// Retransmission of an already-counted copy: the rotation is
@@ -175,6 +187,32 @@ func (r *Replica) onForward(m *types.Message) {
 	// 38-39). If we are already locked, execution still waits for the
 	// Execute message carrying the full Σ.
 	r.enqueueProposal(b, d)
+}
+
+// noteForward records conflicting-Forward evidence: the same previous-shard
+// replica signing two Forwards for one sequence with different digests. An
+// honest sender cannot — its shard committed exactly one batch at that
+// sequence — so the signature pair indicts the sender directly and is
+// transferable (both halves are Ed25519-signed over the canonical tuple).
+// Call only after the message signature verified.
+func (r *Replica) noteForward(m *types.Message) {
+	key := fwdKey{from: m.From, seq: m.Seq}
+	prev, ok := r.fwdSeen[key]
+	if !ok {
+		if len(r.fwdSeen) < fwdSeenCap {
+			r.fwdSeen[key] = evidence.MsgOf(m)
+		}
+		return
+	}
+	if prev.Digest == m.Digest {
+		return
+	}
+	r.ev.Add(evidence.Record{
+		Kind: evidence.KindConflictingForward, Accused: m.From,
+		Shard: r.shard, Seq: m.Seq,
+		First: prev, Second: evidence.MsgOf(m),
+		Transferable: true,
+	})
 }
 
 // executeCst executes this shard's fragment with every dependency resolved
@@ -355,6 +393,14 @@ func (r *Replica) onRemoteView(m *types.Message) {
 	if cs.batch == nil {
 		cs.batch = b
 	}
+	if !cs.fwdAccepted && cs.fwdFirst.IsZero() {
+		// Middle shard of a ring of three or more: the complaint reveals a
+		// batch this shard never saw a Forward copy for. Arm the remote
+		// timer so this shard complains upstream in turn — until the
+		// previous shard's certificate arrives no primary here can justify
+		// proposing it, so upstream pressure is the only recovery path.
+		cs.fwdFirst = r.clock()
+	}
 	if _, done := r.proposed[d]; !done {
 		if _, ok := r.awaitingProposal[d]; !ok {
 			r.awaitingProposal[d] = &pendingProposal{batch: b, since: r.clock()}
@@ -375,5 +421,11 @@ func (r *Replica) onRemoteView(m *types.Message) {
 		}
 		return
 	}
-	r.engine.StartViewChange(r.engine.View() + 1)
+	if r.justified(b) {
+		// Only view-change when a primary of this shard could actually
+		// propose the batch: without the Forward quorum every view burns a
+		// timeout parking the same unjustifiable proposal, while the armed
+		// remote timer above already drives recovery upstream.
+		r.engine.StartViewChange(r.engine.View() + 1)
+	}
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"ringbft/internal/crypto"
+	"ringbft/internal/evidence"
 	"ringbft/internal/ledger"
 	"ringbft/internal/pbft"
 	"ringbft/internal/sched"
@@ -68,6 +69,24 @@ type Replica struct {
 	// csts tracks every cross-shard transaction this replica has seen, by
 	// batch digest.
 	csts map[types.Digest]*cstState
+
+	// ev is the misbehavior evidence log: verifiable conflicting message
+	// pairs (equivocating pre-prepares, conflicting Forwards, unjustified
+	// NewView re-proposals, conflicting client requests). Always non-nil.
+	ev *evidence.Log
+
+	// clientSeen remembers the first batch digest observed per client
+	// transaction id: a client re-submitting the same payload is a legal
+	// retransmission (attack A1, answered from the executed cache), but two
+	// different payloads under one id is client equivocation and gets an
+	// evidence record. Bounded; tracking stops at the cap.
+	clientSeen map[types.TxnID]types.Digest
+
+	// fwdSeen remembers the first signed Forward per (sender, sequence): an
+	// honest previous-shard replica signs exactly one Forward digest per
+	// committed sequence, so a second digest under the same key indicts the
+	// sender with a transferable signature pair. Bounded like clientSeen.
+	fwdSeen map[fwdKey]evidence.Msg
 
 	// executed caches results of executed batches so retransmitted client
 	// requests are answered from the log (attack A1).
@@ -141,12 +160,35 @@ type pendingProposal struct {
 	since time.Time
 }
 
+// fwdKey identifies one sender's Forward claim for one sequence.
+type fwdKey struct {
+	from types.NodeID
+	seq  types.SeqNum
+}
+
+// Tracking caps for the misbehavior-detection maps: past these the replica
+// stops learning new ids/lanes (existing entries still detect conflicts).
+// Both bound memory against a flooding adversary, not honest load.
+const (
+	clientSeenCap = 1 << 16
+	fwdSeenCap    = 1 << 16
+)
+
 // cstState is the per-replica lifecycle of one cross-shard batch.
 type cstState struct {
 	digest types.Digest
 	batch  *types.Batch
 	seq    types.SeqNum
 	cert   []types.Signed
+
+	// fwdCert is the PREVIOUS shard's commit certificate, taken from the
+	// first verified inbound Forward. cert above is this shard's own — the
+	// two differ, and it is fwdCert that justifies proposing the batch here
+	// (pbft.Callbacks.Justification attaches it to view-change P-set proofs
+	// so a NewView can prove justification to replicas whose own Forward
+	// quorum never completed). Nil at the initiator and for single-shard
+	// batches.
+	fwdCert []types.Signed
 
 	locked   bool
 	executed bool
@@ -203,6 +245,10 @@ type Options struct {
 	// Recovered state is applied during Preload, before any traffic.
 	Durability *wal.Manager
 	Recovered  *wal.Recovered
+
+	// Evidence is the misbehavior evidence log (nil = fresh in-memory log).
+	// Pass an evidence.Open'd log to persist records across restarts.
+	Evidence *evidence.Log
 }
 
 // OpenDurability opens the durability manager for replica self under
@@ -224,6 +270,10 @@ func New(opts Options) *Replica {
 	snapEvery := opts.Config.SnapshotInterval
 	if snapEvery <= 0 {
 		snapEvery = opts.Config.CheckpointInterval
+	}
+	ev := opts.Evidence
+	if ev == nil {
+		ev = evidence.NewMemory()
 	}
 	r := &Replica{
 		cfg:              opts.Config,
@@ -250,27 +300,61 @@ func New(opts Options) *Replica {
 		dur:              opts.Durability,
 		rec:              opts.Recovered,
 		snapEvery:        snapEvery,
+		ev:               ev,
+		clientSeen:       make(map[types.TxnID]types.Digest),
+		fwdSeen:          make(map[fwdKey]evidence.Msg),
 	}
 	r.engine = pbft.New(opts.Shard, opts.Self, opts.Peers, opts.Auth, pbft.Callbacks{
 		Send:        func(to types.NodeID, m *types.Message) { r.send(to, m) },
 		Committed:   r.onCommitted,
 		ViewChanged: r.onViewChanged,
 		Stabilized:  r.onStabilized,
-		// A cross-shard proposal at a non-initiator shard must be vouched
-		// for by an accepted Forward (f+1 copies carrying the previous
-		// shard's commit certificate). Without this gate a Byzantine
-		// primary commits a fabricated batch variant — its own implicit
-		// prepare plus f honest backups is a quorum — whose locks nothing
-		// can ever release: no other shard committed it, so its ring
-		// rotation never completes and every conflicting transaction
-		// queues behind it forever. Parked proposals replay when the
-		// Forward quorum lands (onForward).
-		Justify: func(b *types.Batch) bool {
-			if !b.IsCrossShard() || b.Initiator() == r.shard {
-				return true
+		Justify:     func(b *types.Batch) bool { return r.justified(b) },
+		// NewView re-proposals must prove justification to replicas whose
+		// own Forward quorum never completed: the attached certificate is
+		// the previous shard's nf-signed commit cert, self-certifying under
+		// the same check onForward applies to inbound Forwards.
+		Justification: func(b *types.Batch) []types.Signed {
+			if b == nil || !b.IsCrossShard() || b.Initiator() == r.shard {
+				return nil
 			}
-			cs, ok := r.csts[b.Digest()]
-			return ok && cs.fwdAccepted
+			if cs, ok := r.csts[b.Digest()]; ok {
+				return cs.fwdCert
+			}
+			return nil
+		},
+		VerifyJustification: func(b *types.Batch, just []types.Signed) bool {
+			if b == nil || !b.IsCrossShard() || b.Initiator() == r.shard ||
+				!b.Involves(r.shard) || len(just) == 0 {
+				return false
+			}
+			return pbft.VerifyCert(r.verifier, b.PrevInRing(r.shard), b.Digest(), just, r.cfg.NF()) == nil
+		},
+		Equivocation: func(first, second *types.Message) {
+			// first is the accepted PrePrepare; the accusation targets its
+			// sender (the primary of that view). MAC-authenticated halves:
+			// recorder-verifiable, not transferable.
+			r.ev.Add(evidence.Record{
+				Kind: evidence.KindEquivocation, Accused: first.From,
+				Shard: r.shard, View: first.View, Seq: first.Seq,
+				First: evidence.MsgOf(first), Second: evidence.MsgOf(second),
+			})
+		},
+		UnjustifiedNewView: func(m *types.Message, p types.PreparedProof) {
+			// The NewView signature covers only the canonical tuple, not the
+			// re-proposal bodies, so this record transfers the signed claim
+			// that m.From led view m.View — the offending proof itself is
+			// recorder-attested only (see the evidence package doc).
+			r.ev.Add(evidence.Record{
+				Kind: evidence.KindUnjustifiedNewView, Accused: m.From,
+				Shard: r.shard, View: m.View, Seq: p.Seq,
+				First: evidence.MsgOf(m),
+				Second: evidence.Msg{
+					From: m.From, Type: types.MsgPrePrepare, Shard: r.shard,
+					View: p.View, Seq: p.Seq, Digest: p.Digest,
+				},
+				Transferable: true,
+			})
 		},
 	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Window: opts.Window, Verifier: verifier})
 	return r
@@ -318,6 +402,9 @@ func (r *Replica) Chain() *ledger.Chain { return r.chain }
 
 // Engine exposes the intra-shard PBFT engine (for tests and fault drivers).
 func (r *Replica) Engine() *pbft.Engine { return r.engine }
+
+// Evidence returns the replica's misbehavior evidence log.
+func (r *Replica) Evidence() *evidence.Log { return r.ev }
 
 // Shard returns the replica's shard.
 func (r *Replica) Shard() types.ShardID { return r.shard }
@@ -433,6 +520,7 @@ func (r *Replica) onClientRequest(m *types.Message) {
 	if m.Digest != (types.Digest{}) && m.Digest != d {
 		return // malformed: digest does not match content
 	}
+	r.noteClientConflicts(m.Batch, d)
 	if res, ok := r.executed[d]; ok {
 		r.respond(clientOf(m.Batch), d, res)
 		return
@@ -446,6 +534,39 @@ func (r *Replica) onClientRequest(m *types.Message) {
 		return
 	}
 	r.enqueueProposal(m.Batch, d)
+}
+
+// noteClientConflicts records client-equivocation evidence: two different
+// payloads submitted under one transaction id. Re-submitting the same
+// payload is a legal retransmission (attack A1, answered from the executed
+// cache); only a digest mismatch under the same id is misbehavior. The
+// batch is NOT dropped — ordering runs under consensus keyed by digest, so
+// both variants committing is safe; the log just names who tried. Client
+// requests carry no authenticator (see onClientRequest), so the record is
+// advisory: every honest replica the client contacted observes the same
+// pair, but it cannot convince a third party (Transferable=false).
+func (r *Replica) noteClientConflicts(b *types.Batch, d types.Digest) {
+	for i := range b.Txns {
+		id := b.Txns[i].ID
+		prev, ok := r.clientSeen[id]
+		if !ok {
+			if len(r.clientSeen) < clientSeenCap {
+				r.clientSeen[id] = d
+			}
+			continue
+		}
+		if prev == d {
+			continue
+		}
+		client := types.ClientNode(id.Client)
+		r.ev.Add(evidence.Record{
+			Kind: evidence.KindConflictingClient, Accused: client,
+			Shard: r.shard, Seq: types.SeqNum(id.Seq),
+			First:  evidence.Msg{From: client, Type: types.MsgClientRequest, Shard: r.shard, Digest: prev},
+			Second: evidence.Msg{From: client, Type: types.MsgClientRequest, Shard: r.shard, Digest: d},
+		})
+		return // one record per conflicting batch pair is plenty
+	}
 }
 
 // enqueueProposal registers a batch the current primary must order. The
@@ -463,8 +584,39 @@ func (r *Replica) enqueueProposal(b *types.Batch, d types.Digest) {
 	}
 }
 
+// justified reports whether batch b may enter local consensus. A
+// cross-shard batch at a non-initiator shard must be vouched for by an
+// accepted Forward (f+1 copies carrying the previous shard's commit
+// certificate). Without this gate a Byzantine primary commits a fabricated
+// batch variant — its own implicit prepare plus f honest backups is a
+// quorum — whose locks nothing can ever release: no other shard committed
+// it, so its ring rotation never completes and every conflicting
+// transaction queues behind it forever. Every proposal path shares this
+// gate: the engine's Justify callback (parking inbound PrePrepares until
+// onForward's ReplayParked), propose/tryProposeQueued (so the primary never
+// burns the proposed flag on a batch it cannot justify yet), the
+// awaiting-proposal watchdog (HandleTick), and NewView adoption (which
+// additionally accepts a carried certificate; see pbft justifiedProof).
+func (r *Replica) justified(b *types.Batch) bool {
+	if b == nil || !b.IsCrossShard() || b.Initiator() == r.shard {
+		return true
+	}
+	cs, ok := r.csts[b.Digest()]
+	return ok && cs.fwdAccepted
+}
+
 func (r *Replica) propose(b *types.Batch, d types.Digest) {
 	if _, done := r.proposed[d]; done {
+		return
+	}
+	if !r.justified(b) {
+		// Do not burn the proposed flag: the batch stays in
+		// awaitingProposal and re-enters through onForward's
+		// enqueueProposal once the Forward quorum lands. Proposing it now
+		// would only park on every backup; worse, cycling primaries would
+		// each mark it proposed and the eventual certificate arrival would
+		// find nobody left willing to propose (middle-shard wedge, rings of
+		// three or more shards, found by internal/chaos).
 		return
 	}
 	if _, err := r.engine.Propose(b); err != nil {
@@ -483,6 +635,14 @@ func (r *Replica) tryProposeQueued() {
 		b := r.proposeQueue[0]
 		d := b.Digest()
 		if _, done := r.proposed[d]; done {
+			r.proposeQueue = r.proposeQueue[1:]
+			continue
+		}
+		if !r.justified(b) {
+			// Unreachable today (propose gates before queueing and
+			// justification latches), but the gate stays uniform across
+			// proposal paths: drop from the retry queue, keep in
+			// awaitingProposal for onForward to revive.
 			r.proposeQueue = r.proposeQueue[1:]
 			continue
 		}

@@ -41,7 +41,14 @@ func (r *Replica) HandleTick(now time.Time) {
 		for _, p := range r.awaitingProposal {
 			if now.Sub(p.since) > r.cfg.LocalTimeout {
 				p.since = now // re-arm so escalation is paced
-				expired = true
+				// An unjustified entry — a cross-shard batch whose Forward
+				// quorum is still in flight — re-arms without escalating:
+				// no primary of this shard can propose it yet, so a view
+				// change cannot help; the remote timer (below) complains
+				// upstream instead.
+				if r.justified(p.batch) {
+					expired = true
+				}
 			}
 		}
 		if expired && !r.engine.IsPrimary() {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"ringbft/internal/crypto"
+	"ringbft/internal/evidence"
 	"ringbft/internal/ledger"
 	"ringbft/internal/pbft"
 	"ringbft/internal/sched"
@@ -46,10 +47,14 @@ type Options struct {
 
 	// Durability/Recovered come from wal.OpenManager: executed blocks are
 	// WAL-logged, snapshots cut every SnapshotInterval executed sequences,
-	// and a restarted replica resumes from the recovered state (crash-
-	// restart durability only; Sharper has no peer state transfer).
+	// and a restarted replica resumes from the recovered state. Stragglers
+	// that consensus alone cannot repair additionally use the peer block
+	// transfer in catchup.go.
 	Durability *wal.Manager
 	Recovered  *wal.Recovered
+
+	// Evidence is the misbehavior evidence log (nil = fresh in-memory log).
+	Evidence *evidence.Log
 }
 
 // Replica is one Sharper replica.
@@ -92,6 +97,17 @@ type Replica struct {
 	// equivalent note in internal/ringbft).
 	lastVC time.Time
 
+	// Peer block transfer (catchup.go): the most recent checkpoint
+	// certificate observed (served to starved peers), the request pacer,
+	// and the installs counter.
+	lastCert       *checkpointCert
+	lastXfer       time.Time
+	stateTransfers int64
+
+	// ev is the misbehavior evidence log (always non-nil; see
+	// internal/evidence).
+	ev *evidence.Log
+
 	viewChanges int64
 	retransmits int64
 }
@@ -115,6 +131,8 @@ type globalState struct {
 	prepSent   bool
 	commitSent bool
 	committed  bool
+	// lastNudge paces head-of-line vote re-broadcast (see HandleTick).
+	lastNudge time.Time
 }
 
 // New creates a Sharper replica.
@@ -123,7 +141,12 @@ func New(opts Options) *Replica {
 		opts.Clock = time.Now
 	}
 	verifier := crypto.NewVerifier(opts.Auth, opts.Config.VerifyWorkers)
+	ev := opts.Evidence
+	if ev == nil {
+		ev = evidence.NewMemory()
+	}
 	r := &Replica{
+		ev:       ev,
 		cfg:      opts.Config,
 		shard:    opts.Shard,
 		self:     opts.Self,
@@ -151,16 +174,30 @@ func New(opts Options) *Replica {
 		}(),
 	}
 	r.engine = pbft.New(opts.Shard, opts.Self, opts.Peers, opts.Auth, pbft.Callbacks{
-		Send:      func(to types.NodeID, m *types.Message) { r.send(to, m) },
-		Committed: r.onCommitted,
+		Send:       func(to types.NodeID, m *types.Message) { r.send(to, m) },
+		Committed:  r.onCommitted,
+		Stabilized: r.onStabilized,
 		ViewChanged: func(types.View) {
 			r.viewChanges++
 			r.lastVC = r.clock()
 			r.reproposeAwaiting()
 		},
+		// Sharper carries no justification certificates (its coordinator
+		// proposals replicate through ordinary local consensus), but primary
+		// equivocation is still detectable and recorded.
+		Equivocation: func(first, second *types.Message) {
+			r.ev.Add(evidence.Record{
+				Kind: evidence.KindEquivocation, Accused: first.From,
+				Shard: r.shard, View: first.View, Seq: first.Seq,
+				First: evidence.MsgOf(first), Second: evidence.MsgOf(second),
+			})
+		},
 	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier})
 	return r
 }
+
+// Evidence returns the replica's misbehavior evidence log.
+func (r *Replica) Evidence() *evidence.Log { return r.ev }
 
 // Preload installs this shard's store partition, then applies any state
 // recovered from disk (durable replicas).
@@ -234,6 +271,10 @@ func (r *Replica) ViewChangeCount() int64 { return r.viewChanges }
 // RetransmitCount reports message retransmissions (read after Run returns).
 func (r *Replica) RetransmitCount() int64 { return r.retransmits }
 
+// StateTransferCount reports installed peer block transfers (read after Run
+// returns).
+func (r *Replica) StateTransferCount() int64 { return r.stateTransfers }
+
 // Run drives the replica until ctx is cancelled.
 func (r *Replica) Run(ctx context.Context, inbox <-chan *types.Message) {
 	tickEvery := r.cfg.LocalTimeout / 4
@@ -271,6 +312,10 @@ func (r *Replica) HandleMessage(m *types.Message) {
 		r.onCrossVote(m, false)
 	case types.MsgSharperCommit:
 		r.onCrossVote(m, true)
+	case types.MsgStateRequest:
+		r.onStateRequest(m)
+	case types.MsgStateSnapshot:
+		r.onStateSnapshot(m)
 	default:
 		r.engine.OnMessage(m)
 		r.tryProposeQueued()
@@ -281,15 +326,29 @@ func (r *Replica) HandleMessage(m *types.Message) {
 func (r *Replica) HandleTick(now time.Time) {
 	r.engine.Tick(now)
 	r.tryProposeQueued()
+	r.maybeCatchup(now)
 	if r.engine.InViewChange() {
 		return
 	}
 	if now.Sub(r.lastVC) > r.cfg.LocalTimeout {
 		expired := false
-		for _, p := range r.awaiting {
+		// Sorted-digest order: the re-proposal below assigns sequence
+		// numbers, which must not depend on map iteration order.
+		for _, d := range types.SortedDigestKeys(r.awaiting) {
+			p := r.awaiting[d]
 			if now.Sub(p.since) > r.cfg.LocalTimeout {
 				p.since = now
 				expired = true
+				if r.engine.IsPrimary() {
+					// The proposed latch may date from a previous primacy
+					// of this member whose proposal died with its view;
+					// after enough view changes every member is latched and
+					// the batch can never be proposed again (found by
+					// internal/chaos, loss-storm schedules). Clear it so
+					// this primary re-proposes.
+					delete(r.proposed, d)
+					r.propose(p.batch, d)
+				}
 			}
 		}
 		if expired && !r.engine.IsPrimary() {
@@ -299,6 +358,28 @@ func (r *Replica) HandleTick(now time.Time) {
 	}
 	if oldest, ok := r.engine.OldestUncommitted(); ok && now.Sub(oldest) > r.cfg.LocalTimeout {
 		r.engine.StartViewChange(r.engine.View() + 1)
+	}
+	// Head-of-line renudge: Sharper executes strictly in sequence order and
+	// its global rounds have no protocol timer — recovery normally rides on
+	// client retries (renudge via onClientRequest). Under a loss storm the
+	// retries themselves get dropped, so one starved cst at the head of the
+	// execution pipeline wedges the shard; re-broadcast our votes for it,
+	// paced like the client path (found by internal/chaos, loss-storm
+	// schedules).
+	if e, ok := r.entries[r.execNext+1]; ok && e.batch != nil &&
+		len(e.batch.Txns) > 0 && e.batch.IsCrossShard() {
+		if gs, ok := r.global[e.batch.Digest()]; ok && !gs.committed &&
+			now.Sub(gs.lastNudge) > r.cfg.LocalTimeout {
+			gs.lastNudge = now
+			r.retransmits++
+			r.renudge(gs)
+			if e.batch.Initiator() == r.shard && r.engine.IsPrimary() {
+				// A stalled global round can also mean another involved
+				// shard never replicated the batch at all (every copy of
+				// the coordination proposal was lost): re-coordinate.
+				r.coordinate(e.batch, e.batch.Digest())
+			}
+		}
 	}
 }
 
@@ -348,8 +429,25 @@ func (r *Replica) coordinate(b *types.Batch, d types.Digest) {
 		if s == r.shard {
 			continue
 		}
-		r.send(types.ReplicaNode(s, 0), prop)
+		// Every replica of the involved shard, not just index 0: the
+		// coordinator cannot know the remote shard's current view, and a
+		// proposal addressed to a deposed (or straggling) primary dies in
+		// its awaiting map. Backups that receive it park it in their own
+		// awaiting, whose timer pressures their primary the usual way
+		// (found by internal/chaos, loss-storm schedules).
+		for _, to := range r.peersOf(s) {
+			r.send(to, prop)
+		}
 	}
+}
+
+// peersOf lists every replica of shard s (same replica count per shard).
+func (r *Replica) peersOf(s types.ShardID) []types.NodeID {
+	out := make([]types.NodeID, len(r.peers))
+	for i := range r.peers {
+		out[i] = types.ReplicaNode(s, i)
+	}
+	return out
 }
 
 // onPropose handles the coordinator's proposal at another involved shard.
@@ -459,6 +557,7 @@ func (r *Replica) onCommitted(seq types.SeqNum, batch *types.Batch, _ []types.Si
 	r.tracker.Committed(r.engine, seq, batch)
 	if batch.IsCrossShard() {
 		gs := r.globalState(d, batch)
+		gs.lastNudge = r.clock() // the prepare broadcast counts as attempt one
 		r.sendCrossRound(gs, types.MsgSharperPrepare)
 	}
 	r.drainExec()

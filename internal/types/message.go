@@ -145,6 +145,26 @@ type StatePayload struct {
 	PrefixDigest Digest // rolling ledger-order digest at Seq
 	StateDigest  Digest // SHA-256 over Pairs in ascending key order
 	Pairs        []Pair // canonical records, ascending key order
+
+	// Block-replay variant (Sharper peer catch-up): instead of shipping
+	// canonical pairs, the responder ships the ordered blocks the requester
+	// is missing, up to checkpoint Seq, plus the nf-signed Checkpoint votes
+	// certifying the rolling commit-prefix digest at Seq. The requester
+	// re-derives the prefix digest from its own contiguous prefix extended
+	// with the shipped batch digests (sequence gaps are view-change no-op
+	// fillers) and re-executes the batches locally, so neither state nor
+	// results are taken on the responder's word — forging a batch anywhere
+	// in the replayed range requires a SHA-256 collision against the
+	// certified fold.
+	Cert   []Signed   // nf signed Checkpoint votes for (Seq, PrefixDigest)
+	Blocks []BlockRec // missing blocks in ascending Seq order
+}
+
+// BlockRec is one replayable block of a block-transfer payload.
+type BlockRec struct {
+	Seq     SeqNum
+	Primary NodeID
+	Batch   *Batch
 }
 
 // PreparedProof is an element of a view-change message's P set: a batch that
@@ -155,6 +175,17 @@ type PreparedProof struct {
 	Seq    SeqNum
 	Digest Digest
 	Batch  *Batch
+	// Justification carries the certificate that entitles the batch to be
+	// proposed at this shard when proposals are certificate-gated: for a
+	// RingBFT non-initiator shard, the previous shard's nf-signed commit
+	// certificate (as carried by Forward); for an AHL data shard, the
+	// committee's AHLPrepare certificate. Empty for batches that need no
+	// justification (single-shard, initiator-shard, no-op fillers). A
+	// NewView receiver that has not itself accepted the certificate
+	// verifies this instead — without it a Byzantine new primary could
+	// inject an unjustified batch through the re-proposal path that the
+	// Justify gate blocks on the normal path.
+	Justification []Signed
 }
 
 // SigBytesLen is the exact length of the canonical authenticated byte string:
@@ -271,6 +302,14 @@ func (m *Message) WireSize() int {
 		n := sizeHeader + 2*32 + 8
 		if m.State != nil {
 			n += 16 * len(m.State.Pairs)
+			n += 64 * len(m.State.Cert)
+			for i := range m.State.Blocks {
+				nb := 0
+				if b := m.State.Blocks[i].Batch; b != nil {
+					nb = len(b.Txns)
+				}
+				n += sizeHeader + (sizePrePrepare-sizeHeader)*max(nb, 1)/calibBatch
+			}
 		}
 		return n
 	case MsgResponse, MsgZyzSpecResp:
@@ -281,12 +320,16 @@ func (m *Message) WireSize() int {
 		return sizeCommit + 64*len(m.Cert)
 	case MsgViewChange:
 		n := sizeHeader
-		for range m.Prepared {
-			n += sizePrePrepare
+		for i := range m.Prepared {
+			n += sizePrePrepare + 64*len(m.Prepared[i].Justification)
 		}
 		return n
 	case MsgNewView:
-		return sizeHeader + sizeCommit*len(m.ViewMsgs)
+		n := sizeHeader + sizeCommit*len(m.ViewMsgs)
+		for i := range m.Prepared {
+			n += sizePrePrepare + 64*len(m.Prepared[i].Justification)
+		}
+		return n
 	default:
 		return sizeHeader
 	}

@@ -119,6 +119,18 @@ func SortedDigestKeys[V any](m map[Digest]V) []Digest {
 	return out
 }
 
+// SortedSeqKeys returns the keys of m in ascending sequence order: the
+// deterministic replacement for ranging over a SeqNum-keyed map wherever
+// iteration order can reach a protocol decision or the network.
+func SortedSeqKeys[V any](m map[SeqNum]V) []SeqNum {
+	out := make([]SeqNum, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Batch is the unit of consensus: the primary aggregates client transactions
 // into a batch and runs consensus on the batch (Section 7, "Blockchain").
 // All transactions in one batch access the same set of shards, so a batch is

@@ -26,6 +26,12 @@ const (
 	// batch as already ordered, so a restarted primary never re-proposes a
 	// batch the shard committed before the crash.
 	KindProgress
+	// KindEvidence records one opaque payload for the misbehavior evidence
+	// log (internal/evidence). The WAL does not interpret the bytes — it
+	// only gives evidence the same framing, checksumming, and torn-tail
+	// repair the consensus log gets, so an accusation survives a crash with
+	// the offending messages intact.
+	KindEvidence
 )
 
 // Record is one WAL entry. LSN is assigned by Append and is strictly
@@ -45,6 +51,9 @@ type Record struct {
 	LastCheckpoint types.SeqNum
 	BatchDigest    types.Digest
 	View           types.View // view at lock time, so recovery rejoins it
+
+	// KindEvidence field: the encoded evidence record, opaque to the WAL.
+	Payload []byte
 }
 
 // ErrCorrupt reports a record that fails structural or checksum validation
@@ -185,6 +194,9 @@ func (rec *Record) encode(dst []byte) []byte {
 		dst = appendU64(dst, uint64(rec.LastCheckpoint))
 		dst = append(dst, rec.BatchDigest[:]...)
 		dst = appendU64(dst, uint64(rec.View))
+	case KindEvidence:
+		dst = appendU64(dst, uint64(len(rec.Payload)))
+		dst = append(dst, rec.Payload...)
 	}
 	return dst
 }
@@ -215,6 +227,13 @@ func decodeRecord(buf []byte) *Record {
 		rec.LastCheckpoint = types.SeqNum(r.u64())
 		rec.BatchDigest = r.digest()
 		rec.View = types.View(r.u64())
+	case KindEvidence:
+		n := r.u64()
+		if r.err || n > uint64(len(buf)-r.off) {
+			return nil
+		}
+		rec.Payload = append([]byte(nil), buf[r.off:r.off+int(n)]...)
+		r.off += int(n)
 	default:
 		return nil
 	}
@@ -230,6 +249,8 @@ func (k RecordKind) String() string {
 		return "block"
 	case KindProgress:
 		return "progress"
+	case KindEvidence:
+		return "evidence"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

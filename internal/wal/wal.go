@@ -389,3 +389,9 @@ func BlockRecord(seq types.SeqNum, primary types.NodeID, batch *types.Batch, res
 func ProgressRecord(kmax types.SeqNum, prefix types.Digest, lastCheckpoint types.SeqNum, batchDigest types.Digest, view types.View) *Record {
 	return &Record{Kind: KindProgress, Seq: kmax, PrefixDigest: prefix, LastCheckpoint: lastCheckpoint, BatchDigest: batchDigest, View: view}
 }
+
+// EvidenceRecord builds a KindEvidence record around an opaque payload
+// (internal/evidence owns the encoding).
+func EvidenceRecord(payload []byte) *Record {
+	return &Record{Kind: KindEvidence, Payload: payload}
+}
