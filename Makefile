@@ -9,18 +9,23 @@
 # ringbft/ahl/sharper; `make chaos` runs just that matrix verbosely and
 # `make chaos-soak` explores fresh seeds for SOAK_BUDGET (nightly CI).
 #
-# `make bench` runs the micro-benchmarks; `make bench-crypto` runs just the
-# authentication fast-path benchmarks whose reference numbers live in
-# internal/crypto/bench_baseline.json, `make bench-wal` the WAL
-# append/replay benchmarks (internal/wal/bench_baseline.json), and
-# `make bench-tcpnet` the transport Send-path benchmarks
-# (internal/tcpnet/bench_baseline.json; the sched executor baseline is in
-# internal/sched/bench_baseline.json).
+# The benchmark trajectory lives in one repo-root document, BENCH_PR8.json:
+# flat {name, unit, value, commit} entries merging the open-loop latency
+# sweep (`make bench-openloop`) with the per-package micro-benchmark
+# baselines. `make bench-consolidate` regenerates it; `make bench-check`
+# validates its schema (what CI gates on — the numbers are host-dependent).
+# `make bench` still runs the raw micro-benchmarks, with `bench-crypto`,
+# `bench-wal`, and `bench-tcpnet` as focused subsets.
+#
+# `make metrics-smoke` boots a loopback-TCP cluster and asserts the
+# /metrics exposition carries live series from every instrumented layer.
 
 GO ?= go
 SOAK_BUDGET ?= 10m
+OPENLOOP_RATES ?= 400,800,1600
+OPENLOOP_DURATION ?= 2s
 
-.PHONY: build test vet lint fmt-check bench bench-crypto bench-wal bench-tcpnet bench-consolidate race-crypto race-net race-all chaos chaos-soak chaos-wallclock verify
+.PHONY: build test vet lint fmt-check bench bench-crypto bench-wal bench-tcpnet bench-openloop bench-consolidate bench-check metrics-smoke race-crypto race-net race-all chaos chaos-soak chaos-wallclock verify
 
 build:
 	$(GO) build ./...
@@ -57,11 +62,27 @@ bench-wal:
 bench-tcpnet:
 	$(GO) test -run XXX -bench 'BenchmarkTransportSend' -benchmem -benchtime 200ms ./internal/tcpnet/
 
-# Regenerate the repo-root consolidated baseline document from the
-# per-package bench_baseline.json files; CI fails if the committed copy
-# drifted from its sources.
-bench-consolidate:
-	$(GO) run ./cmd/ringbft-benchmerge -o BENCH_PR6.json
+# Open-loop (Poisson arrival) latency sweep on the simulated WAN: committed
+# throughput plus end-to-end and per-phase latency quantiles per offered
+# load. Writes openloop.json for bench-consolidate to merge.
+bench-openloop:
+	$(GO) run ./cmd/ringbft-bench -openloop -rates $(OPENLOOP_RATES) \
+		-duration $(OPENLOOP_DURATION) -o openloop.json
+
+# Regenerate the repo-root consolidated trajectory (BENCH_PR8.json) from
+# the open-loop sweep plus the per-package baseline files.
+bench-consolidate: bench-openloop
+	$(GO) run ./cmd/ringbft-benchmerge -openloop openloop.json -o BENCH_PR8.json
+
+# Schema gate over the committed trajectory document (CI runs this; the
+# values themselves are host-dependent, so only the shape is gated).
+bench-check:
+	$(GO) run ./cmd/ringbft-benchmerge -check BENCH_PR8.json
+
+# Live-cluster observability smoke: loopback-TCP cluster, real client
+# traffic, scrape /metrics, assert per-layer series (see the script).
+metrics-smoke:
+	sh scripts/metrics-smoke.sh
 
 race-crypto:
 	$(GO) test -race ./internal/crypto/... ./internal/pbft/... ./internal/wal/...

@@ -10,12 +10,21 @@
 //	ringbft-bench -figure fig8-shards -profile full
 //	ringbft-bench -figure custom -protocol ringbft -shards 9 -replicas 7 \
 //	    -cross 0.3 -batch 100 -duration 5s   # one-off run
+//
+// The -openloop mode replaces the closed-loop clients with a Poisson
+// arrival generator and sweeps offered load, emitting a JSON document of
+// committed throughput plus end-to-end and per-phase latency quantiles
+// (consolidate with ringbft-benchmerge):
+//
+//	ringbft-bench -openloop -rates 400,800,1600 -duration 2s -o openloop.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,8 +49,25 @@ func main() {
 		duration = flag.Duration("duration", time.Second, "custom: measurement window")
 		latScale = flag.Float64("latscale", 0.05, "custom: WAN latency compression factor")
 		nocrypto = flag.Bool("nocrypto", false, "custom: disable MACs/signatures")
+
+		// open-loop sweep flags
+		openloop = flag.Bool("openloop", false, "run the open-loop (Poisson arrival) latency sweep instead of a figure")
+		rates    = flag.String("rates", "400,800,1600", "openloop: offered loads to sweep, txns/s, comma-separated")
+		seed     = flag.Int64("seed", 1, "openloop: workload/arrival seed")
+		outPath  = flag.String("o", "-", "openloop: output path for the sweep JSON (- for stdout)")
 	)
 	flag.Parse()
+
+	if *openloop {
+		runOpenLoop(openLoopArgs{
+			protocol: *protocol, shards: *shards, replicas: *replicas,
+			cross: *cross, involved: *involved, batch: *batch,
+			workers: *workers, vworkers: *vworkers, duration: *duration,
+			latScale: *latScale, nocrypto: *nocrypto,
+			rates: *rates, seed: *seed, out: *outPath,
+		})
+		return
+	}
 
 	p := harness.Quick
 	if *profile == "full" {
@@ -122,6 +148,67 @@ func main() {
 		}
 		fatal(fmt.Errorf("unknown figure %q", *figure))
 	}
+}
+
+type openLoopArgs struct {
+	protocol          string
+	shards, replicas  int
+	cross             float64
+	involved, batch   int
+	workers, vworkers int
+	duration          time.Duration
+	latScale          float64
+	nocrypto          bool
+	rates             string
+	seed              int64
+	out               string
+}
+
+func runOpenLoop(a openLoopArgs) {
+	var loads []float64
+	for _, s := range strings.Split(a.rates, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || r <= 0 {
+			fatal(fmt.Errorf("bad rate %q in -rates", s))
+		}
+		loads = append(loads, r)
+	}
+	cfg := harness.Config{
+		Protocol:         harness.Protocol(a.protocol),
+		Shards:           a.shards,
+		ReplicasPerShard: a.replicas,
+		CrossShardPct:    a.cross,
+		InvolvedShards:   a.involved,
+		BatchSize:        a.batch,
+		ExecWorkers:      a.workers,
+		VerifyWorkers:    a.vworkers,
+		Duration:         a.duration,
+		LatencyScale:     a.latScale,
+		NoCrypto:         a.nocrypto,
+		Seed:             a.seed,
+	}
+	doc, err := harness.RunOpenLoopSweep(cfg, loads)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range doc.Points {
+		fmt.Fprintf(os.Stderr,
+			"offered %.0f txn/s: committed %.0f txn/s, e2e p50 %.1fms p99 %.1fms (stalled %d)\n",
+			p.OfferedTps, p.CommittedTps, p.E2E.P50Ms, p.E2E.P99Ms, p.StalledSpans)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if a.out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(a.out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d points)\n", a.out, len(doc.Points))
 }
 
 func runFig9(p harness.Profile) {

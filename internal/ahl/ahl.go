@@ -30,7 +30,9 @@ import (
 	"time"
 
 	"ringbft/internal/crypto"
+	"ringbft/internal/metrics"
 	"ringbft/internal/pbft"
+	"ringbft/internal/trace"
 	"ringbft/internal/types"
 )
 
@@ -75,6 +77,11 @@ type CommitteeOptions struct {
 	Auth       crypto.Authenticator
 	Send       Sender
 	Clock      func() time.Time
+
+	// Metrics/Tracer enable live observability (see the equivalent fields
+	// on ringbft.Options). Both optional; pure side effects.
+	Metrics *metrics.Registry
+	Tracer  *trace.Tracer
 }
 
 // Committee is one member of AHL's reference committee.
@@ -99,6 +106,8 @@ type Committee struct {
 	queue    []*types.Batch
 
 	viewChanges int64
+
+	obs *hostObs
 }
 
 type committeeCst struct {
@@ -143,14 +152,16 @@ func NewCommittee(opts CommitteeOptions) *Committee {
 		proposed:   make(map[types.Digest]struct{}),
 		tracker:    pbft.NewCheckpointTracker(opts.Config.CheckpointInterval),
 	}
+	c.obs = newHostObs(opts.Metrics, opts.Tracer, types.CommitteeShard, opts.Self)
 	c.engine = pbft.New(types.CommitteeShard, opts.Self, opts.Peers, opts.Auth, pbft.Callbacks{
 		Send:      func(to types.NodeID, m *types.Message) { c.send(to, m) },
 		Committed: c.onCommitted,
 		ViewChanged: func(types.View) {
 			c.viewChanges++
+			c.obs.incViewChanges()
 			c.repropose()
 		},
-	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier})
+	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier, OnPhase: c.obs.phase(types.CommitteeShard)})
 	return c
 }
 
@@ -203,6 +214,7 @@ func (c *Committee) HandleMessage(m *types.Message) {
 func (c *Committee) HandleTick(now time.Time) {
 	c.engine.Tick(now)
 	c.tryProposeQueued()
+	c.obs.sample(len(c.queue), 0)
 	if c.engine.InViewChange() {
 		return
 	}

@@ -1,0 +1,90 @@
+package ahl
+
+import (
+	"strconv"
+	"time"
+
+	"ringbft/internal/metrics"
+	"ringbft/internal/trace"
+	"ringbft/internal/types"
+)
+
+// hostObs bundles the optional observability wiring of an AHL node
+// (committee member or shard replica): the lifecycle tracer plus registry
+// handles. Nil when neither a registry nor a tracer was supplied; every
+// method tolerates a nil receiver so call sites stay unconditional.
+type hostObs struct {
+	tr          *trace.Tracer
+	phases      [16]*metrics.Counter
+	viewChanges *metrics.Counter
+	executed    *metrics.Counter
+	queueDepth  *metrics.Gauge
+	evRecords   *metrics.Gauge
+}
+
+func newHostObs(reg *metrics.Registry, tr *trace.Tracer, shard types.ShardID, self types.NodeID) *hostObs {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	o := &hostObs{tr: tr}
+	if reg == nil {
+		return o
+	}
+	s := strconv.Itoa(int(shard))
+	i := strconv.Itoa(self.Index)
+	lbl := []string{"shard", s, "replica", i}
+	o.viewChanges = reg.Counter("ahl_view_changes_total", lbl...)
+	o.executed = reg.Counter("ahl_executed_txns_total", lbl...)
+	o.queueDepth = reg.Gauge("ahl_queue_depth", lbl...)
+	o.evRecords = reg.Gauge("ahl_evidence_records", lbl...)
+	for _, p := range []trace.Phase{
+		trace.PhasePrePrepare, trace.PhasePrepare, trace.PhaseCommit,
+		trace.PhaseExecute, trace.PhaseReply, trace.PhaseViewChange,
+	} {
+		o.phases[p] = reg.Counter("pbft_phase_transitions_total",
+			"shard", s, "replica", i, "phase", p.String())
+	}
+	return o
+}
+
+// phase is the pbft OnPhase sink; shard is fixed per node at wiring time.
+func (o *hostObs) phase(shard types.ShardID) func(types.SeqNum, trace.Phase, time.Time) {
+	if o == nil {
+		return nil
+	}
+	return func(seq types.SeqNum, ph trace.Phase, at time.Time) {
+		o.observe(at, shard, uint64(seq), ph)
+	}
+}
+
+func (o *hostObs) observe(at time.Time, shard types.ShardID, seq uint64, ph trace.Phase) {
+	if o == nil {
+		return
+	}
+	if o.tr != nil {
+		o.tr.Record(at, int(shard), seq, ph)
+	}
+	if int(ph) < len(o.phases) && o.phases[ph] != nil {
+		o.phases[ph].Inc()
+	}
+}
+
+func (o *hostObs) addExecuted(n int) {
+	if o != nil && o.executed != nil {
+		o.executed.Add(int64(n))
+	}
+}
+
+func (o *hostObs) incViewChanges() {
+	if o != nil && o.viewChanges != nil {
+		o.viewChanges.Inc()
+	}
+}
+
+func (o *hostObs) sample(queue, evidence int) {
+	if o == nil || o.queueDepth == nil {
+		return
+	}
+	o.queueDepth.Set(int64(queue))
+	o.evRecords.Set(int64(evidence))
+}

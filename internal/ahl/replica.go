@@ -9,9 +9,11 @@ import (
 	"ringbft/internal/crypto"
 	"ringbft/internal/evidence"
 	"ringbft/internal/ledger"
+	"ringbft/internal/metrics"
 	"ringbft/internal/pbft"
 	"ringbft/internal/sched"
 	"ringbft/internal/store"
+	"ringbft/internal/trace"
 	"ringbft/internal/types"
 	"ringbft/internal/wal"
 )
@@ -37,6 +39,11 @@ type ReplicaOptions struct {
 
 	// Evidence is the misbehavior evidence log (nil = fresh in-memory log).
 	Evidence *evidence.Log
+
+	// Metrics/Tracer enable live observability (see the equivalent fields
+	// on ringbft.Options). Both optional; pure side effects.
+	Metrics *metrics.Registry
+	Tracer  *trace.Tracer
 }
 
 // Replica is one AHL shard replica: plain PBFT for single-shard
@@ -86,6 +93,8 @@ type Replica struct {
 	ev *evidence.Log
 
 	viewChanges int64
+
+	obs *hostObs
 }
 
 type entry struct {
@@ -146,11 +155,13 @@ func NewReplica(opts ReplicaOptions) *Replica {
 	if r.snapEvery <= 0 {
 		r.snapEvery = opts.Config.CheckpointInterval
 	}
+	r.obs = newHostObs(opts.Metrics, opts.Tracer, opts.Shard, opts.Self)
 	r.engine = pbft.New(opts.Shard, opts.Self, opts.Peers, opts.Auth, pbft.Callbacks{
 		Send:      func(to types.NodeID, m *types.Message) { r.send(to, m) },
 		Committed: r.onCommitted,
 		ViewChanged: func(types.View) {
 			r.viewChanges++
+			r.obs.incViewChanges()
 			r.lastVC = r.clock()
 			r.repropose()
 		},
@@ -194,7 +205,7 @@ func NewReplica(opts ReplicaOptions) *Replica {
 				Transferable: true,
 			})
 		},
-	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier})
+	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier, OnPhase: r.obs.phase(opts.Shard)})
 	return r
 }
 
@@ -329,6 +340,7 @@ func (r *Replica) HandleMessage(m *types.Message) {
 func (r *Replica) HandleTick(now time.Time) {
 	r.engine.Tick(now)
 	r.tryProposeQueued()
+	r.obs.sample(len(r.queue), r.ev.Len())
 	if r.engine.InViewChange() {
 		return
 	}
@@ -622,11 +634,14 @@ func (r *Replica) drainExec() {
 			return r.kv.ExecuteTxnPartial(&b.Txns[i], r.shard, r.cfg.Shards), nil
 		})
 		r.executed[d] = results
+		r.obs.addExecuted(len(b.Txns))
+		r.obs.observe(r.clock(), r.shard, uint64(e.seq), trace.PhaseExecute)
 		primary := r.engine.Primary(r.engine.View())
 		r.chain.Append(e.seq, primary, b)
 		r.logExecuted(e.seq, primary, b, results)
 		if b.Initiator() == r.shard {
 			r.respond(clientOf(b), d, results)
+			r.obs.observe(r.clock(), r.shard, uint64(e.seq), trace.PhaseReply)
 		}
 	}
 }

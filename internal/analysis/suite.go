@@ -28,7 +28,14 @@ func DefaultSuite() []Scoped {
 		"cmd/ringbft-client", "cmd/ringbft-node",
 	}
 	// Seed-deterministic: Scenario(seed) and jitter sampling must replay.
-	seeded := []string{"internal/chaos", "internal/simnet"}
+	// internal/metrics and internal/trace join the scope because their
+	// wall-clock-freedom is what lets instrumented chaos runs stay
+	// byte-identical: every timestamp must come from a caller-injected
+	// clock, never time.Now.
+	seeded := []string{
+		"internal/chaos", "internal/simnet",
+		"internal/metrics", "internal/trace",
+	}
 
 	return []Scoped{
 		{Analyzer: MapIter, Scope: deterministic,

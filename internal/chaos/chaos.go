@@ -118,6 +118,12 @@ type Scenario struct {
 	// ticks the probe batches may take to commit.
 	Horizon     int
 	ProbeBudget int
+
+	// Instrument attaches a metrics registry and per-node lifecycle tracers
+	// to the cluster. Pure side effect: Name, BuildSchedule, and the run's
+	// fingerprint are all independent of it — TestSeedDeterminism asserts an
+	// instrumented run is byte-identical to an uninstrumented one.
+	Instrument bool
 }
 
 // Normalize fills defaults, returning the effective scenario.

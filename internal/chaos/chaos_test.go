@@ -27,6 +27,10 @@ func TestChaosMatrix(t *testing.T) {
 	}
 	for _, sc := range matrix {
 		sc := sc
+		// The whole matrix runs instrumented: phase tracing and metrics are
+		// pure side effects, so every invariant must hold with them on, and
+		// each scenario gains a per-phase stall attribution in its log line.
+		sc.Instrument = true
 		t.Run(sc.Name(), func(t *testing.T) {
 			res, err := RunScenario(sc)
 			if err != nil {
@@ -39,8 +43,12 @@ func TestChaosMatrix(t *testing.T) {
 				t.Fatalf("scenario %s committed nothing\nreproduce with: %s",
 					sc.Name(), sc.ReproCmd())
 			}
-			t.Logf("committed=%d ticks=%d probeTicks=%d replicas=%d",
-				res.Committed, res.Ticks, res.ProbeTicks, len(res.States))
+			if res.MetricsText == "" {
+				t.Fatal("instrumented run produced no metrics snapshot")
+			}
+			t.Logf("committed=%d ticks=%d probeTicks=%d replicas=%d %s",
+				res.Committed, res.Ticks, res.ProbeTicks, len(res.States),
+				res.StallReport())
 		})
 	}
 }
@@ -101,6 +109,21 @@ func TestSeedDeterminism(t *testing.T) {
 			if a.Committed != b.Committed || a.LastCommitTick != b.LastCommitTick {
 				t.Fatalf("counters diverged: committed %d vs %d, lastCommit %d vs %d",
 					a.Committed, b.Committed, a.LastCommitTick, b.LastCommitTick)
+			}
+			// Third run with instrumentation on: tracing and metrics must be
+			// pure side effects — the fingerprint stays byte-identical.
+			ic := sc
+			ic.Instrument = true
+			i, err := RunScenario(ic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fa, fi := a.Fingerprint(), i.Fingerprint(); fa != fi {
+				t.Fatalf("instrumented run of %s diverged from bare run:\n  bare         %s\n  instrumented %s",
+					sc.Name(), fa, fi)
+			}
+			if i.MetricsText == "" {
+				t.Fatal("instrumented run produced no metrics snapshot")
 			}
 		})
 	}

@@ -9,8 +9,10 @@ import (
 	"ringbft/internal/ahl"
 	"ringbft/internal/crypto"
 	"ringbft/internal/harness"
+	"ringbft/internal/metrics"
 	"ringbft/internal/ringbft"
 	"ringbft/internal/sharper"
+	"ringbft/internal/trace"
 	"ringbft/internal/types"
 	"ringbft/internal/wal"
 	"ringbft/internal/workload"
@@ -85,6 +87,13 @@ type Cluster struct {
 	clients        []*dclient
 	lastCommitTick int
 	committed      int
+
+	// Observability (Scenario.Instrument). Timestamps come from the virtual
+	// clock, so the instrumented run is as deterministic as the bare one.
+	// Tracers are keyed by node slot and survive spawn() rebuilds: a
+	// crash/restart keeps one contiguous span log per replica.
+	reg     *metrics.Registry
+	tracers map[types.NodeID]*trace.Tracer
 }
 
 // advClientID names the client the client-fault classes corrupt; the
@@ -132,6 +141,10 @@ func NewCluster(sc Scenario) *Cluster {
 		byzSilent:  make(map[types.NodeID]bool),
 		byzEquiv:   make(map[types.NodeID]bool),
 		byzNewView: make(map[types.NodeID]bool),
+		tracers:    make(map[types.NodeID]*trace.Tracer),
+	}
+	if sc.Instrument {
+		c.reg = metrics.NewRegistry()
 	}
 	c.shardPeers = make([][]types.NodeID, sc.Shards)
 	var all []types.NodeID
@@ -190,6 +203,20 @@ func (c *Cluster) clock() time.Time {
 	return time.Unix(0, 0).Add(time.Duration(c.tick) * tickStep)
 }
 
+// tracer returns node id's lifecycle tracer (nil when the scenario is not
+// instrumented), creating it on first use and reusing it on respawn.
+func (c *Cluster) tracer(id types.NodeID) *trace.Tracer {
+	if !c.sc.Instrument {
+		return nil
+	}
+	t, ok := c.tracers[id]
+	if !ok {
+		t = trace.New(0)
+		c.tracers[id] = t
+	}
+	return t
+}
+
 // spawn builds (or rebuilds, after a crash) node id, recovering whatever
 // survives on the shared in-memory filesystem.
 func (c *Cluster) spawn(id types.NodeID) {
@@ -201,6 +228,7 @@ func (c *Cluster) spawn(id types.NodeID) {
 			Config: c.cfg, Self: id, Peers: c.committee,
 			Auth: c.auths[id], Send: ahl.Sender(send), Clock: clock,
 			ShardPeers: c.shardPeers,
+			Metrics:    c.reg, Tracer: c.tracer(id),
 		})
 		return
 	case c.sc.Protocol == harness.ProtoRingBFT:
@@ -213,6 +241,7 @@ func (c *Cluster) spawn(id types.NodeID) {
 			Peers: c.shardPeers[id.Shard], Auth: c.auths[id],
 			Send: ringbft.Sender(send), Clock: clock,
 			Durability: m, Recovered: rec,
+			Metrics: c.reg, Tracer: c.tracer(id),
 		})
 		r.Preload(c.sc.Records)
 		c.nodes[id] = r
@@ -223,6 +252,7 @@ func (c *Cluster) spawn(id types.NodeID) {
 			Peers: c.shardPeers[id.Shard], Committee: c.committee,
 			Auth: c.auths[id], Send: ahl.Sender(send), Clock: clock,
 			Durability: m, Recovered: rec,
+			Metrics: c.reg, Tracer: c.tracer(id),
 		})
 		r.Preload(c.sc.Records)
 		c.nodes[id] = r
@@ -233,6 +263,7 @@ func (c *Cluster) spawn(id types.NodeID) {
 			Peers: c.shardPeers[id.Shard], Auth: c.auths[id],
 			Send: sharper.Sender(send), Clock: clock,
 			Durability: m, Recovered: rec,
+			Metrics: c.reg, Tracer: c.tracer(id),
 		})
 		r.Preload(c.sc.Records)
 		c.nodes[id] = r
@@ -631,6 +662,22 @@ func (c *Cluster) stepClient(cl *dclient) {
 			}
 		}
 	}
+}
+
+// Observability returns the merged lifecycle events (in canonical node
+// order, so the result is as deterministic as the run) and the metrics
+// snapshot of an instrumented cluster; nil and "" otherwise.
+func (c *Cluster) Observability() ([]trace.Event, string) {
+	if c.reg == nil {
+		return nil, ""
+	}
+	batches := make([][]trace.Event, 0, len(c.order))
+	for _, id := range c.order {
+		if t, ok := c.tracers[id]; ok {
+			batches = append(batches, t.Events())
+		}
+	}
+	return trace.Merge(batches...), c.reg.Snapshot()
 }
 
 // Capture snapshots every replica's commit state (crashed nodes included —

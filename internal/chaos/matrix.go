@@ -2,8 +2,11 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"ringbft/internal/harness"
+	"ringbft/internal/trace"
 	"ringbft/internal/types"
 )
 
@@ -26,6 +29,40 @@ type RunResult struct {
 	LastCommitTick int
 	ProbeTicks     int
 	Ticks          int
+
+	// Instrumented runs only (Scenario.Instrument): Stalls attributes every
+	// consensus span that never reached execution to the last phase it did
+	// reach — the nemesis's footprint, phase by phase — and MetricsText is
+	// the cluster-wide registry snapshot. Both are diagnostics, deliberately
+	// excluded from Fingerprint.
+	Stalls      map[trace.Phase]int
+	MetricsText string
+}
+
+// StallReport renders the per-phase stall attribution, worst phase first.
+func (r *RunResult) StallReport() string {
+	if len(r.Stalls) == 0 {
+		return "stalls: none"
+	}
+	type row struct {
+		ph trace.Phase
+		n  int
+	}
+	rows := make([]row, 0, len(r.Stalls))
+	for ph, n := range r.Stalls {
+		rows = append(rows, row{ph, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].ph < rows[j].ph
+	})
+	parts := make([]string, len(rows))
+	for i, rw := range rows {
+		parts[i] = fmt.Sprintf("%s=%d", rw.ph, rw.n)
+	}
+	return "stalls: " + strings.Join(parts, " ")
 }
 
 // Fingerprint summarizes the run's observable outcome (committed block
@@ -95,6 +132,10 @@ func RunScenario(sc Scenario) (*RunResult, error) {
 		res.PerClient = append(res.PerClient, cl.committed)
 	}
 	res.States = c.Capture()
+	if events, snapshot := c.Observability(); snapshot != "" {
+		res.Stalls = trace.Stalled(events)
+		res.MetricsText = snapshot
+	}
 
 	res.Violations = CheckStates(res.States)
 	if !probeOK {

@@ -148,6 +148,7 @@ func RunWallClock(sc Scenario, window time.Duration) (*WallClockResult, error) {
 		Durable:            sc.Protocol == harness.ProtoRingBFT,
 		Nemesis:            nemesisFromSchedule(sc, sched, window),
 		CollectState:       true,
+		Instrument:         sc.Instrument,
 	}
 	res, err := harness.Run(cfg)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"ringbft/internal/ahl"
 	"ringbft/internal/crypto"
+	obs "ringbft/internal/metrics"
 	"ringbft/internal/protocols"
 	"ringbft/internal/ringbft"
 	"ringbft/internal/sharper"
@@ -50,6 +51,9 @@ func build(cfg Config) (*cluster, error) {
 	}
 
 	cl := &cluster{cfg: cfg, tcfg: tcfg, net: net}
+	if cfg.Instrument {
+		cl.reg = obs.NewRegistry()
+	}
 	attach := func(id types.NodeID, region simnet.Region) endpoint {
 		return net.Attach(id, region)
 	}
@@ -70,12 +74,16 @@ func build(cfg Config) (*cluster, error) {
 				}
 				peers := shardPeers[s]
 				send := cl.interceptSend(cfg, id, a, ep.Send)
+				// One tracer per node slot, shared with any respawn of the
+				// same slot so a crash/restart keeps one contiguous span log.
+				tr := cl.newTracer()
 				mk := func() node {
 					opts := ringbft.Options{
 						Config: tcfg, Shard: id.Shard, Self: id,
 						Peers: peers, Auth: a,
 						Send:            ringbft.Sender(send),
 						AllToAllForward: cfg.AllToAllForward,
+						Metrics:         cl.reg, Tracer: tr,
 					}
 					if cl.fs != nil {
 						// Errors here degrade to an in-memory replica; the
@@ -115,7 +123,8 @@ func build(cfg Config) (*cluster, error) {
 				r := sharper.New(sharper.Options{
 					Config: tcfg, Shard: types.ShardID(s), Self: id,
 					Peers: shardPeers[s], Auth: a,
-					Send: sharper.Sender(cl.interceptSend(cfg, id, a, ep.Send)),
+					Send:    sharper.Sender(cl.interceptSend(cfg, id, a, ep.Send)),
+					Metrics: cl.reg, Tracer: cl.newTracer(),
 				})
 				r.Preload(cfg.Records)
 				cl.nodes = append(cl.nodes, r)
@@ -143,6 +152,7 @@ func build(cfg Config) (*cluster, error) {
 				Config: tcfg, Self: id, Peers: committee, Auth: a,
 				Send:       ahl.Sender(cl.interceptSend(cfg, id, a, ep.Send)),
 				ShardPeers: shardPeers,
+				Metrics:    cl.reg, Tracer: cl.newTracer(),
 			})
 			_ = i
 			cl.nodes = append(cl.nodes, r)
@@ -161,7 +171,8 @@ func build(cfg Config) (*cluster, error) {
 				r := ahl.NewReplica(ahl.ReplicaOptions{
 					Config: tcfg, Shard: types.ShardID(s), Self: id,
 					Peers: shardPeers[s], Committee: committee, Auth: a,
-					Send: ahl.Sender(cl.interceptSend(cfg, id, a, ep.Send)),
+					Send:    ahl.Sender(cl.interceptSend(cfg, id, a, ep.Send)),
+					Metrics: cl.reg, Tracer: cl.newTracer(),
 				})
 				r.Preload(cfg.Records)
 				cl.nodes = append(cl.nodes, r)

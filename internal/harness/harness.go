@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"ringbft/internal/crypto"
+	obs "ringbft/internal/metrics"
 	"ringbft/internal/simnet"
+	"ringbft/internal/trace"
 	"ringbft/internal/types"
 	"ringbft/internal/wal"
 	"ringbft/internal/workload"
@@ -142,6 +144,13 @@ type Config struct {
 	RestartAt     time.Duration
 	WipeOnRestart bool
 
+	// Instrument attaches a shared metrics registry and one lifecycle
+	// tracer per node (internal/metrics, internal/trace) to the protocol
+	// hosts that support them. Pure side effect: determinism guards assert
+	// that seeded schedules are byte-identical with this on. The merged
+	// events and a registry snapshot land in Result.
+	Instrument bool
+
 	// Nemesis, when non-nil, runs alongside the workload from the moment
 	// the measurement window opens, injecting faults through its
 	// Controller (internal/chaos builds seeded schedules on top of this
@@ -188,6 +197,13 @@ type Result struct {
 	// final healing action (0 when no nemesis ran or nothing healed);
 	// liveness checkers assert commits happen after it.
 	NemesisLastHeal time.Duration
+
+	// TraceEvents merges every node's lifecycle tracer chronologically
+	// (Instrument runs only) — feed to trace.Breakdown / trace.Stalled.
+	TraceEvents []trace.Event
+	// MetricsText is the Prometheus-text snapshot of the run's registry
+	// (Instrument runs only).
+	MetricsText string
 }
 
 func (r Result) String() string {
@@ -246,6 +262,22 @@ type cluster struct {
 	// respNeed is the number of matching responses completing a request
 	// (f+1 by default; n for Zyzzyva's speculative fast path, nf for PoE).
 	respNeed int
+	// reg/tracers are the Instrument-run observability sinks: one shared
+	// registry, one tracer per node. A tracer survives crash/restart of its
+	// node (the rebuild closure re-wires the same one).
+	reg     *obs.Registry
+	tracers []*trace.Tracer
+}
+
+// newTracer allocates one lifecycle tracer on Instrument runs (nil
+// otherwise) and retains it for post-run merging.
+func (cl *cluster) newTracer() *trace.Tracer {
+	if !cl.cfg.Instrument {
+		return nil
+	}
+	t := trace.New(0)
+	cl.tracers = append(cl.tracers, t)
+	return t
 }
 
 // Run executes one experiment and returns its metrics.
@@ -355,7 +387,24 @@ func Run(cfg Config) (Result, error) {
 			res.RecoveredNodes++
 		}
 	}
+	collectObservability(cl, &res)
 	return res, nil
+}
+
+// collectObservability merges the per-node tracers and snapshots the
+// registry into the result (Instrument runs only).
+func collectObservability(cl *cluster, res *Result) {
+	if !cl.cfg.Instrument {
+		return
+	}
+	batches := make([][]trace.Event, len(cl.tracers))
+	for i, t := range cl.tracers {
+		batches[i] = t.Events()
+	}
+	res.TraceEvents = trace.Merge(batches...)
+	if cl.reg != nil {
+		res.MetricsText = cl.reg.Snapshot()
+	}
 }
 
 func applyDefaults(cfg *Config) {

@@ -1,0 +1,250 @@
+package harness
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"ringbft/internal/simnet"
+	"ringbft/internal/trace"
+	"ringbft/internal/types"
+	"ringbft/internal/workload"
+)
+
+// Open-loop latency experiment: batches arrive on a Poisson process at a
+// fixed offered rate, independent of completions. Unlike the closed-loop
+// clients of Run (whose window throttles arrivals to the system's pace,
+// hiding queueing delay), an open-loop generator exposes the latency the
+// system imposes at a given load — the methodology behind every
+// latency-vs-throughput curve in the paper's evaluation. The cluster runs
+// instrumented, so each point also reports the per-phase consensus
+// breakdown (pre-prepare, prepare, commit, execute) from the trace layer.
+
+// PhaseLatency summarizes one latency distribution of an open-loop point.
+type PhaseLatency struct {
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	Samples int     `json:"samples"`
+}
+
+func phaseLatency(ds []time.Duration) PhaseLatency {
+	return PhaseLatency{
+		P50Ms:   float64(trace.Quantile(ds, 0.50)) / float64(time.Millisecond),
+		P99Ms:   float64(trace.Quantile(ds, 0.99)) / float64(time.Millisecond),
+		Samples: len(ds),
+	}
+}
+
+// OpenLoopPoint is one offered-load point of a sweep.
+type OpenLoopPoint struct {
+	OfferedTps    float64                 `json:"offered_tps"`
+	OfferedTxns   int64                   `json:"offered_txns"`
+	CommittedTxns int64                   `json:"committed_txns"`
+	CommittedTps  float64                 `json:"committed_tps"`
+	E2E           PhaseLatency            `json:"e2e"`
+	Phases        map[string]PhaseLatency `json:"phases"`
+	StalledSpans  int                     `json:"stalled_spans"`
+}
+
+// OpenLoopDoc is the JSON document ringbft-bench -openloop emits and
+// ringbft-benchmerge consolidates into the benchmark trajectory.
+type OpenLoopDoc struct {
+	Protocol         string          `json:"protocol"`
+	Shards           int             `json:"shards"`
+	ReplicasPerShard int             `json:"replicas_per_shard"`
+	BatchSize        int             `json:"batch_size"`
+	CrossShardPct    float64         `json:"cross_shard_pct"`
+	Seed             int64           `json:"seed"`
+	Points           []OpenLoopPoint `json:"points"`
+}
+
+// RunOpenLoop drives one instrumented cluster with a Poisson arrival
+// process offering rate txns/s and reports committed throughput plus
+// end-to-end and per-phase latency quantiles.
+func RunOpenLoop(cfg Config, rate float64) (OpenLoopPoint, error) {
+	applyDefaults(&cfg)
+	cfg.Instrument = true
+	cl, err := build(cfg)
+	if err != nil {
+		return OpenLoopPoint{}, err
+	}
+	defer cl.net.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt := newRuntime(ctx, cl)
+	for i := range cl.nodes {
+		rt.start(i)
+	}
+
+	point := runOpenLoopGen(cl, rate)
+	cancel()
+	rt.wg.Wait()
+
+	var res Result
+	collectObservability(cl, &res)
+	bd := trace.Breakdown(res.TraceEvents)
+	point.Phases = map[string]PhaseLatency{
+		"pre-prepare": phaseLatency(bd[trace.PhasePrePrepare]),
+		"prepare":     phaseLatency(bd[trace.PhasePrepare]),
+		"commit":      phaseLatency(bd[trace.PhaseCommit]),
+		"execute":     phaseLatency(bd[trace.PhaseExecute]),
+	}
+	for _, n := range trace.Stalled(res.TraceEvents) {
+		point.StalledSpans += n
+	}
+	return point, nil
+}
+
+// RunOpenLoopSweep runs one open-loop point per offered rate (txns/s).
+func RunOpenLoopSweep(cfg Config, rates []float64) (OpenLoopDoc, error) {
+	applyDefaults(&cfg)
+	doc := OpenLoopDoc{
+		Protocol:         string(cfg.Protocol),
+		Shards:           cfg.Shards,
+		ReplicasPerShard: cfg.ReplicasPerShard,
+		BatchSize:        cfg.BatchSize,
+		CrossShardPct:    cfg.CrossShardPct,
+		Seed:             cfg.Seed,
+	}
+	for _, r := range rates {
+		p, err := RunOpenLoop(cfg, r)
+		if err != nil {
+			return doc, err
+		}
+		p.OfferedTps = r
+		doc.Points = append(doc.Points, p)
+	}
+	return doc, nil
+}
+
+// runOpenLoopGen is the arrival/completion loop: exponential inter-arrival
+// times at rate/BatchSize batches per second, fire-and-forget sends, f+1
+// matching responses complete a batch. Arrivals never wait on completions;
+// a short drain after the window lets in-flight measured batches land.
+func runOpenLoopGen(cl *cluster, rate float64) OpenLoopPoint {
+	cfg := cl.cfg
+	gen := workload.New(workload.Config{
+		Shards:         cfg.Shards,
+		ActiveRecords:  cfg.Records,
+		CrossShardPct:  cfg.CrossShardPct,
+		InvolvedShards: cfg.InvolvedShards,
+		BatchSize:      cfg.BatchSize,
+		RemoteReads:    cfg.RemoteReads,
+		Zipf:           cfg.Zipf,
+		Seed:           cfg.Seed + 7919,
+	})
+	const id types.ClientID = 1
+	self := types.ClientNode(id)
+	ep := cl.net.Attach(self, simnet.Region(0))
+	rng := rand.New(rand.NewSource(cfg.Seed*31 + 17))
+
+	need := cl.respNeed
+	if need <= 0 {
+		need = (cfg.ReplicasPerShard-1)/3 + 1
+	}
+	batchRate := rate / float64(cfg.BatchSize)
+	interarrival := func() time.Duration {
+		return time.Duration(rng.ExpFloat64() / batchRate * float64(time.Second))
+	}
+
+	type flight struct {
+		batch    *types.Batch
+		started  time.Time
+		sentAt   time.Time
+		measured bool
+		votes    map[types.NodeID]struct{}
+	}
+	inflight := make(map[types.Digest]*flight)
+
+	var point OpenLoopPoint
+	var latencies []time.Duration
+	measuring := false
+	launch := func() {
+		b := gen.NextBatch(id)
+		d := b.Digest()
+		now := time.Now()
+		inflight[d] = &flight{batch: b, started: now, sentAt: now, measured: measuring, votes: make(map[types.NodeID]struct{})}
+		if measuring {
+			point.OfferedTxns += int64(len(b.Txns))
+		}
+		ep.Send(cl.route(id, b), &types.Message{
+			Type: types.MsgClientRequest, From: self, Batch: b, Digest: d,
+		})
+	}
+
+	timeout := cfg.LocalTimeout * 2
+	retick := time.NewTicker(timeout / 2)
+	defer retick.Stop()
+	arrival := time.NewTimer(interarrival())
+	defer arrival.Stop()
+
+	warmupEnd := time.After(cfg.Warmup)
+	var windowEnd, drainEnd <-chan time.Time
+	var start, end time.Time
+	draining := false
+
+	for {
+		select {
+		case <-warmupEnd:
+			warmupEnd = nil
+			measuring = true
+			start = time.Now()
+			windowEnd = time.After(cfg.Duration)
+		case <-windowEnd:
+			windowEnd = nil
+			measuring = false
+			end = time.Now()
+			draining = true
+			drainEnd = time.After(timeout)
+		case <-drainEnd:
+			elapsed := end.Sub(start)
+			if elapsed <= 0 {
+				elapsed = cfg.Duration
+			}
+			point.CommittedTps = float64(point.CommittedTxns) / elapsed.Seconds()
+			point.E2E = phaseLatency(latencies)
+			return point
+		case <-arrival.C:
+			if !draining {
+				launch()
+			}
+			arrival.Reset(interarrival())
+		case msg := <-ep.Inbox():
+			if msg.Type != types.MsgResponse {
+				continue
+			}
+			fl, ok := inflight[msg.Digest]
+			if !ok {
+				continue
+			}
+			fl.votes[msg.From] = struct{}{}
+			if len(fl.votes) < need {
+				continue
+			}
+			delete(inflight, msg.Digest)
+			if fl.measured {
+				point.CommittedTxns += int64(len(fl.batch.Txns))
+				latencies = append(latencies, time.Since(fl.started))
+			}
+		case <-retick.C:
+			// Rebroadcast starved batches (lost requests, deposed primaries)
+			// so one drop does not strand a span forever; the retransmission
+			// keeps its original start time, so queueing delay stays visible.
+			now := time.Now()
+			for _, d := range types.SortedDigestKeys(inflight) {
+				fl := inflight[d]
+				if now.Sub(fl.sentAt) > timeout {
+					fl.sentAt = now
+					msg := &types.Message{
+						Type: types.MsgClientRequest, From: self,
+						Batch: fl.batch, Digest: d,
+					}
+					for _, to := range cl.fanout(fl.batch) {
+						ep.Send(to, msg)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4). Families and series are emitted in
+// sorted order so output is stable for golden tests and diffing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fam))
+	for name := range r.fam {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, name := range names {
+		fams = append(fams, r.fam[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(f.series))
+		r.mu.Lock()
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		srs := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			srs = append(srs, f.series[k])
+		}
+		r.mu.Unlock()
+		for _, s := range srs {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.h != nil:
+		return writeHistogram(w, f.name, s)
+	case s.fn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn()))
+		return err
+	case s.c != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.c.Value())
+		return err
+	case s.g != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.g.Value())
+		return err
+	}
+	return nil
+}
+
+// writeHistogram emits cumulative _bucket series with le bounds in
+// seconds, then _sum (seconds) and _count, per the Prometheus convention.
+func writeHistogram(w io.Writer, name string, s *series) error {
+	counts, total := s.h.snapshot()
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += counts[i]
+		le := formatFloat(bucketBound(i).Seconds())
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(s.labels, `le="`+le+`"`), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(s.labels, `le="+Inf"`), total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(s.h.Sum().Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, total)
+	return err
+}
+
+// mergeLabels appends one extra rendered label to an already-rendered set.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(rendered, "}") + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot renders the registry to a string — the canonical one-shot dump
+// used by ringbft-node at shutdown.
+func (r *Registry) Snapshot() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the Prometheus text exposition,
+// suitable for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

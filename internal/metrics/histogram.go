@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers 1µs .. 2^39µs (~6.4 days) in power-of-two steps; the
+// last bucket additionally absorbs anything larger.
+const numBuckets = 40
+
+// Histogram is a lock-free latency histogram with power-of-two bucket
+// bounds starting at 1µs. Observe is a single atomic add on the bucket
+// plus two on the sum/count, so it is cheap enough for consensus hot
+// paths. Quantile answers are exact to within the enclosing power-of-two
+// bucket (linear interpolation inside the bucket), i.e. never off by more
+// than a factor of two from the true sample quantile.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	count   atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketBound returns the inclusive upper bound of bucket i.
+func bucketBound(i int) time.Duration {
+	return time.Microsecond << uint(i)
+}
+
+// bucketIndex maps a duration to its bucket: bucket i holds observations in
+// (bound(i-1), bound(i)], with bucket 0 holding everything ≤ 1µs and the
+// last bucket absorbing overflow.
+func bucketIndex(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	i := bits.Len64(uint64((d - 1) / time.Microsecond))
+	if i >= numBuckets {
+		return numBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// snapshot loads a consistent-enough view of the bucket counts. Concurrent
+// observers may race individual adds; exposition tolerates that.
+func (h *Histogram) snapshot() (counts [numBuckets]uint64, total uint64) {
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return counts, total
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) of the observed
+// distribution, interpolated linearly within the enclosing bucket.
+// Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	counts, total := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		if cum+counts[i] >= rank {
+			lower := time.Duration(0)
+			if i > 0 {
+				lower = bucketBound(i - 1)
+			}
+			upper := bucketBound(i)
+			frac := float64(rank-cum) / float64(counts[i])
+			return lower + time.Duration(frac*float64(upper-lower))
+		}
+		cum += counts[i]
+	}
+	return bucketBound(numBuckets - 1)
+}

@@ -1,0 +1,194 @@
+// Package metrics is a dependency-free metrics substrate: atomic counters
+// and gauges, lock-cheap log-bucketed latency histograms with quantile
+// extraction, and a process-wide Registry with label support and
+// Prometheus-text exposition.
+//
+// The package never reads the wall clock. Durations and timestamps always
+// come from the caller, so seed-deterministic packages (chaos, simnet) can
+// feed virtual-clock values and instrumented runs stay byte-reproducible.
+// Hosts that need a clock take an injectable Clock instead of time.Now.
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is an injectable time source. Hosts default it to time.Now; the
+// deterministic chaos engine passes its virtual clock.
+type Clock func() time.Time
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta. Negative deltas are ignored: counters only go up.
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+const (
+	typeCounter = "counter"
+	typeGauge   = "gauge"
+	typeHist    = "histogram"
+	typeUntyped = "untyped"
+)
+
+// series is one labelled instance of a metric family.
+type series struct {
+	labels string // canonical rendered label set, "" or `{k="v",...}`
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+type family struct {
+	name   string
+	typ    string
+	order  []string // label keys in registration order of first series
+	series map[string]*series
+}
+
+// Registry holds metric families keyed by name. Registration is idempotent:
+// asking for the same name+labels returns the same instrument, so hot paths
+// may re-resolve handles without duplicating series. All instruments are
+// safe for concurrent use; the registry itself serializes structural
+// mutation and exposition with a mutex.
+type Registry struct {
+	mu  sync.Mutex
+	fam map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fam: make(map[string]*family)}
+}
+
+// renderLabels canonicalizes alternating key/value pairs into a Prometheus
+// label block. Pairs are sorted by key so the same set always maps to the
+// same series regardless of call-site order.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("metrics: odd label key/value list")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) getSeries(name, typ string, kv []string) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam[name]
+	if f == nil {
+		f = &family{name: name, typ: typ, series: make(map[string]*series)}
+		r.fam[name] = f
+	} else if f.typ != typ {
+		panic("metrics: " + name + " registered as " + f.typ + ", requested " + typ)
+	}
+	key := renderLabels(kv)
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: key}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter for name with the given label pairs,
+// registering it on first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	s := r.getSeries(name, typeCounter, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for name with the given label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	s := r.getSeries(name, typeGauge, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns the latency histogram for name with the given label
+// pairs.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	s := r.getSeries(name, typeHist, labels)
+	if s.h == nil {
+		s.h = NewHistogram()
+	}
+	return s.h
+}
+
+// CounterFunc registers a read-on-scrape counter backed by fn. Useful for
+// exposing counters a subsystem already maintains (e.g. tcpnet's atomic
+// transport stats) without double-counting. fn must be safe for concurrent
+// calls.
+func (r *Registry) CounterFunc(name string, fn func() float64, labels ...string) {
+	s := r.getSeries(name, typeCounter, labels)
+	s.fn = fn
+}
+
+// GaugeFunc registers a read-on-scrape gauge backed by fn.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
+	s := r.getSeries(name, typeGauge, labels)
+	s.fn = fn
+}

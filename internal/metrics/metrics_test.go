@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentHammer exercises counters, gauges, and a histogram from
+// many goroutines; run under -race it proves the instruments are
+// data-race-free and the counter totals are exact.
+func TestConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := reg.Counter("hammer_total", "worker", "shared")
+			h := reg.Histogram("hammer_latency_seconds")
+			gauge := reg.Gauge("hammer_inflight")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+				gauge.Set(int64(i))
+			}
+		}(g)
+	}
+	// Concurrent scrapes while writers are running.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := reg.Counter("hammer_total", "worker", "shared").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.Histogram("hammer_latency_seconds").Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestQuantileOracle checks histogram quantiles against the exact sorted
+// sample quantile: the log-bucketed answer must land within the same
+// power-of-two bucket, i.e. within a factor of two.
+func TestQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	samples := make([]time.Duration, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform spread from ~1µs to ~1s, the range consensus
+		// latencies actually occupy.
+		exp := rng.Float64() * 6 // decades
+		d := time.Duration(math.Pow(10, exp)) * time.Microsecond
+		samples = append(samples, d)
+		h.Observe(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		rank := int(math.Ceil(q*float64(len(samples)))) - 1
+		exact := samples[rank]
+		got := h.Quantile(q)
+		lo, hi := exact/2, exact*2
+		if got < lo || got > hi {
+			t.Errorf("q=%v: got %v, exact %v (outside [%v, %v])", q, got, exact, lo, hi)
+		}
+	}
+	if h.Quantile(1.0) < samples[len(samples)-1]/2 {
+		t.Errorf("q=1 too small: %v vs max %v", h.Quantile(1.0), samples[len(samples)-1])
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(3 * time.Millisecond)
+	got := h.Quantile(0.5)
+	if got < 3*time.Millisecond/2 || got > 2*3*time.Millisecond {
+		t.Fatalf("single-sample quantile = %v, want ~3ms", got)
+	}
+	h2 := NewHistogram()
+	h2.Observe(-time.Second) // clamps to zero
+	if h2.Count() != 1 || h2.Sum() != 0 {
+		t.Fatalf("negative observation: count=%d sum=%v", h2.Count(), h2.Sum())
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{5 * time.Microsecond, 3},
+		{time.Duration(1 << 62), numBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's bound must index back into itself.
+	for i := 0; i < numBuckets; i++ {
+		if got := bucketIndex(bucketBound(i)); got != i {
+			t.Errorf("bucketIndex(bound(%d)) = %d", i, got)
+		}
+	}
+}
+
+// TestExpositionGolden pins the exact Prometheus text rendering: sorted
+// family and series order, label canonicalization, histogram
+// bucket/sum/count suffixes.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zeta_total").Add(7)
+	reg.Counter("alpha_total", "shard", "1", "replica", "0").Add(3)
+	reg.Counter("alpha_total", "replica", "2", "shard", "0").Inc() // key order normalized
+	reg.Gauge("queue_depth", "shard", "0").Set(5)
+	reg.GaugeFunc("derived_gauge", func() float64 { return 2.5 })
+	h := reg.Histogram("lat_seconds", "op", "fsync")
+	h.Observe(time.Microsecond / 2) // bucket 0
+	h.Observe(3 * time.Microsecond) // bucket 2
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	want := strings.Join([]string{
+		"# TYPE alpha_total counter",
+		`alpha_total{replica="0",shard="1"} 3`,
+		`alpha_total{replica="2",shard="0"} 1`,
+		"# TYPE derived_gauge gauge",
+		"derived_gauge 2.5",
+		"# TYPE lat_seconds histogram",
+	}, "\n") + "\n"
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("exposition prefix mismatch:\ngot:\n%s\nwant prefix:\n%s", got, want)
+	}
+	for _, line := range []string{
+		`lat_seconds_bucket{op="fsync",le="1e-06"} 1`,
+		`lat_seconds_bucket{op="fsync",le="4e-06"} 2`,
+		`lat_seconds_bucket{op="fsync",le="+Inf"} 2`,
+		`lat_seconds_count{op="fsync"} 2`,
+		"# TYPE queue_depth gauge",
+		`queue_depth{shard="0"} 5`,
+		"# TYPE zeta_total counter",
+		"zeta_total 7",
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("exposition missing line %q\nfull output:\n%s", line, got)
+		}
+	}
+	// zeta sorts after queue_depth which sorts after lat_seconds.
+	if strings.Index(got, "lat_seconds") > strings.Index(got, "queue_depth") ||
+		strings.Index(got, "queue_depth") > strings.Index(got, "zeta_total") {
+		t.Errorf("families not sorted:\n%s", got)
+	}
+}
+
+func TestRegistryIdempotentHandles(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "k", "v")
+	b := reg.Counter("x_total", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type clash did not panic")
+		}
+	}()
+	reg.Gauge("x_total")
+}

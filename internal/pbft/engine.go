@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ringbft/internal/crypto"
+	"ringbft/internal/trace"
 	"ringbft/internal/types"
 )
 
@@ -130,6 +131,7 @@ type Engine struct {
 	verifier *crypto.Verifier
 	cb       Callbacks
 	now      func() time.Time
+	onPhase  func(seq types.SeqNum, phase trace.Phase, at time.Time)
 
 	view    types.View
 	nextSeq types.SeqNum
@@ -168,6 +170,11 @@ type Options struct {
 	// instance shares its worker pool and verified-certificate cache. Nil
 	// constructs a private serial verifier.
 	Verifier *crypto.Verifier
+	// OnPhase, when set, observes lifecycle transitions: PrePrepare
+	// acceptance, the prepared and committed predicates, and view-change
+	// entry. Timestamps come from the engine clock, so deterministic hosts
+	// see virtual time. The callback must not re-enter the engine.
+	OnPhase func(seq types.SeqNum, phase trace.Phase, at time.Time)
 }
 
 // New creates an engine for replica self of a shard whose members are peers
@@ -204,6 +211,7 @@ func New(shard types.ShardID, self types.NodeID, peers []types.NodeID, auth cryp
 		verifier:    opts.Verifier,
 		cb:          cb,
 		now:         opts.Clock,
+		onPhase:     opts.OnPhase,
 		nextSeq:     1,
 		log:         make(map[types.SeqNum]*entry),
 		window:      opts.Window,
@@ -211,6 +219,14 @@ func New(shard types.ShardID, self types.NodeID, peers []types.NodeID, auth cryp
 		checkpoints: make(map[types.SeqNum]map[types.NodeID]cpVote),
 		vcMsgs:      make(map[types.View]map[types.NodeID]*types.Message),
 		vcVotes:     make(map[types.View]map[types.NodeID]struct{}),
+	}
+}
+
+// observe reports a lifecycle transition to the host's tracer, stamped
+// with the engine clock.
+func (e *Engine) observe(seq types.SeqNum, phase trace.Phase) {
+	if e.onPhase != nil {
+		e.onPhase(seq, phase, e.now())
 	}
 }
 
@@ -301,6 +317,7 @@ func (e *Engine) Propose(batch *types.Batch) (types.SeqNum, error) {
 		View: e.view, Seq: seq, Digest: d, Batch: batch,
 	}
 	e.broadcastMAC(m)
+	e.observe(seq, trace.PhasePrePrepare)
 	return seq, nil
 }
 
@@ -431,6 +448,7 @@ func (e *Engine) onPrePrepare(m *types.Message) {
 		View: m.View, Seq: m.Seq, Digest: m.Digest,
 	}
 	e.broadcastMAC(prep)
+	e.observe(m.Seq, trace.PhasePrePrepare)
 	e.maybePrepared(m.Seq, ent)
 }
 
@@ -502,6 +520,7 @@ func (e *Engine) maybePrepared(seq types.SeqNum, ent *entry) {
 		return
 	}
 	ent.prepared = true
+	e.observe(seq, trace.PhasePrepare)
 	c := &types.Message{
 		Type: types.MsgCommit, From: e.self, Shard: e.shard,
 		View: ent.view, Seq: seq, Digest: ent.digest,
@@ -600,6 +619,7 @@ func (e *Engine) maybeCommitted(seq types.SeqNum, ent *entry) {
 		ent.prepared = true
 	}
 	ent.committed = true
+	e.observe(seq, trace.PhaseCommit)
 	// Canonical voter order: the certificate travels in messages, so its
 	// layout must not depend on map iteration order (replay divergence).
 	cert := make([]types.Signed, 0, e.nf)

@@ -3,6 +3,7 @@ package pbft
 import (
 	"time"
 
+	"ringbft/internal/trace"
 	"ringbft/internal/types"
 )
 
@@ -21,6 +22,7 @@ func (e *Engine) StartViewChange(target types.View) {
 	e.inViewChange = true
 	e.vcTarget = target
 	e.vcStarted = e.now()
+	e.observe(types.SeqNum(target), trace.PhaseViewChange)
 
 	// P set: every prepared-but-unstable entry, with its batch so the new
 	// primary can re-propose it.

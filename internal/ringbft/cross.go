@@ -6,6 +6,7 @@ import (
 	"ringbft/internal/crypto"
 	"ringbft/internal/evidence"
 	"ringbft/internal/pbft"
+	"ringbft/internal/trace"
 	"ringbft/internal/types"
 )
 
@@ -61,6 +62,7 @@ func (r *Replica) sendForward(cs *cstState) {
 	m.Sig = crypto.SignMessage(r.auth, m)
 	cs.forwardMsg = m
 	cs.forwardSentAt = r.clock()
+	r.observe(cs.seq, trace.PhaseForward)
 	r.sendRing(next, m)
 }
 
@@ -158,6 +160,10 @@ func (r *Replica) onForward(m *types.Message) {
 		return
 	}
 	cs.fwdAccepted = true
+	if r.met != nil {
+		// Ring-hop latency: first same-lane copy to f+1 acceptance.
+		r.met.forwardQuorum.Observe(r.clock().Sub(cs.fwdFirst))
+	}
 	cs.fwdFirst = r.clock() // re-anchor the remote timer for rotation 2
 	if cs.batch == nil {
 		cs.batch = b
@@ -230,6 +236,7 @@ func (r *Replica) executeCst(cs *cstState) {
 	}
 	cs.results = r.executeBatch(cs.batch, remote, cs.plan)
 	cs.executed = true
+	r.observe(cs.seq, trace.PhaseExecute)
 	r.executed[cs.digest] = cs.results
 	primary := r.engine.Primary(r.engine.View())
 	r.chain.Append(cs.seq, primary, cs.batch)
@@ -323,6 +330,7 @@ func (r *Replica) onExecute(m *types.Message) {
 			if !cs.replied {
 				cs.replied = true
 				r.respond(clientOf(cs.batch), cs.digest, cs.results)
+				r.observe(cs.seq, trace.PhaseReply)
 			}
 			return
 		}
@@ -388,6 +396,9 @@ func (r *Replica) onRemoteView(m *types.Message) {
 	}
 	cs.remoteHandled = true
 	r.remoteViews++
+	if r.met != nil {
+		r.met.remoteViews.Inc()
+	}
 	// Make sure the (possibly new) primary has the batch to propose, then
 	// support the view change (Fig 6 lines 5-6).
 	if cs.batch == nil {
@@ -413,10 +424,16 @@ func (r *Replica) onRemoteView(m *types.Message) {
 		// carrying Σ (second rotation).
 		if cs.forwardMsg != nil {
 			r.retransmits++
+			if r.met != nil {
+				r.met.retransmits.Inc()
+			}
 			r.send(types.ReplicaNode(next, r.self.Index), cs.forwardMsg)
 		}
 		if cs.executed {
 			r.retransmits++
+			if r.met != nil {
+				r.met.retransmits.Inc()
+			}
 			r.sendExecute(cs)
 		}
 		return

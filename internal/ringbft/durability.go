@@ -226,6 +226,9 @@ func (r *Replica) maybeSnapshot(seq types.SeqNum, digest types.Digest) {
 	r.pruneBelow(seq)
 	if err := r.dur.SaveSnapshot(r.buildSnapshot(seq, digest)); err != nil {
 		r.durErrors++
+		if r.met != nil {
+			r.met.durErrors.Inc()
+		}
 		return
 	}
 	r.lastSnapshot = seq
@@ -273,6 +276,9 @@ func (r *Replica) logProgress(batchDigest types.Digest) {
 	}
 	if err := r.dur.LogProgress(r.kmax, r.prefixDigest, r.lastCheckpoint, batchDigest, r.engine.View()); err != nil {
 		r.durErrors++
+		if r.met != nil {
+			r.met.durErrors.Inc()
+		}
 	}
 }
 
@@ -285,6 +291,9 @@ func (r *Replica) logBlock(seq types.SeqNum, primary types.NodeID, batch *types.
 	}
 	if err := r.dur.LogBlock(seq, primary, batch, results); err != nil {
 		r.durErrors++
+		if r.met != nil {
+			r.met.durErrors.Inc()
+		}
 	}
 }
 

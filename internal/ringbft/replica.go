@@ -30,9 +30,11 @@ import (
 	"ringbft/internal/crypto"
 	"ringbft/internal/evidence"
 	"ringbft/internal/ledger"
+	"ringbft/internal/metrics"
 	"ringbft/internal/pbft"
 	"ringbft/internal/sched"
 	"ringbft/internal/store"
+	"ringbft/internal/trace"
 	"ringbft/internal/types"
 	"ringbft/internal/wal"
 )
@@ -137,6 +139,11 @@ type Replica struct {
 	// faster than any view can commit — view-change livelock, found by
 	// internal/chaos loss-storm schedules).
 	lastVC time.Time
+
+	// Live observability (nil when not requested): met holds registry
+	// handles, tr the lifecycle tracer. Both are pure side effects.
+	met *replicaMetrics
+	tr  *trace.Tracer
 
 	// Metrics (read via Stats after the run).
 	executedTxns   int64
@@ -249,6 +256,16 @@ type Options struct {
 	// Evidence is the misbehavior evidence log (nil = fresh in-memory log).
 	// Pass an evidence.Open'd log to persist records across restarts.
 	Evidence *evidence.Log
+
+	// Metrics, when non-nil, registers this replica's series (consensus
+	// counters, queue/lock gauges, WAL and scheduler telemetry) on the
+	// given registry, labelled by shard and replica index. Pure side
+	// effect: no protocol behaviour changes.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives per-sequence lifecycle events
+	// (pre-prepare through reply, plus view-change and state-transfer
+	// spans) stamped with the replica clock.
+	Tracer *trace.Tracer
 }
 
 // OpenDurability opens the durability manager for replica self under
@@ -304,6 +321,18 @@ func New(opts Options) *Replica {
 		clientSeen:       make(map[types.TxnID]types.Digest),
 		fwdSeen:          make(map[fwdKey]evidence.Msg),
 	}
+	r.tr = opts.Tracer
+	if opts.Metrics != nil {
+		r.met = newReplicaMetrics(opts.Metrics, opts.Shard, opts.Self)
+		if r.dur != nil {
+			r.dur.SetObserver(r.met.walObserver())
+		}
+		r.exec.SetObserver(r.met.schedObserver())
+	}
+	var onPhase func(seq types.SeqNum, ph trace.Phase, at time.Time)
+	if r.tr != nil || r.met != nil {
+		onPhase = r.observePhase
+	}
 	r.engine = pbft.New(opts.Shard, opts.Self, opts.Peers, opts.Auth, pbft.Callbacks{
 		Send:        func(to types.NodeID, m *types.Message) { r.send(to, m) },
 		Committed:   r.onCommitted,
@@ -327,6 +356,9 @@ func New(opts Options) *Replica {
 			if b == nil || !b.IsCrossShard() || b.Initiator() == r.shard ||
 				!b.Involves(r.shard) || len(just) == 0 {
 				return false
+			}
+			if r.met != nil {
+				r.met.certVerifies.Inc()
 			}
 			return pbft.VerifyCert(r.verifier, b.PrevInRing(r.shard), b.Digest(), just, r.cfg.NF()) == nil
 		},
@@ -356,8 +388,27 @@ func New(opts Options) *Replica {
 				Transferable: true,
 			})
 		},
-	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Window: opts.Window, Verifier: verifier})
+	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Window: opts.Window, Verifier: verifier, OnPhase: onPhase})
 	return r
+}
+
+// observePhase fans a lifecycle transition out to the tracer and the
+// per-phase counters. It is the pbft engine's OnPhase callback and the
+// funnel for ring-layer phases (forward, execute, reply, state transfer).
+func (r *Replica) observePhase(seq types.SeqNum, ph trace.Phase, at time.Time) {
+	if r.tr != nil {
+		r.tr.Record(at, int(r.shard), uint64(seq), ph)
+	}
+	r.met.phase(ph)
+}
+
+// observe records a ring-layer lifecycle event stamped with the replica
+// clock. No-op unless observability was requested.
+func (r *Replica) observe(seq types.SeqNum, ph trace.Phase) {
+	if r.tr == nil && r.met == nil {
+		return
+	}
+	r.observePhase(seq, ph, r.clock())
 }
 
 // Preload installs n records of this shard's partition (see
@@ -721,6 +772,7 @@ func (r *Replica) afterLocked(ent *logEntry) {
 	d := b.Digest()
 	if !b.IsCrossShard() {
 		results := r.executeBatch(b, nil, nil)
+		r.observe(ent.seq, trace.PhaseExecute)
 		r.locks.Unlock(r.localKeys(b), lockOwner(b))
 		r.executed[d] = results
 		primary := r.engine.Primary(r.engine.View())
@@ -728,6 +780,7 @@ func (r *Replica) afterLocked(ent *logEntry) {
 		r.logBlock(ent.seq, primary, b, results)
 		r.markExecuted(ent.seq)
 		r.respond(clientOf(b), d, results)
+		r.observe(ent.seq, trace.PhaseReply)
 		r.drainLockQueue()
 		return
 	}
@@ -781,6 +834,13 @@ func (r *Replica) executeBatch(b *types.Batch, remote map[types.Key]types.Value,
 	r.executedTxns += int64(len(b.Txns))
 	if b.IsCrossShard() {
 		r.executedCross += int64(len(b.Txns))
+	}
+	if r.met != nil {
+		r.met.execErrors.Add(errs)
+		r.met.executedTxns.Add(int64(len(b.Txns)))
+		if b.IsCrossShard() {
+			r.met.executedCross.Add(int64(len(b.Txns)))
+		}
 	}
 	return results
 }
@@ -837,6 +897,9 @@ func (r *Replica) cst(d types.Digest) *cstState {
 // suppressed).
 func (r *Replica) onViewChanged(types.View) {
 	r.viewChanges++
+	if r.met != nil {
+		r.met.viewChanges.Inc()
+	}
 	r.lastVC = r.clock()
 	if !r.engine.IsPrimary() {
 		return

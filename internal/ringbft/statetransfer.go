@@ -6,6 +6,7 @@ import (
 	"ringbft/internal/crypto"
 	"ringbft/internal/ledger"
 	"ringbft/internal/store"
+	"ringbft/internal/trace"
 	"ringbft/internal/types"
 )
 
@@ -174,12 +175,19 @@ func (r *Replica) installState(p *types.StatePayload, certified types.Digest) {
 	}
 	r.engine.ResumeAt(p.Seq, p.Seq+1)
 	r.stateTransfers++
+	if r.met != nil {
+		r.met.stateTransfers.Inc()
+	}
+	r.observe(p.Seq, trace.PhaseStateTransfer)
 	r.transfer = nil
 
 	if r.dur != nil {
 		snap := r.buildSnapshot(p.Seq, certified)
 		if err := r.dur.Reset(snap); err != nil {
 			r.durErrors++
+			if r.met != nil {
+				r.met.durErrors.Inc()
+			}
 		}
 		r.lastSnapshot = p.Seq
 	}

@@ -26,9 +26,20 @@ func (r *Replica) HandleTick(now time.Time) {
 		// Group commit: the batched fsync of WAL appends since the last one.
 		if err := r.dur.MaybeSync(now); err != nil {
 			r.durErrors++
+			if r.met != nil {
+				r.met.durErrors.Inc()
+			}
 		}
 	}
 	r.retryTransfer(now)
+	if r.met != nil {
+		// Occupancy gauges, sampled once per tick: cheap atomic stores, and
+		// a scrape between ticks sees a consistent recent view.
+		r.met.queueDepth.Set(int64(len(r.proposeQueue)))
+		r.met.awaiting.Set(int64(len(r.awaitingProposal)))
+		r.met.lockKeys.Set(int64(r.locks.Count()))
+		r.met.evRecords.Set(int64(r.ev.Len()))
+	}
 
 	// Local timer, case 1: the primary is sitting on a request. Escalation
 	// is paced against the last view install too — every view gets a full
@@ -86,6 +97,9 @@ func (r *Replica) HandleTick(now time.Time) {
 			now.Sub(cs.forwardSentAt) > r.cfg.TransmitTimeout {
 			cs.forwardSentAt = now
 			r.retransmits++
+			if r.met != nil {
+				r.met.retransmits.Inc()
+			}
 			next, _ := cs.batch.NextInRing(r.shard)
 			r.send(types.ReplicaNode(next, r.self.Index), cs.forwardMsg)
 		}
@@ -102,5 +116,8 @@ func (r *Replica) sendRemoteView(cs *cstState) {
 	}
 	m.Sig = crypto.SignMessage(r.auth, m)
 	r.remoteViews++
+	if r.met != nil {
+		r.met.remoteViews.Inc()
+	}
 	r.send(types.ReplicaNode(prev, r.self.Index), m)
 }

@@ -36,7 +36,25 @@ type Apply func(i int) (types.Value, error)
 // for reuse across batches.
 type Executor struct {
 	workers int
+	obs     Observer
 }
+
+// Observer receives execution telemetry from the scheduler. Hooks may be
+// nil; non-nil hooks must be safe for concurrent use (batches execute on
+// the replica loop but hosts may share an Executor).
+type Observer struct {
+	// Batch observes one executed batch: whether it took the parallel
+	// path, its transaction count, and its schedule depth (1 layer for a
+	// sequential batch).
+	Batch func(parallel bool, txns, layers int)
+	// Layer observes the width of each executed plan layer — the direct
+	// measure of exploitable intra-batch parallelism.
+	Layer func(width int)
+}
+
+// SetObserver installs the telemetry observer (call before the executor is
+// shared with the replica loop).
+func (e *Executor) SetObserver(o Observer) { e.obs = o }
 
 // New returns an executor with the given worker count (<= 1 = sequential).
 func New(workers int) *Executor {
@@ -182,15 +200,24 @@ func (e *Executor) ExecutePlan(p *Plan, apply Apply) ([]types.Value, int64) {
 	if e.workers <= 1 || p.n <= 1 {
 		return e.executeSequential(p.n, apply)
 	}
+	if e.obs.Batch != nil {
+		e.obs.Batch(true, p.n, len(p.layers))
+	}
 	results := make([]types.Value, p.n)
 	var errs int64
 	for _, layer := range p.layers {
+		if e.obs.Layer != nil {
+			e.obs.Layer(len(layer))
+		}
 		e.runLayer(layer, results, &errs, apply)
 	}
 	return results, errs
 }
 
 func (e *Executor) executeSequential(n int, apply Apply) ([]types.Value, int64) {
+	if e.obs.Batch != nil {
+		e.obs.Batch(false, n, 1)
+	}
 	results := make([]types.Value, n)
 	var errs int64
 	for i := 0; i < n; i++ {

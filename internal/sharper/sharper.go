@@ -25,9 +25,11 @@ import (
 	"ringbft/internal/crypto"
 	"ringbft/internal/evidence"
 	"ringbft/internal/ledger"
+	"ringbft/internal/metrics"
 	"ringbft/internal/pbft"
 	"ringbft/internal/sched"
 	"ringbft/internal/store"
+	"ringbft/internal/trace"
 	"ringbft/internal/types"
 	"ringbft/internal/wal"
 )
@@ -55,6 +57,11 @@ type Options struct {
 
 	// Evidence is the misbehavior evidence log (nil = fresh in-memory log).
 	Evidence *evidence.Log
+
+	// Metrics/Tracer enable live observability (see the equivalent fields
+	// on ringbft.Options). Both optional; pure side effects.
+	Metrics *metrics.Registry
+	Tracer  *trace.Tracer
 }
 
 // Replica is one Sharper replica.
@@ -110,6 +117,8 @@ type Replica struct {
 
 	viewChanges int64
 	retransmits int64
+
+	obs *hostObs
 }
 
 type entry struct {
@@ -173,12 +182,14 @@ func New(opts Options) *Replica {
 			return opts.Config.CheckpointInterval
 		}(),
 	}
+	r.obs = newHostObs(opts.Metrics, opts.Tracer, opts.Shard, opts.Self)
 	r.engine = pbft.New(opts.Shard, opts.Self, opts.Peers, opts.Auth, pbft.Callbacks{
 		Send:       func(to types.NodeID, m *types.Message) { r.send(to, m) },
 		Committed:  r.onCommitted,
 		Stabilized: r.onStabilized,
 		ViewChanged: func(types.View) {
 			r.viewChanges++
+			r.obs.incViewChanges()
 			r.lastVC = r.clock()
 			r.reproposeAwaiting()
 		},
@@ -192,7 +203,7 @@ func New(opts Options) *Replica {
 				First: evidence.MsgOf(first), Second: evidence.MsgOf(second),
 			})
 		},
-	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier})
+	}, pbft.Options{Clock: opts.Clock, ViewTimeout: opts.Config.LocalTimeout, Verifier: verifier, OnPhase: r.obs.phase(opts.Shard)})
 	return r
 }
 
@@ -327,6 +338,7 @@ func (r *Replica) HandleTick(now time.Time) {
 	r.engine.Tick(now)
 	r.tryProposeQueued()
 	r.maybeCatchup(now)
+	r.obs.sample(len(r.queue), r.ev.Len())
 	if r.engine.InViewChange() {
 		return
 	}
@@ -372,6 +384,7 @@ func (r *Replica) HandleTick(now time.Time) {
 			now.Sub(gs.lastNudge) > r.cfg.LocalTimeout {
 			gs.lastNudge = now
 			r.retransmits++
+			r.obs.incRetransmits()
 			r.renudge(gs)
 			if e.batch.Initiator() == r.shard && r.engine.IsPrimary() {
 				// A stalled global round can also mean another involved
@@ -622,6 +635,7 @@ func (r *Replica) onCrossVote(m *types.Message, commit bool) {
 		if _, done := gs.nudged[m.From]; !done {
 			gs.nudged[m.From] = struct{}{}
 			r.retransmits++
+			r.obs.incRetransmits()
 			r.resendVotesTo(m.From, gs)
 		}
 		return
@@ -733,11 +747,14 @@ func (r *Replica) drainExec() {
 			return r.kv.ExecuteTxnPartial(&b.Txns[i], r.shard, r.cfg.Shards), nil
 		})
 		r.executed[d] = results
+		r.obs.addExecuted(len(b.Txns))
+		r.obs.observe(r.clock(), r.shard, uint64(e.seq), trace.PhaseExecute)
 		primary := r.engine.Primary(r.engine.View())
 		r.chain.Append(e.seq, primary, b)
 		r.logExecuted(e.seq, primary, b, results)
 		if b.Initiator() == r.shard {
 			r.respond(clientOf(b), d, results)
+			r.obs.observe(r.clock(), r.shard, uint64(e.seq), trace.PhaseReply)
 		}
 	}
 }

@@ -1,6 +1,10 @@
 package tcpnet
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"ringbft/internal/metrics"
+)
 
 // counters is the transport's internal atomic counter set; Stats() snapshots
 // it. Every loss path has a counter: this transport's whole design is
@@ -96,5 +100,36 @@ func (t *Transport) Stats() Stats {
 		WriteErrors:   t.c.writeErrors.Load(),
 		BadFrames:     t.c.badFrames.Load(),
 		AcceptRetries: t.c.acceptRetries.Load(),
+	}
+}
+
+// RegisterMetrics exposes the transport counters on reg as read-on-scrape
+// series. The transport keeps sole ownership of the atomics — the registry
+// reads them at exposition time — so there is no double counting and no
+// extra work on the send path.
+func (t *Transport) RegisterMetrics(reg *metrics.Registry) {
+	counters := []struct {
+		name string
+		v    *atomic.Int64
+	}{
+		{"tcpnet_enqueued_total", &t.c.enqueued},
+		{"tcpnet_frames_sent_total", &t.c.framesSent},
+		{"tcpnet_bytes_sent_total", &t.c.bytesSent},
+		{"tcpnet_outbox_drops_total", &t.c.outboxDrops},
+		{"tcpnet_self_drops_total", &t.c.selfDrops},
+		{"tcpnet_inbox_drops_total", &t.c.inboxDrops},
+		{"tcpnet_unknown_peer_total", &t.c.unknownPeer},
+		{"tcpnet_encode_drops_total", &t.c.encodeDrops},
+		{"tcpnet_wire_drops_total", &t.c.wireDrops},
+		{"tcpnet_dials_total", &t.c.dials},
+		{"tcpnet_dial_errors_total", &t.c.dialErrors},
+		{"tcpnet_redials_total", &t.c.redials},
+		{"tcpnet_write_errors_total", &t.c.writeErrors},
+		{"tcpnet_bad_frames_total", &t.c.badFrames},
+		{"tcpnet_accept_retries_total", &t.c.acceptRetries},
+	}
+	for _, c := range counters {
+		v := c.v
+		reg.CounterFunc(c.name, func() float64 { return float64(v.Load()) })
 	}
 }

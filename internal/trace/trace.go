@@ -1,0 +1,294 @@
+// Package trace records per-sequence consensus lifecycle spans: the
+// phases a transaction batch passes through from client submission to
+// reply, plus out-of-band view-change and state-transfer events.
+//
+// Events land in a bounded ring buffer so tracing is safe to leave on in
+// production and in multi-hour chaos runs. The analysis half of the
+// package (Breakdown, Stalled) turns raw events into per-phase latency
+// distributions and stall attribution — "which phase wedged" — without
+// the recording side paying for any of it.
+//
+// Like internal/metrics, this package never reads the wall clock: every
+// event carries a caller-supplied timestamp, so deterministic hosts feed
+// their virtual clocks and tracing cannot perturb seeded schedules.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Phase identifies a step of the consensus lifecycle.
+type Phase uint8
+
+const (
+	// PhaseSubmit marks client submission (recorded by harness clients).
+	PhaseSubmit Phase = iota
+	// PhasePrePrepare marks acceptance of a PRE-PREPARE (leader: on
+	// propose; backup: on verified receipt).
+	PhasePrePrepare
+	// PhasePrepare marks the prepared predicate (2f matching PREPAREs).
+	PhasePrepare
+	// PhaseCommit marks the committed predicate (2f+1 COMMITs).
+	PhaseCommit
+	// PhaseForward marks a ring-rotation hop: the forward certificate
+	// for a cross-shard transaction leaving (or arriving at) a shard.
+	PhaseForward
+	// PhaseExecute marks execution against the store.
+	PhaseExecute
+	// PhaseReply marks the client reply send.
+	PhaseReply
+	// PhaseViewChange marks entry into a view change (out-of-band).
+	PhaseViewChange
+	// PhaseStateTransfer marks a state-transfer install (out-of-band).
+	PhaseStateTransfer
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"submit", "pre-prepare", "prepare", "commit", "forward", "execute",
+	"reply", "view-change", "state-transfer",
+}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// chainOrder gives the canonical position of each pipeline phase; the
+// out-of-band phases (view change, state transfer) are excluded from the
+// latency chain.
+func chainOrder(p Phase) (int, bool) {
+	switch p {
+	case PhaseSubmit, PhasePrePrepare, PhasePrepare, PhaseCommit,
+		PhaseForward, PhaseExecute, PhaseReply:
+		return int(p), true
+	}
+	return 0, false
+}
+
+// Event is one recorded lifecycle step.
+type Event struct {
+	At    time.Time
+	Shard int
+	Seq   uint64
+	Phase Phase
+	Note  string
+}
+
+// DefaultCapacity is the ring-buffer size used by New when callers pass 0.
+const DefaultCapacity = 4096
+
+// Tracer is a bounded ring buffer of lifecycle events. Record is a mutex
+// plus a slice store; when the buffer wraps, the oldest events are
+// overwritten and counted, never silently lost.
+type Tracer struct {
+	mu          sync.Mutex
+	buf         []Event
+	next        int
+	full        bool
+	overwritten uint64
+}
+
+// New returns a tracer holding up to capacity events (DefaultCapacity if
+// capacity <= 0).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Record appends an event with a caller-supplied timestamp.
+func (t *Tracer) Record(at time.Time, shard int, seq uint64, phase Phase) {
+	t.RecordNote(at, shard, seq, phase, "")
+}
+
+// RecordNote appends an annotated event.
+func (t *Tracer) RecordNote(at time.Time, shard int, seq uint64, phase Phase, note string) {
+	t.mu.Lock()
+	if t.full {
+		t.overwritten++
+	}
+	t.buf[t.next] = Event{At: at, Shard: shard, Seq: seq, Phase: phase, Note: note}
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the buffered events oldest-first.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]Event, t.next)
+		copy(out, t.buf[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Overwritten reports how many events have been evicted by wraparound.
+func (t *Tracer) Overwritten() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.overwritten
+}
+
+// Len reports the number of buffered events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Merge concatenates event batches (e.g. from one tracer per replica) and
+// sorts them chronologically, breaking timestamp ties by shard, sequence,
+// then phase so analysis over virtual clocks stays deterministic.
+func Merge(batches ...[]Event) []Event {
+	var n int
+	for _, b := range batches {
+		n += len(b)
+	}
+	out := make([]Event, 0, n)
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].At.Equal(out[j].At) {
+			return out[i].At.Before(out[j].At)
+		}
+		if out[i].Shard != out[j].Shard {
+			return out[i].Shard < out[j].Shard
+		}
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+type spanKey struct {
+	shard int
+	seq   uint64
+}
+
+// Breakdown computes per-phase latency: for every (shard, seq) span it
+// takes the earliest timestamp of each pipeline phase and attributes to
+// phase P the gap until the next pipeline phase present in that span.
+// Out-of-band phases are ignored. The result maps each phase to the
+// durations observed across all spans.
+func Breakdown(events []Event) map[Phase][]time.Duration {
+	spans := collectSpans(events)
+	out := make(map[Phase][]time.Duration)
+	keys := sortedKeys(spans)
+	for _, k := range keys {
+		ts := spans[k]
+		prev := -1
+		for i := 0; i < int(numPhases); i++ {
+			if ts[i].IsZero() {
+				continue
+			}
+			if prev >= 0 {
+				d := ts[i].Sub(ts[prev])
+				if d >= 0 {
+					out[Phase(prev)] = append(out[Phase(prev)], d)
+				}
+			}
+			prev = i
+		}
+	}
+	return out
+}
+
+// Stalled attributes wedged spans: any span that never reached execute or
+// reply counts against the last pipeline phase it did reach. The result
+// answers "which phase wedged" after a fault.
+func Stalled(events []Event) map[Phase]int {
+	spans := collectSpans(events)
+	out := make(map[Phase]int)
+	for _, ts := range spans {
+		if !ts[PhaseExecute].IsZero() || !ts[PhaseReply].IsZero() {
+			continue
+		}
+		last := -1
+		for i := 0; i < int(numPhases); i++ {
+			if !ts[i].IsZero() {
+				last = i
+			}
+		}
+		if last >= 0 {
+			out[Phase(last)]++
+		}
+	}
+	return out
+}
+
+// collectSpans reduces events to the earliest timestamp of each pipeline
+// phase per (shard, seq) span.
+func collectSpans(events []Event) map[spanKey]*[numPhases]time.Time {
+	spans := make(map[spanKey]*[numPhases]time.Time)
+	for _, e := range events {
+		if _, ok := chainOrder(e.Phase); !ok {
+			continue
+		}
+		k := spanKey{e.Shard, e.Seq}
+		ts := spans[k]
+		if ts == nil {
+			ts = new([numPhases]time.Time)
+			spans[k] = ts
+		}
+		if ts[e.Phase].IsZero() || e.At.Before(ts[e.Phase]) {
+			ts[e.Phase] = e.At
+		}
+	}
+	return spans
+}
+
+func sortedKeys(spans map[spanKey]*[numPhases]time.Time) []spanKey {
+	keys := make([]spanKey, 0, len(spans))
+	for k := range spans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].shard != keys[j].shard {
+			return keys[i].shard < keys[j].shard
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	return keys
+}
+
+// Quantile returns the exact q-quantile of a duration sample (sorted copy;
+// 0 when empty). Analysis-side helper for Breakdown output.
+func Quantile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

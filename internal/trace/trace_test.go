@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// base is an arbitrary fixed epoch; the package never reads a clock, so
+// tests construct timestamps explicitly.
+var base = time.Unix(0, 0)
+
+func at(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+
+// TestSpanOrdering feeds phases out of order across two replica tracers
+// and checks Merge + Breakdown reconstruct the canonical pipeline with
+// the right per-phase gaps.
+func TestSpanOrdering(t *testing.T) {
+	leader := New(16)
+	backup := New(16)
+	// Span (0, 7): submit@0 → pre-prepare@2 → prepare@5 → commit@9 →
+	// execute@14 → reply@15. Backup records its (later) pre-prepare and
+	// commit too; Breakdown must keep the earliest per phase.
+	leader.Record(at(2), 0, 7, PhasePrePrepare)
+	leader.Record(at(5), 0, 7, PhasePrepare)
+	leader.Record(at(9), 0, 7, PhaseCommit)
+	leader.Record(at(14), 0, 7, PhaseExecute)
+	leader.Record(at(15), 0, 7, PhaseReply)
+	backup.Record(at(0), 0, 7, PhaseSubmit)
+	backup.Record(at(3), 0, 7, PhasePrePrepare) // duplicate, later
+	backup.Record(at(11), 0, 7, PhaseCommit)    // duplicate, later
+	// Out-of-band event must not enter the chain.
+	backup.Record(at(4), 0, 7, PhaseViewChange)
+
+	events := Merge(leader.Events(), backup.Events())
+	for i := 1; i < len(events); i++ {
+		if events[i].At.Before(events[i-1].At) {
+			t.Fatalf("merge not chronological at %d", i)
+		}
+	}
+	bd := Breakdown(events)
+	want := map[Phase]time.Duration{
+		PhaseSubmit:     2 * time.Millisecond,
+		PhasePrePrepare: 3 * time.Millisecond,
+		PhasePrepare:    4 * time.Millisecond,
+		PhaseCommit:     5 * time.Millisecond,
+		PhaseExecute:    1 * time.Millisecond,
+	}
+	for ph, d := range want {
+		ds := bd[ph]
+		if len(ds) != 1 || ds[0] != d {
+			t.Errorf("%v: got %v, want [%v]", ph, ds, d)
+		}
+	}
+	if len(bd[PhaseViewChange]) != 0 {
+		t.Errorf("view-change leaked into breakdown: %v", bd[PhaseViewChange])
+	}
+	if len(bd[PhaseReply]) != 0 {
+		t.Errorf("reply is terminal, got gaps %v", bd[PhaseReply])
+	}
+}
+
+func TestBreakdownSkipsMissingPhases(t *testing.T) {
+	tr := New(8)
+	// No prepare event recorded: commit gap attributes from pre-prepare.
+	tr.Record(at(0), 1, 3, PhasePrePrepare)
+	tr.Record(at(10), 1, 3, PhaseCommit)
+	tr.Record(at(12), 1, 3, PhaseExecute)
+	bd := Breakdown(tr.Events())
+	if d := bd[PhasePrePrepare]; len(d) != 1 || d[0] != 10*time.Millisecond {
+		t.Errorf("pre-prepare gap = %v, want [10ms]", d)
+	}
+	if len(bd[PhasePrepare]) != 0 {
+		t.Errorf("missing phase produced gaps: %v", bd[PhasePrepare])
+	}
+}
+
+func TestStalled(t *testing.T) {
+	tr := New(32)
+	// Span 1: completed (executes) — not stalled.
+	tr.Record(at(0), 0, 1, PhasePrePrepare)
+	tr.Record(at(5), 0, 1, PhaseExecute)
+	// Span 2: wedged after prepare.
+	tr.Record(at(0), 0, 2, PhasePrePrepare)
+	tr.Record(at(3), 0, 2, PhasePrepare)
+	// Span 3: wedged after commit (cross-shard waiting on forward).
+	tr.Record(at(0), 1, 2, PhasePrePrepare)
+	tr.Record(at(2), 1, 2, PhasePrepare)
+	tr.Record(at(4), 1, 2, PhaseCommit)
+	tr.Record(at(6), 1, 2, PhaseForward)
+	st := Stalled(tr.Events())
+	if st[PhasePrepare] != 1 {
+		t.Errorf("prepare stalls = %d, want 1", st[PhasePrepare])
+	}
+	if st[PhaseForward] != 1 {
+		t.Errorf("forward stalls = %d, want 1", st[PhaseForward])
+	}
+	if len(st) != 2 {
+		t.Errorf("unexpected stall map: %v", st)
+	}
+}
+
+// TestRingOverflow fills a small tracer past capacity and checks the
+// oldest events are evicted, the newest retained, and eviction counted.
+func TestRingOverflow(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(at(i), 0, uint64(i), PhaseExecute)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Overwritten() != 6 {
+		t.Fatalf("overwritten = %d, want 6", tr.Overwritten())
+	}
+	ev := tr.Events()
+	for i, e := range ev {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d (oldest-first after wrap)", i, e.Seq, want)
+		}
+	}
+}
+
+func TestQuantileHelper(t *testing.T) {
+	var ds []time.Duration
+	if Quantile(ds, 0.5) != 0 {
+		t.Fatal("empty quantile != 0")
+	}
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	if got := Quantile(ds, 0.5); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Quantile(ds, 0.99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := Quantile(ds, 1.0); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhasePrePrepare.String() != "pre-prepare" || PhaseStateTransfer.String() != "state-transfer" {
+		t.Fatal("phase names wrong")
+	}
+}

@@ -14,6 +14,9 @@ type ManagerOptions struct {
 	SegmentSize   int64         // WAL segment rotation size (default 4 MiB)
 	FsyncInterval time.Duration // group-commit interval (0 = sync every append)
 	Clock         func() time.Time
+	// Observer receives WAL telemetry; it survives wipe and reset, which
+	// reopen the underlying log.
+	Observer Observer
 }
 
 // Recovered is what a restarted replica resumes from: the latest valid
@@ -54,6 +57,7 @@ func OpenManager(opts ManagerOptions) (*Manager, *Recovered, error) {
 		SegmentSize:   opts.SegmentSize,
 		FsyncInterval: opts.FsyncInterval,
 		Clock:         opts.Clock,
+		Observer:      opts.Observer,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -111,12 +115,21 @@ func (m *Manager) wipeWAL() error {
 		SegmentSize:   m.opts.SegmentSize,
 		FsyncInterval: m.opts.FsyncInterval,
 		Clock:         m.opts.Clock,
+		Observer:      m.opts.Observer,
 	})
 	if err != nil {
 		return err
 	}
 	m.wal = w
 	return nil
+}
+
+// SetObserver installs the telemetry observer after construction (hosts
+// receive a pre-built Manager and wire metrics later). It persists across
+// wipe and Reset.
+func (m *Manager) SetObserver(o Observer) {
+	m.opts.Observer = o
+	m.wal.SetObserver(o)
 }
 
 func (m *Manager) walDir() string  { return Join(m.dir, "wal") }
@@ -172,6 +185,7 @@ func (m *Manager) Reset(s *Snapshot) error {
 		SegmentSize:   m.opts.SegmentSize,
 		FsyncInterval: m.opts.FsyncInterval,
 		Clock:         m.opts.Clock,
+		Observer:      m.opts.Observer,
 	})
 	if err != nil {
 		return err

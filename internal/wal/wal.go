@@ -40,6 +40,17 @@ type Options struct {
 	FsyncInterval time.Duration
 	// Clock injects time for deterministic tests (default time.Now).
 	Clock func() time.Time
+	// Observer, when set, receives durability telemetry. Durations come
+	// from the injected Clock, so deterministic hosts see virtual time.
+	Observer Observer
+}
+
+// Observer receives WAL telemetry. Either hook may be nil.
+type Observer struct {
+	// Fsync observes the latency of each physical fsync.
+	Fsync func(d time.Duration)
+	// GC observes the number of segments removed by a GC pass.
+	GC func(removed int)
 }
 
 // Stats counts WAL activity (read on the owning goroutine).
@@ -292,14 +303,22 @@ func (w *WAL) sync() error {
 	if !w.dirty {
 		return nil
 	}
+	start := w.opts.Clock()
 	if err := w.cur.Sync(); err != nil {
 		return err
 	}
 	w.dirty = false
 	w.lastSync = w.opts.Clock()
 	w.Stats.Syncs++
+	if w.opts.Observer.Fsync != nil {
+		w.opts.Observer.Fsync(w.lastSync.Sub(start))
+	}
 	return nil
 }
+
+// SetObserver installs (or replaces) the telemetry observer. Single-writer
+// like every other WAL method.
+func (w *WAL) SetObserver(o Observer) { w.opts.Observer = o }
 
 // Sync forces an fsync of the current segment.
 func (w *WAL) Sync() error { return w.sync() }
@@ -333,6 +352,7 @@ func (w *WAL) GC(keepLSN uint64) error {
 		}
 	}
 	sort.Strings(segs)
+	removed := 0
 	for i := 0; i+1 < len(segs); i++ {
 		if segs[i] == w.curName {
 			break
@@ -342,9 +362,13 @@ func (w *WAL) GC(keepLSN uint64) error {
 			if err := w.fs.Remove(Join(w.dir, segs[i])); err != nil {
 				return err
 			}
+			removed++
 			continue
 		}
 		break
+	}
+	if removed > 0 && w.opts.Observer.GC != nil {
+		w.opts.Observer.GC(removed)
 	}
 	return nil
 }
