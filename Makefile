@@ -25,7 +25,7 @@ SOAK_BUDGET ?= 10m
 OPENLOOP_RATES ?= 400,800,1600
 OPENLOOP_DURATION ?= 2s
 
-.PHONY: build test vet lint fmt-check bench bench-crypto bench-wal bench-tcpnet bench-openloop bench-consolidate bench-check metrics-smoke race-crypto race-net race-all chaos chaos-soak chaos-wallclock verify
+.PHONY: build test vet lint lint-fixtures fmt-check bench bench-crypto bench-wal bench-tcpnet bench-openloop bench-consolidate bench-check metrics-smoke race-crypto race-net race-all chaos chaos-soak chaos-wallclock verify
 
 build:
 	$(GO) build ./...
@@ -37,11 +37,19 @@ vet:
 	$(GO) vet ./...
 
 # Protocol-invariant analyzers (internal/analysis, driven by ringbft-vet):
-# mapiter, verifyfirst, locksend, wallclock. Exits non-zero on any
-# unsuppressed finding or malformed //ringbft:ignore directive; honoured
-# suppressions are printed as a ledger with their reasons.
+# mapiter, verifyfirst, locksend, wallclock, kindswitch, codecbounds,
+# lockorder. Exits non-zero on any unsuppressed finding, malformed
+# //ringbft:ignore directive, or stale directive (one that no longer
+# silences anything); honoured suppressions are printed as a ledger with
+# their reasons.
 lint:
 	$(GO) run ./cmd/ringbft-vet ./...
+
+# The analyzers' own regression suite: every rule's testdata/src/<rule>/
+# fixtures (a/ shape-pinning, regress/ reproducing the original bug, the
+# precise/ dominance cases) checked against their // want expectations.
+lint-fixtures:
+	$(GO) test ./internal/analysis/ -run 'TestFixtures|TestSuiteShape'
 
 # gofmt must be a no-op over the whole tree.
 fmt-check:

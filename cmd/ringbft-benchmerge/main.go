@@ -207,7 +207,12 @@ func checkDoc(path string) error {
 	if len(openloopPoints) < 3 {
 		return fmt.Errorf("want >= 3 open-loop offered-load points, got %d", len(openloopPoints))
 	}
+	points := make([]string, 0, len(openloopPoints))
 	for name := range openloopPoints {
+		points = append(points, name)
+	}
+	sort.Strings(points)
+	for _, name := range points {
 		base := strings.TrimSuffix(name, "/committed_tps")
 		for _, want := range []string{
 			"/e2e_p50", "/e2e_p99",

@@ -1,11 +1,13 @@
 // Command ringbft-vet is the protocol-invariant multichecker: it runs the
-// internal/analysis suite — mapiter, verifyfirst, locksend, wallclock —
-// over the module and fails on any unsuppressed finding.
+// internal/analysis suite — mapiter, verifyfirst, locksend, wallclock,
+// kindswitch, codecbounds, lockorder — over the module and fails on any
+// unsuppressed finding.
 //
 // `make lint` runs it as part of tier-1 verify; CI runs it in a dedicated
 // job. Suppressions (`//ringbft:ignore <analyzer> <reason>`) are honoured
 // but counted and printed, so the accepted-risk ledger is visible in every
-// run. See internal/analysis for the framework and the rules.
+// run; a stale suppression (one that silences nothing) fails the run like
+// any other finding. See internal/analysis for the framework and rules.
 //
 // Usage:
 //
@@ -79,9 +81,6 @@ func main() {
 	if !*quiet {
 		for _, f := range suppressed {
 			fmt.Println(f)
-		}
-		for _, f := range res.Unused {
-			fmt.Printf("%s:%d: note: [%s] %s\n", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
 		}
 		fmt.Printf("ringbft-vet: %d packages, %d findings (%d suppressed with reasons, %d failing)\n",
 			res.Packages, len(res.Findings), len(suppressed), len(failures))

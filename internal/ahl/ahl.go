@@ -265,7 +265,6 @@ func (c *Committee) HandleTick(now time.Time) {
 	}
 }
 
-//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (c *Committee) onClientRequest(m *types.Message) {
 	b := m.Batch
 	if b == nil || len(b.Txns) == 0 || !b.IsCrossShard() {

@@ -394,8 +394,6 @@ func (r *Replica) HandleTick(now time.Time) {
 
 // onClientRequest handles single-shard requests (cross-shard ones go to the
 // committee; if one lands here, it is routed there).
-//
-//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (r *Replica) onClientRequest(m *types.Message) {
 	b := m.Batch
 	if b == nil || len(b.Txns) == 0 {

@@ -43,8 +43,23 @@ type Analyzer struct {
 	// Doc is the one-paragraph description printed by `ringbft-vet -list`.
 	Doc string
 	// Run inspects one package via the Pass and reports findings through
-	// pass.Report. The returned value is unused (kept for x/tools parity).
+	// pass.Report. The returned value is per-package facts handed to
+	// Finish (nil for purely local analyzers; the shape is the analyzer's
+	// own business, mirroring x/tools facts).
 	Run func(pass *Pass) (interface{}, error)
+	// Finish, when non-nil, runs once after Run has been applied to every
+	// package in scope, receiving each package's Run value. It reports
+	// whole-program findings — lock-order cycles span packages, so no
+	// single Pass can see them. Findings carry resolved positions; the
+	// driver fills in the Analyzer name and suppression state.
+	Finish func(pkgs []PackageResult, report func(Finding))
+}
+
+// PackageResult pairs an analyzed package with the value its Run returned,
+// for cross-package aggregation in Finish.
+type PackageResult struct {
+	Path  string
+	Value interface{}
 }
 
 // Pass carries one package's syntax and type information to an analyzer.

@@ -23,6 +23,12 @@ import (
 // packages (ringbft/internal/types, ...), so regression fixtures reproduce
 // the actual PR 5 bug shapes against the actual types.
 
+// filePos keys expectations and reports by file and line.
+type filePos struct {
+	file string
+	line int
+}
+
 var wantRe = regexp.MustCompile("//[ \t]*want[ \t]+((?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")(?:[ \t]+(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"))*)")
 var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 
@@ -60,16 +66,28 @@ func RunFixture(loader *Loader, a *Analyzer, dir string) error {
 	if len(pkg.Errors) > 0 {
 		return fmt.Errorf("analysistest: fixture %s: %d type errors (first: %v)", dir, len(pkg.Errors), pkg.Errors[0])
 	}
-	diags, err := RunAnalyzer(a, pkg)
+	diags, value, err := RunAnalyzer(a, pkg)
 	if err != nil {
 		return err
 	}
-
-	type key struct {
-		file string
-		line int
+	type located struct {
+		pos     filePos
+		message string
 	}
-	wants := make(map[key][]*regexp.Regexp)
+	var reports []located
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		reports = append(reports, located{filePos{p.Filename, p.Line}, d.Message})
+	}
+	if a.Finish != nil {
+		// A fixture exercises the whole-program pass over its single
+		// package, so Finish sees exactly one PackageResult.
+		a.Finish([]PackageResult{{Path: pkg.Path, Value: value}}, func(f Finding) {
+			reports = append(reports, located{filePos{f.Pos.Filename, f.Pos.Line}, f.Message})
+		})
+	}
+
+	wants := make(map[filePos][]*regexp.Regexp)
 	for _, name := range names {
 		src, err := os.ReadFile(name)
 		if err != nil {
@@ -86,28 +104,26 @@ func RunFixture(loader *Loader, a *Analyzer, dir string) error {
 				if err != nil {
 					return fmt.Errorf("analysistest: %s:%d: bad want pattern %q: %v", name, i+1, pat, err)
 				}
-				wants[key{name, i + 1}] = append(wants[key{name, i + 1}], re)
+				wants[filePos{name, i + 1}] = append(wants[filePos{name, i + 1}], re)
 			}
 		}
 	}
 
 	var problems []string
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		k := key{pos.Filename, pos.Line}
+	for _, d := range reports {
 		matched := false
-		for i, re := range wants[k] {
-			if re != nil && re.MatchString(d.Message) {
-				wants[k][i] = nil // consume
+		for i, re := range wants[d.pos] {
+			if re != nil && re.MatchString(d.message) {
+				wants[d.pos][i] = nil // consume
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			problems = append(problems, fmt.Sprintf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message))
+			problems = append(problems, fmt.Sprintf("%s:%d: unexpected diagnostic: %s", d.pos.file, d.pos.line, d.message))
 		}
 	}
-	var keys []key
+	var keys []filePos
 	for k := range wants {
 		keys = append(keys, k)
 	}

@@ -1,0 +1,530 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the dataflow substrate PR 6's analyzers lacked: a
+// per-function control-flow graph with dominance. The PR 6 analyzers
+// approximated "happens before" by source position, which is exactly wrong
+// around branches — a Verify call inside one switch arm was treated as
+// guarding every later line of the function, and a guarded write textually
+// above a later barrier was flagged even when every path to it passes a
+// check. The CFG makes both directions precise: A guards B iff the node
+// holding A dominates the node holding B.
+//
+// Granularity: one Block holds a run of straight-line statement/condition
+// nodes. Compound statements are decomposed — an if contributes its
+// condition expression to the current block and its branches to successor
+// blocks; a range loop contributes its subject expression to the loop-head
+// block. Function literals are *not* descended into: a closure body runs at
+// some other time, so it gets its own CFG (BuildCFG on the FuncLit body)
+// when an analyzer cares.
+//
+// panic(...) and os.Exit terminate their block with no successors, so code
+// that can only run when a check passed is not polluted by the phantom
+// fall-through path of the failure branch.
+
+// Block is one basic block: Nodes execute in order, then control moves to
+// one of Succs. The entry block has Index 0.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block // Blocks[0] is the entry
+	// idom[i] is the index of Blocks[i]'s immediate dominator; -1 for the
+	// entry block and for blocks unreachable from the entry.
+	idom []int
+	// reach[i] reports whether Blocks[i] is reachable from the entry.
+	reach []bool
+}
+
+// loc addresses one node inside a CFG: block index plus position in
+// Block.Nodes.
+type loc struct {
+	block int
+	index int
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// breakTargets / continueTargets are stacks of the innermost targets;
+	// labels maps a label name to the loop or switch it annotates.
+	breakTargets    []*Block
+	continueTargets []*Block
+	labelBreak      map[string]*Block
+	labelContinue   map[string]*Block
+	// pendingLabel is the label attached to the statement about to build
+	// (consumed by the loop/switch builders).
+	pendingLabel string
+	labelBlocks  map[string]*Block
+	gotos        []struct {
+		from  *Block
+		label string
+	}
+}
+
+// BuildCFG constructs the CFG of body. The same body always yields the
+// same graph (construction is a deterministic AST walk).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:           &CFG{},
+		labelBreak:    map[string]*Block{},
+		labelContinue: map[string]*Block{},
+		labelBlocks:   map[string]*Block{},
+	}
+	b.cur = b.newBlock()
+	b.stmtList(body.List)
+	for _, g := range b.gotos {
+		if tgt, ok := b.labelBlocks[g.label]; ok {
+			b.link(g.from, tgt)
+		}
+	}
+	b.cfg.finish()
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startUnreachable replaces the current block after a terminator (return,
+// break, panic): following statements are dead code, parked in a block with
+// no predecessors.
+func (b *cfgBuilder) startUnreachable() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		b.add(st.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.link(cond, then)
+		b.cur = then
+		b.stmtList(st.Body.List)
+		b.link(b.cur, after)
+		if st.Else != nil {
+			els := b.newBlock()
+			b.link(cond, els)
+			b.cur = els
+			b.stmt(st.Else)
+			b.link(b.cur, after)
+		} else {
+			b.link(cond, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		head := b.newBlock()
+		b.link(b.cur, head)
+		b.cur = head
+		if st.Cond != nil {
+			b.add(st.Cond)
+		}
+		after := b.newBlock()
+		if st.Cond != nil {
+			b.link(head, after)
+		}
+		post := b.newBlock()
+		body := b.newBlock()
+		b.link(head, body)
+		b.pushLoop(label, after, post)
+		b.cur = body
+		b.stmtList(st.Body.List)
+		b.popLoop(label)
+		b.link(b.cur, post)
+		b.cur = post
+		if st.Post != nil {
+			b.add(st.Post)
+		}
+		b.link(post, head)
+		b.cur = after
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.link(b.cur, head)
+		// The head evaluates the range subject and assigns the iteration
+		// variables once per element; the loop body does not contain it.
+		head.Nodes = append(head.Nodes, st.X)
+		if st.Key != nil {
+			head.Nodes = append(head.Nodes, st.Key)
+		}
+		if st.Value != nil {
+			head.Nodes = append(head.Nodes, st.Value)
+		}
+		after := b.newBlock()
+		b.link(head, after)
+		body := b.newBlock()
+		b.link(head, body)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmtList(st.Body.List)
+		b.popLoop(label)
+		b.link(b.cur, head)
+		b.cur = after
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		if st.Tag != nil {
+			b.add(st.Tag)
+		}
+		b.buildSwitch(label, st.Body.List)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		b.add(st.Assign)
+		b.buildSwitch(label, st.Body.List)
+	case *ast.SelectStmt:
+		sel := b.cur
+		after := b.newBlock()
+		b.breakTargets = append(b.breakTargets, after)
+		if label != "" {
+			b.labelBreak[label] = after
+		}
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			b.link(sel, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.link(b.cur, after)
+		}
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		if len(st.Body.List) == 0 {
+			b.link(sel, after)
+		}
+		b.cur = after
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.startUnreachable()
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			tgt := b.innermost(b.breakTargets)
+			if st.Label != nil {
+				tgt = b.labelBreak[st.Label.Name]
+			}
+			b.link(b.cur, tgt)
+			b.startUnreachable()
+		case token.CONTINUE:
+			tgt := b.innermost(b.continueTargets)
+			if st.Label != nil {
+				tgt = b.labelContinue[st.Label.Name]
+			}
+			b.link(b.cur, tgt)
+			b.startUnreachable()
+		case token.GOTO:
+			if st.Label != nil {
+				b.gotos = append(b.gotos, struct {
+					from  *Block
+					label string
+				}{b.cur, st.Label.Name})
+			}
+			b.startUnreachable()
+		case token.FALLTHROUGH:
+			// Handled structurally by buildSwitch; nothing to add here.
+		}
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.link(b.cur, lb)
+		b.cur = lb
+		b.labelBlocks[st.Label.Name] = lb
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+	case *ast.ExprStmt:
+		b.add(st)
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && isTerminatorCall(call) {
+			b.startUnreachable()
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Assignments, declarations, inc/dec, sends, defers, go statements:
+		// straight-line nodes in the current block.
+		b.add(s)
+	}
+}
+
+// buildSwitch wires the clause blocks of a switch or type switch. The tag
+// (already added to the current block) dominates every clause; clauses run
+// alternatively, with fallthrough linking a clause body to the next.
+func (b *cfgBuilder) buildSwitch(label string, clauses []ast.Stmt) {
+	tag := b.cur
+	after := b.newBlock()
+	b.breakTargets = append(b.breakTargets, after)
+	if label != "" {
+		b.labelBreak[label] = after
+	}
+	hasDefault := false
+	// Pre-create clause entry blocks so fallthrough can target the next one.
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.link(tag, blocks[i])
+	}
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		falls := false
+		for _, s := range cc.Body {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+				continue
+			}
+			b.stmt(s)
+		}
+		if falls && i+1 < len(blocks) {
+			b.link(b.cur, blocks[i+1])
+		} else {
+			b.link(b.cur, after)
+		}
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	if !hasDefault {
+		// No default: the tag can match nothing and fall straight through.
+		b.link(tag, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breakTargets = append(b.breakTargets, brk)
+	b.continueTargets = append(b.continueTargets, cont)
+	if label != "" {
+		b.labelBreak[label] = brk
+		b.labelContinue[label] = cont
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+func (b *cfgBuilder) innermost(stack []*Block) *Block {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// isTerminatorCall reports whether a call never returns: panic and os.Exit
+// are the shapes this codebase uses.
+func isTerminatorCall(call *ast.CallExpr) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			return pkg.Name == "os" && fn.Sel.Name == "Exit"
+		}
+	}
+	return false
+}
+
+// finish computes reachability and the dominator tree (the iterative
+// Cooper–Harvey–Kennedy algorithm over a reverse postorder).
+func (c *CFG) finish() {
+	n := len(c.Blocks)
+	c.reach = make([]bool, n)
+	c.idom = make([]int, n)
+	for i := range c.idom {
+		c.idom[i] = -1
+	}
+	if n == 0 {
+		return
+	}
+	// Reverse postorder over the reachable subgraph.
+	post := make([]int, 0, n)
+	state := make([]int, n) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(int)
+	dfs = func(i int) {
+		state[i] = 1
+		c.reach[i] = true
+		for _, s := range c.Blocks[i].Succs {
+			if state[s.Index] == 0 {
+				dfs(s.Index)
+			}
+		}
+		state[i] = 2
+		post = append(post, i)
+	}
+	dfs(0)
+	rpo := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for order, b := range rpo {
+		rpoNum[b] = order
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = c.idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = c.idom[b]
+			}
+		}
+		return a
+	}
+
+	c.idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range rpo {
+			if bi == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Blocks[bi].Preds {
+				pi := p.Index
+				if !c.reach[pi] || c.idom[pi] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = pi
+				} else {
+					newIdom = intersect(pi, newIdom)
+				}
+			}
+			if newIdom != -1 && c.idom[bi] != newIdom {
+				c.idom[bi] = newIdom
+				changed = true
+			}
+		}
+	}
+	c.idom[0] = -1
+}
+
+// Reachable reports whether blk can execute at all.
+func (c *CFG) Reachable(blk *Block) bool {
+	return blk != nil && c.reach[blk.Index]
+}
+
+// Dominates reports whether a dominates b (reflexively): every path from
+// the entry to b passes through a. Unreachable blocks dominate nothing and
+// are dominated by nothing.
+func (c *CFG) Dominates(a, b *Block) bool {
+	if a == nil || b == nil || !c.reach[a.Index] || !c.reach[b.Index] {
+		return false
+	}
+	for i := b.Index; ; i = c.idom[i] {
+		if i == a.Index {
+			return true
+		}
+		if i == 0 || c.idom[i] < 0 {
+			return false
+		}
+	}
+}
+
+// LocOf finds the innermost CFG node containing pos, returning its
+// location. ok is false for positions outside every node (dead code parked
+// during construction keeps its nodes, so dead statements still resolve).
+func (c *CFG) LocOf(pos token.Pos) (loc, bool) {
+	best := loc{-1, -1}
+	var bestNode ast.Node
+	for _, blk := range c.Blocks {
+		for i, n := range blk.Nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				// Prefer the smallest enclosing node: compound statements
+				// never land whole in one node, but a range head holds the
+				// subject expression while the body statements hold their
+				// own nodes.
+				if bestNode == nil || (n.Pos() >= bestNode.Pos() && n.End() <= bestNode.End()) {
+					best = loc{blk.Index, i}
+					bestNode = n
+				}
+			}
+		}
+	}
+	return best, bestNode != nil
+}
+
+// NodeDominates reports whether the node at position a executes before the
+// node at position b on every path: a's node strictly precedes b's in the
+// same block, or a's block strictly dominates b's. Positions that resolve
+// to the same node do not dominate each other.
+func (c *CFG) NodeDominates(a, b token.Pos) bool {
+	la, oka := c.LocOf(a)
+	lb, okb := c.LocOf(b)
+	if !oka || !okb {
+		return false
+	}
+	if !c.reach[la.block] || !c.reach[lb.block] {
+		return false
+	}
+	if la.block == lb.block {
+		return la.index < lb.index
+	}
+	ba, bb := c.Blocks[la.block], c.Blocks[lb.block]
+	return ba != bb && c.Dominates(ba, bb) && !c.Dominates(bb, ba)
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as a file and returns the body of the first
+// function plus a position lookup by marker comment: the test marks
+// statements with /*name*/ and asks for dominance between markers.
+func parseBody(t *testing.T, src string) (*ast.BlockStmt, func(string) token.Pos) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body *ast.BlockStmt
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && body == nil {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		t.Fatal("no function in source")
+	}
+	markers := map[string]token.Pos{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			name := strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+			// The marker names the statement that follows it on the line.
+			markers[name] = c.End() + 1
+		}
+	}
+	return body, func(name string) token.Pos {
+		pos, ok := markers[name]
+		if !ok {
+			t.Fatalf("no marker %q", name)
+		}
+		return pos
+	}
+}
+
+func TestCFGDominance(t *testing.T) {
+	src := `package p
+
+func f(x, y int, m map[int]int) int {
+	/*top*/ a := x
+	if x > 0 {
+		/*guard*/ a++
+		if y > 0 {
+			/*deep*/ a += 2
+		}
+	} else {
+		/*other*/ a--
+	}
+	/*join*/ a *= 2
+	switch x {
+	case 1:
+		/*case1*/ a = 1
+	case 2:
+		/*case2*/ a = 2
+	}
+	/*postswitch*/ a++
+	for i := 0; i < x; i++ {
+		/*loop*/ a += i
+	}
+	/*postloop*/ a++
+	for k := range m {
+		if k == 0 {
+			/*preret*/ a = k
+			return a
+		}
+		/*rangebody*/ a += k
+	}
+	return a
+}
+`
+	body, at := parseBody(t, src)
+	cfg := BuildCFG(body)
+
+	dom := func(a, b string) bool { return cfg.NodeDominates(at(a), at(b)) }
+
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"top", "guard", true},    // entry dominates the then-branch
+		{"top", "join", true},     // and the join
+		{"guard", "join", false},  // a branch does not dominate the join
+		{"guard", "deep", true},   // outer branch dominates nested branch
+		{"other", "join", false},  // else-branch does not dominate the join
+		{"guard", "other", false}, // sibling branches do not dominate each other
+		{"case1", "case2", false}, // switch arms are alternatives
+		{"case1", "postswitch", false},
+		{"join", "case1", true}, // code above the switch dominates each arm
+		{"join", "postswitch", true},
+		{"top", "loop", true},
+		{"loop", "postloop", false}, // a loop body may run zero times
+		{"postloop", "rangebody", true},
+		{"preret", "rangebody", false}, // the return branch does not reach it
+	}
+	for _, c := range cases {
+		if got := dom(c.a, c.b); got != c.want {
+			t.Errorf("NodeDominates(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+
+	// Same-node and same-block ordering.
+	if dom("top", "top") {
+		t.Error("a node must not dominate itself")
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	src := `package p
+
+func f(x int) int {
+	if x > 0 {
+		return 1
+	}
+	/*live*/ x++
+	return x
+}
+`
+	body, at := parseBody(t, src)
+	cfg := BuildCFG(body)
+	l, ok := cfg.LocOf(at("live"))
+	if !ok {
+		t.Fatal("statement after the branch should resolve to a node")
+	}
+	if !cfg.Reachable(cfg.Blocks[l.block]) {
+		t.Error("fall-through path after a guarded return must stay reachable")
+	}
+}
+
+func TestCFGTerminators(t *testing.T) {
+	src := `package p
+
+import "os"
+
+func f(x int) {
+	if x == 1 {
+		panic("one")
+	}
+	if x == 2 {
+		os.Exit(2)
+	}
+	/*tail*/ x++
+	_ = x
+}
+`
+	body, at := parseBody(t, src)
+	cfg := BuildCFG(body)
+	l, ok := cfg.LocOf(at("tail"))
+	if !ok || !cfg.Reachable(cfg.Blocks[l.block]) {
+		t.Fatal("tail should be reachable via the non-panicking paths")
+	}
+	// The panic arm must not reach the tail: x==1's branch has no edge out.
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok && isTerminatorCall(call) {
+					if len(blk.Succs) != 0 && blk.Nodes[len(blk.Nodes)-1] == n {
+						t.Errorf("terminator block %d has successors %v", blk.Index, blk.Succs)
+					}
+				}
+			}
+		}
+	}
+}

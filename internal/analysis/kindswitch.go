@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KindSwitch flags non-exhaustive switches over module-defined enums —
+// types.MsgType dispatch switches and WAL record-kind codecs foremost.
+//
+// This is the class behind PR 7's wal.KindEvidence wiring: adding an enum
+// constant (a message type, a WAL record kind) compiles cleanly while
+// every switch that dispatches on the enum silently drops the new value.
+// In a consensus node "silently drops" means a message class that never
+// reaches its handler or a WAL record the recovery path skips — both were
+// found by hand before this analyzer mechanized them.
+//
+// The rule: a `switch` whose tag is a named integer type declared in this
+// module, with at least two accessible constants, must either carry a
+// `default:` arm (declaring it handles the remainder deliberately) or
+// cover every accessible constant of the type. Coverage is compared by
+// constant VALUE, so aliases and renames count. Unexported sentinels of
+// another package (msgTypeCount) are invisible to the switch's package and
+// are not required. A switch with any non-constant case expression is
+// skipped: the analyzer cannot enumerate what it covers.
+var KindSwitch = &Analyzer{
+	Name: "kindswitch",
+	Doc: "flags switches over module enums (types.MsgType, wal.RecordKind) " +
+		"that neither cover every constant nor declare a default arm",
+	Run: runKindSwitch,
+}
+
+func runKindSwitch(pass *Pass) (interface{}, error) {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := moduleEnum(pass, info.TypeOf(sw.Tag))
+			if named == nil {
+				return true
+			}
+			consts := enumConstants(pass, named)
+			if len(consts) < 2 {
+				return true // a one-value "enum" is a flag, not a kind
+			}
+			covered := map[string]bool{}
+			hasDefault := false
+			analyzable := true
+			for _, s := range sw.Body.List {
+				cc, ok := s.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					tv, ok := info.Types[e]
+					if !ok || tv.Value == nil {
+						analyzable = false
+						continue
+					}
+					covered[tv.Value.ExactString()] = true
+				}
+			}
+			if hasDefault || !analyzable {
+				return true
+			}
+			var missing []string
+			for _, c := range consts {
+				if !covered[c.Val().ExactString()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s; add the cases or a default arm",
+					types.TypeString(named, types.RelativeTo(pass.Pkg)), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// moduleEnum returns t as a named integer type declared in this module (or
+// the analyzed package itself, so fixtures can define their own), else nil.
+func moduleEnum(pass *Pass, t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	if pkg == pass.Pkg {
+		return named
+	}
+	path := pkg.Path()
+	if path == "ringbft" || strings.HasPrefix(path, "ringbft/") || strings.HasPrefix(path, "fixture/") {
+		return named
+	}
+	return nil
+}
+
+// enumConstants returns the package-scope constants of exactly the named
+// type that are accessible from the analyzed package, in value order.
+// Unexported sentinels of a foreign package (msgTypeCount) are excluded:
+// no switch outside that package could name them.
+func enumConstants(pass *Pass, named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	scope := pkg.Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if pkg != pass.Pkg && !c.Exported() {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		vi, vj := out[i].Val(), out[j].Val()
+		if constant.Compare(vi, token.NEQ, vj) {
+			return constant.Compare(vi, token.LSS, vj)
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}

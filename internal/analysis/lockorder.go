@@ -1,0 +1,472 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the static mutex-acquisition graph across the module
+// and flags cycles — two code paths taking the same pair of locks in
+// opposite orders can deadlock the moment chaos scheduling interleaves
+// them, and nothing in `go test -race` reports it (the race detector sees
+// no data race in a deadlock).
+//
+// locksend polices what happens INSIDE one critical section; LockOrder
+// polices how critical sections NEST. Per package, Run records for every
+// function which locks it acquires, which module functions it calls, and —
+// replaying Lock/Unlock events in source order, the same discipline as
+// locksend — which of those happen while another lock is held. The Finish
+// hook then merges all packages (the harness wraps engine mutexes around
+// tcpnet and chaos callbacks, so real cycles span packages), closes the
+// may-acquire relation over the call graph, and reports every strongly
+// connected component of the resulting held→acquired edge set.
+//
+// Lock identity is type-qualified — "ringbft/internal/tcpnet.Transport.mu"
+// — so two methods locking the same field through different receiver names
+// meet in one node, while mutexes of unrelated types stay distinct.
+// Function-local mutexes, interface-dispatched calls, and closures are
+// outside the relation (a local mutex cannot participate in a cross-
+// function cycle; dynamic dispatch is over-approximated by nothing rather
+// than by everything). Self-edges — re-acquiring a lock already held — are
+// excluded: the cycle report is about ORDER inversions, and the flow-
+// insensitive may-acquire closure would make self-edges too noisy to act
+// on.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "flags mutex pairs acquired in opposite orders on different code " +
+		"paths (static deadlock cycles), across packages",
+	Run:    runLockOrder,
+	Finish: finishLockOrder,
+}
+
+// lockFnFact is what one function contributes to the acquisition graph.
+type lockFnFact struct {
+	// acquires lists lock IDs taken anywhere in the function body.
+	acquires []string
+	// calls lists qualified names of module functions called anywhere.
+	calls []string
+	// edges are direct held→acquired pairs observed in the replay.
+	edges []lockEdgeFact
+	// callsUnder records module calls made while a lock is held; Finish
+	// expands them through the callee's transitive acquire set.
+	callsUnder []heldCallFact
+}
+
+type lockEdgeFact struct {
+	from, to string
+	pos      token.Position
+}
+
+type heldCallFact struct {
+	held, callee string
+	pos          token.Position
+}
+
+// lockFacts is the per-package Run value consumed by Finish.
+type lockFacts struct {
+	fns map[string]*lockFnFact
+}
+
+func runLockOrder(pass *Pass) (interface{}, error) {
+	facts := &lockFacts{fns: map[string]*lockFnFact{}}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fobj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			qname := funcQName(fobj)
+			if qname == "" {
+				continue
+			}
+			facts.fns[qname] = lockScanFunc(pass, fd)
+		}
+	}
+	return facts, nil
+}
+
+// lockScanFunc replays one function body in source order, mirroring
+// locksend's event discipline: depth-0 statements only (closures run at
+// some other time), deferred unlocks hold to function end, deferred calls
+// are skipped (the held set at defer-run time is not the one here).
+func lockScanFunc(pass *Pass, fd *ast.FuncDecl) *lockFnFact {
+	info := pass.TypesInfo
+	fact := &lockFnFact{}
+	var funcLits, deferRanges []posRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			funcLits = append(funcLits, posRange{x.Pos(), x.End()})
+		case *ast.DeferStmt:
+			deferRanges = append(deferRanges, posRange{x.Call.Pos(), x.Call.End()})
+		}
+		return true
+	})
+	inAny := func(rs []posRange, p token.Pos) bool {
+		for _, r := range rs {
+			if r.contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	held := map[string]bool{}
+	deferredEnd := map[string]bool{}
+	heldSorted := func() []string {
+		out := make([]string, 0, len(held))
+		for mu := range held {
+			out = append(out, mu)
+		}
+		sort.Strings(out)
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if inAny(funcLits, call.Pos()) {
+			// Closure bodies replay on their own clock; their deferred
+			// unlocks still end the outer section (defer func(){mu.Unlock()}()).
+			if op, mu, ok := lockID(info, call); ok && (op == "Unlock" || op == "RUnlock") && inAny(deferRanges, call.Pos()) {
+				deferredEnd[mu] = true
+			}
+			return true
+		}
+		if op, mu, ok := lockID(info, call); ok {
+			switch op {
+			case "Lock", "RLock":
+				if inAny(deferRanges, call.Pos()) {
+					return true
+				}
+				fact.acquires = append(fact.acquires, mu)
+				for _, h := range heldSorted() {
+					if h != mu {
+						fact.edges = append(fact.edges, lockEdgeFact{from: h, to: mu, pos: pass.Fset.Position(call.Pos())})
+					}
+				}
+				held[mu] = true
+			case "Unlock", "RUnlock":
+				if inAny(deferRanges, call.Pos()) {
+					deferredEnd[mu] = true
+				} else if !deferredEnd[mu] {
+					delete(held, mu)
+				}
+			}
+			return true
+		}
+		if qname := moduleCallee(pass, call); qname != "" {
+			if !inAny(deferRanges, call.Pos()) {
+				fact.calls = append(fact.calls, qname)
+				for _, h := range heldSorted() {
+					fact.callsUnder = append(fact.callsUnder, heldCallFact{held: h, callee: qname, pos: pass.Fset.Position(call.Pos())})
+				}
+			}
+		}
+		return true
+	})
+	return fact
+}
+
+// finishLockOrder merges every package's facts, closes may-acquire over
+// the call graph, and reports each cycle in the held→acquired relation.
+func finishLockOrder(pkgs []PackageResult, report func(Finding)) {
+	fns := map[string]*lockFnFact{}
+	for _, pr := range pkgs {
+		facts, ok := pr.Value.(*lockFacts)
+		if !ok {
+			continue
+		}
+		for name, f := range facts.fns {
+			fns[name] = f
+		}
+	}
+
+	// acqStar[f] = every lock f may acquire, directly or transitively.
+	acqStar := map[string]map[string]bool{}
+	names := make([]string, 0, len(fns))
+	for name := range fns {
+		names = append(names, name)
+		set := map[string]bool{}
+		for _, mu := range fns[name].acquires {
+			set[mu] = true
+		}
+		acqStar[name] = set
+	}
+	sort.Strings(names)
+	for changed := true; changed; {
+		changed = false
+		for _, name := range names {
+			set := acqStar[name]
+			for _, callee := range fns[name].calls {
+				for mu := range acqStar[callee] {
+					if !set[mu] {
+						set[mu] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge set: direct nestings plus calls-under-lock expanded through the
+	// callee's acquire closure.
+	type edgeKey struct{ from, to string }
+	edges := map[edgeKey]token.Position{}
+	addEdge := func(from, to string, pos token.Position) {
+		if from == to {
+			return
+		}
+		k := edgeKey{from, to}
+		if old, ok := edges[k]; !ok || posLess(pos, old) {
+			edges[k] = pos
+		}
+	}
+	for _, name := range names {
+		for _, e := range fns[name].edges {
+			addEdge(e.from, e.to, e.pos)
+		}
+		for _, hc := range fns[name].callsUnder {
+			calleeMus := make([]string, 0, len(acqStar[hc.callee]))
+			for mu := range acqStar[hc.callee] {
+				calleeMus = append(calleeMus, mu)
+			}
+			sort.Strings(calleeMus)
+			for _, mu := range calleeMus {
+				addEdge(hc.held, mu, hc.pos)
+			}
+		}
+	}
+
+	adj := map[string][]string{}
+	nodeSet := map[string]bool{}
+	for k := range edges {
+		adj[k.from] = append(adj[k.from], k.to)
+		nodeSet[k.from], nodeSet[k.to] = true, true
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	for _, scc := range stronglyConnected(nodeSet, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		// Report at the earliest edge inside the cycle, citing one edge in
+		// each direction so the inversion is visible from the finding.
+		var cyc []lockEdgeFact
+		for k, pos := range edges {
+			if inSCC[k.from] && inSCC[k.to] {
+				cyc = append(cyc, lockEdgeFact{from: k.from, to: k.to, pos: pos})
+			}
+		}
+		sort.Slice(cyc, func(i, j int) bool {
+			if cyc[i].from != cyc[j].from {
+				return cyc[i].from < cyc[j].from
+			}
+			if cyc[i].to != cyc[j].to {
+				return cyc[i].to < cyc[j].to
+			}
+			return posLess(cyc[i].pos, cyc[j].pos)
+		})
+		e0 := cyc[0]
+		counter := ""
+		for _, e := range cyc {
+			if e.from == e0.to {
+				counter = fmt.Sprintf("; %s is acquired while %s is held at %s:%d", e.to, e.from, e.pos.Filename, e.pos.Line)
+				break
+			}
+		}
+		report(Finding{
+			Pos: e0.pos,
+			Message: fmt.Sprintf("lock-order cycle among {%s}: %s is acquired while %s is held%s; acquire these mutexes in one global order",
+				strings.Join(scc, ", "), e0.to, e0.from, counter),
+		})
+	}
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// stronglyConnected returns the SCCs of the directed graph via iterative
+// Tarjan, visiting nodes in sorted order for deterministic output.
+func stronglyConnected(nodeSet map[string]bool, adj map[string][]string) [][]string {
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		node string
+		succ int
+	}
+	for _, start := range nodes {
+		if _, seen := index[start]; seen {
+			continue
+		}
+		callStack := []frame{{node: start}}
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.succ < len(adj[f.node]) {
+				w := adj[f.node][f.succ]
+				f.succ++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{node: w})
+				} else if onStack[w] && index[w] < low[f.node] {
+					low[f.node] = index[w]
+				}
+				continue
+			}
+			if low[f.node] == index[f.node] {
+				var scc []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == f.node {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[f.node] < low[parent.node] {
+					low[parent.node] = low[f.node]
+				}
+			}
+		}
+	}
+	return sccs
+}
+
+// lockID matches x.Lock/Unlock/RLock/RUnlock on a sync.Mutex/RWMutex and
+// canonicalizes the mutex identity across receiver names: a field mutex
+// becomes "pkgpath.OwnerType.field", a package-level mutex
+// "pkgpath.varname", an embedded mutex "pkgpath.OwnerType". Function-local
+// mutexes return ok=false — they cannot appear in two functions.
+func lockID(info *types.Info, call *ast.CallExpr) (op, id string, ok bool) {
+	op, _, ok = mutexOp(info, call)
+	if !ok {
+		return "", "", false
+	}
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	x := ast.Unparen(sel.X)
+	if ident, isIdent := x.(*ast.Ident); isIdent {
+		obj := info.Uses[ident]
+		if obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return op, obj.Pkg().Path() + "." + ident.Name, true
+		}
+		// A local identifier: either a genuinely local mutex (skip) or a
+		// receiver/local that EMBEDS the mutex — then its named type is
+		// the identity.
+		if named := namedOwner(info.TypeOf(x)); named != nil && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() != "sync" {
+			return op, named.Obj().Pkg().Path() + "." + named.Obj().Name(), true
+		}
+		return "", "", false
+	}
+	if fieldSel, isSel := x.(*ast.SelectorExpr); isSel {
+		if named := namedOwner(info.TypeOf(fieldSel.X)); named != nil && named.Obj().Pkg() != nil {
+			return op, named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fieldSel.Sel.Name, true
+		}
+	}
+	return "", "", false
+}
+
+// namedOwner dereferences t to its named type, or nil.
+func namedOwner(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// funcQName qualifies a function for the cross-package call graph:
+// "pkgpath.Name" or "pkgpath.RecvType.Name".
+func funcQName(fobj *types.Func) string {
+	if fobj.Pkg() == nil {
+		return ""
+	}
+	if recv := fobj.Type().(*types.Signature).Recv(); recv != nil {
+		named := namedOwner(recv.Type())
+		if named == nil {
+			return ""
+		}
+		return fobj.Pkg().Path() + "." + named.Obj().Name() + "." + fobj.Name()
+	}
+	return fobj.Pkg().Path() + "." + fobj.Name()
+}
+
+// moduleCallee resolves call to the qualified name of a statically known
+// function declared in this module, or "". Interface methods and function
+// values stay unresolved by design.
+func moduleCallee(pass *Pass, call *ast.CallExpr) string {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, isMethod := pass.TypesInfo.Selections[fn]; isMethod {
+			if types.IsInterface(sel.Recv()) {
+				return ""
+			}
+		}
+		obj = pass.TypesInfo.Uses[fn.Sel]
+	default:
+		return ""
+	}
+	fobj, ok := obj.(*types.Func)
+	if !ok || fobj.Pkg() == nil {
+		return ""
+	}
+	path := fobj.Pkg().Path()
+	if path != pass.Pkg.Path() && path != "ringbft" &&
+		!strings.HasPrefix(path, "ringbft/") && !strings.HasPrefix(path, "fixture/") {
+		return ""
+	}
+	return funcQName(fobj)
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // MapIter flags `range` over a map in determinism-critical packages unless
@@ -22,7 +23,9 @@ import (
 //   - k2 := <expr> — declarations are loop-local;
 //   - writes to variables declared inside the loop body;
 //   - x = append(x, ...) — the collect-then-sort idiom, accepted only if a
-//     sort call mentioning x follows the loop in the same function;
+//     sort call mentioning x DOMINATES every later use of x on the
+//     function's control-flow graph: a sort that merely appears below the
+//     loop in the file, on a branch some use can bypass, does not count;
 //   - m2[k] = <expr> or delete(m2, k), keyed by the range key variable —
 //     distinct keys make the writes commute;
 //   - n += e, n++, n |= e, n &= e, n ^= e, counts[expr]++ — commutative
@@ -40,7 +43,11 @@ import (
 //
 // Early exits (break, return) and any other effect — sends, calls for
 // effect, writes through pointers — depend on which element the runtime
-// happens to visit first, and are flagged.
+// happens to visit first, and are flagged. The one exception is the pure
+// existence scan: a body whose only effects are identical constant latches
+// and identical constant returns (`if pred(v) { found = true; break }`)
+// reaches the same state no matter which matching element it sees first,
+// so its break/return is order-insensitive.
 var MapIter = &Analyzer{
 	Name: "mapiter",
 	Doc: "flags map iteration whose effects depend on Go's randomized order " +
@@ -55,12 +62,16 @@ func runMapIter(pass *Pass) (interface{}, error) {
 			if !ok || fd.Body == nil {
 				continue
 			}
+			var cfg *CFG // shared by every map range in this function
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				rs, ok := n.(*ast.RangeStmt)
 				if !ok || !isMapType(pass.TypesInfo, rs.X) {
 					return true
 				}
-				c := &mapIterCheck{pass: pass, fn: fd, loop: rs}
+				if cfg == nil {
+					cfg = BuildCFG(fd.Body)
+				}
+				c := &mapIterCheck{pass: pass, fn: fd, loop: rs, cfg: cfg}
 				c.keyObj = rangeVarObj(pass.TypesInfo, rs.Key)
 				c.valObj = rangeVarObj(pass.TypesInfo, rs.Value)
 				if bad, why := c.orderSensitive(rs.Body); bad {
@@ -79,8 +90,12 @@ type mapIterCheck struct {
 	pass   *Pass
 	fn     *ast.FuncDecl
 	loop   *ast.RangeStmt
+	cfg    *CFG
 	keyObj types.Object
 	valObj types.Object
+	// scan is true when the body is a pure existence scan, making break
+	// and return order-insensitive.
+	scan bool
 	// locals are objects declared inside the loop body; writes to them are
 	// invisible outside one iteration.
 	locals map[types.Object]bool
@@ -112,6 +127,7 @@ func (c *mapIterCheck) orderSensitive(body *ast.BlockStmt) (bool, string) {
 		c.locals = make(map[types.Object]bool)
 	}
 	c.collectMutated(body)
+	c.scan = c.existenceScan(body)
 	return c.stmts(body.List)
 }
 
@@ -268,8 +284,14 @@ func (c *mapIterCheck) stmt(s ast.Stmt) (bool, string) {
 		if st.Tok == token.CONTINUE {
 			return false, ""
 		}
+		if st.Tok == token.BREAK && st.Label == nil && c.scan {
+			return false, "" // existence scan: any matching element will do
+		}
 		return true, "exits the loop early (picks an arbitrary element)"
 	case *ast.ReturnStmt:
+		if c.scan {
+			return false, "" // existence scan: identical const returns commute
+		}
 		return true, "returns from inside the loop (picks an arbitrary element)"
 	case *ast.EmptyStmt:
 		return false, ""
@@ -338,10 +360,11 @@ func (c *mapIterCheck) allowedPlainTarget(lhs, rhs ast.Expr) bool {
 		if c.locals[obj] {
 			return true
 		}
-		// x = append(x, ...): the collect idiom. Only sound if x is sorted
-		// before use; demand a sort mentioning x later in this function.
+		// x = append(x, ...): the collect idiom. Only sound if a sort of x
+		// executes before every use; demand a sort call mentioning x that
+		// dominates each post-loop use on the CFG.
 		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && calleeName(call) == "append" {
-			if c.sortedAfterLoop(obj) {
+			if c.sortedBeforeUse(obj) {
 				return true
 			}
 		}
@@ -421,18 +444,20 @@ func (c *mapIterCheck) isRangeKey(e ast.Expr) bool {
 	return obj == c.keyObj
 }
 
-// sortedAfterLoop reports whether a call whose name contains "Sort"/"sort"
-// and mentions obj appears after the range loop in the enclosing function —
-// the second half of the collect-then-sort idiom.
-func (c *mapIterCheck) sortedAfterLoop(obj types.Object) bool {
+// sortedBeforeUse is the second half of the collect-then-sort idiom,
+// upgraded from PR 6's "a sort appears later in the file" to real control
+// flow: some sort call mentioning obj must DOMINATE every use of obj after
+// the loop, so no path reads the slice in collection (map) order. A
+// function that collects and never uses the slice afterwards passes
+// trivially; a sort on one branch with a use on another does not.
+func (c *mapIterCheck) sortedBeforeUse(obj types.Object) bool {
 	if obj == nil {
 		return false
 	}
-	found := false
+	info := c.pass.TypesInfo
+	type span struct{ pos, end token.Pos }
+	var sorts []span
 	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
-		if found || n == nil || n.Pos() <= c.loop.End() {
-			return !found
-		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
@@ -440,28 +465,174 @@ func (c *mapIterCheck) sortedAfterLoop(obj types.Object) bool {
 		// sort.Slice/sort.Strings/slices.Sort*, or any helper whose name
 		// says it sorts (sortedAwaiting, digestSort, ...).
 		isSort := containsSort(calleeName(call))
-		if pkg, _, ok := calleePkgFunc(c.pass.TypesInfo, call); ok && (pkg == "sort" || pkg == "slices") {
+		if pkg, _, ok := calleePkgFunc(info, call); ok && (pkg == "sort" || pkg == "slices") {
 			isSort = true
 		}
-		if !isSort {
+		if !isSort || !mentionsObj(info, call, obj) {
 			return true
 		}
-		for _, arg := range call.Args {
-			mentioned := false
-			ast.Inspect(arg, func(a ast.Node) bool {
-				if id, ok := a.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == obj {
-					mentioned = true
-				}
-				return !mentioned
-			})
-			if mentioned {
-				found = true
-				return false
+		sorts = append(sorts, span{call.Pos(), call.End()})
+		return true
+	})
+	sorted := true
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if !sorted {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		if id.Pos() <= c.loop.End() {
+			return true // pre-loop reads see the pre-collection slice
+		}
+		for _, s := range sorts {
+			if id.Pos() >= s.pos && id.Pos() < s.end {
+				return true // the sort call itself (args, closure body)
 			}
+		}
+		dominated := false
+		for _, s := range sorts {
+			if c.cfg.NodeDominates(s.pos, id.Pos()) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			// A use inside a closure has no CFG node; fall back to source
+			// order between the sort and the closure text.
+			if _, inCFG := c.cfg.LocOf(id.Pos()); !inCFG {
+				for _, s := range sorts {
+					if s.end <= id.Pos() {
+						dominated = true
+						break
+					}
+				}
+			}
+		}
+		if !dominated {
+			sorted = false
 		}
 		return true
 	})
-	return found
+	return sorted
+}
+
+// mentionsObj reports whether any argument of call references obj.
+func mentionsObj(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	mentioned := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(a ast.Node) bool {
+			if id, ok := a.(*ast.Ident); ok && info.Uses[id] == obj {
+				mentioned = true
+			}
+			return !mentioned
+		})
+		if mentioned {
+			return true
+		}
+	}
+	return false
+}
+
+// existenceScan reports whether the loop body's only effects are identical
+// constant latches on function-scoped locals and identical constant
+// returns: `for _, v := range m { if pred(v) { found = true; break } }`.
+// Such a body reaches the same state no matter which matching element the
+// runtime visits first, so early exit is order-insensitive. Any non-const
+// write, differing constants, call for effect, or nested loop disqualifies.
+func (c *mapIterCheck) existenceScan(body *ast.BlockStmt) bool {
+	info := c.pass.TypesInfo
+	constWrites := map[types.Object]string{}
+	retText := ""
+	sawReturn := false
+	ok := true
+	var walkStmts func([]ast.Stmt)
+	var check func(ast.Stmt)
+	check = func(s ast.Stmt) {
+		if !ok {
+			return
+		}
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return // loop-local, reads only
+			}
+			if st.Tok != token.ASSIGN {
+				ok = false
+				return
+			}
+			for i, lhs := range st.Lhs {
+				id, isID := ast.Unparen(lhs).(*ast.Ident)
+				rhs := rhsOf(st, i)
+				if !isID || rhs == nil || !isConstExpr(info, rhs) {
+					ok = false
+					return
+				}
+				if id.Name == "_" {
+					continue
+				}
+				obj := info.Uses[id]
+				if !c.locals[obj] && !funcScopeLocal(info, c.fn, obj) {
+					ok = false
+					return
+				}
+				txt := types.ExprString(rhs)
+				if prev, seen := constWrites[obj]; seen && prev != txt {
+					ok = false
+					return
+				}
+				constWrites[obj] = txt
+			}
+		case *ast.IfStmt:
+			if st.Init != nil {
+				check(st.Init)
+			}
+			walkStmts(st.Body.List)
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				walkStmts(e.List)
+			case *ast.IfStmt:
+				check(e)
+			}
+		case *ast.BlockStmt:
+			walkStmts(st.List)
+		case *ast.BranchStmt:
+			if st.Label != nil || (st.Tok != token.BREAK && st.Tok != token.CONTINUE) {
+				ok = false
+			}
+		case *ast.ReturnStmt:
+			if len(st.Results) == 0 {
+				ok = false // bare return: named results may differ per path
+				return
+			}
+			var parts []string
+			for _, r := range st.Results {
+				if !isConstExpr(info, r) {
+					ok = false
+					return
+				}
+				parts = append(parts, types.ExprString(r))
+			}
+			txt := strings.Join(parts, ",")
+			if sawReturn && retText != txt {
+				ok = false
+				return
+			}
+			sawReturn = true
+			retText = txt
+		case *ast.EmptyStmt:
+		default:
+			ok = false
+		}
+	}
+	walkStmts = func(list []ast.Stmt) {
+		for _, s := range list {
+			check(s)
+		}
+	}
+	walkStmts(body.List)
+	return ok
 }
 
 func containsSort(name string) bool {

@@ -37,14 +37,15 @@ type Result struct {
 	Findings []Finding
 	// Malformed are broken //ringbft:ignore directives (always failures).
 	Malformed []Finding
-	// Unused are directives that silenced nothing (reported, non-fatal).
+	// Unused are stale directives that silenced nothing (also failures:
+	// the ledger must not accrete dead entries).
 	Unused []Finding
 	// Packages is how many packages were analyzed.
 	Packages int
 }
 
 // Failures returns the findings that should fail the build: unsuppressed
-// diagnostics plus malformed suppressions.
+// diagnostics, malformed suppressions, and stale suppressions.
 func (r *Result) Failures() []Finding {
 	var out []Finding
 	for _, f := range r.Findings {
@@ -53,6 +54,7 @@ func (r *Result) Failures() []Finding {
 		}
 	}
 	out = append(out, r.Malformed...)
+	out = append(out, r.Unused...)
 	return out
 }
 
@@ -77,6 +79,12 @@ func Run(dir string, suite []Scoped, patterns ...string) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
+	// Suppressions are matched after every package (and every Finish hook)
+	// has reported: a cross-package finding must still be suppressible at
+	// the line it lands on.
+	merged := &suppressions{}
+	finishIn := map[*Analyzer][]PackageResult{}
+	var raw []Finding
 	for _, pkg := range pkgs {
 		if pkg.Types == nil || len(pkg.Files) == 0 {
 			continue
@@ -86,31 +94,47 @@ func Run(dir string, suite []Scoped, patterns ...string) (*Result, error) {
 		}
 		res.Packages++
 		sups := collectSuppressions(pkg.Fset, pkg.Files)
+		merged.all = append(merged.all, sups.all...)
 		res.Malformed = append(res.Malformed, sups.malformed...)
 		for _, sc := range suite {
 			if !sc.applies(pkg.Path) {
 				continue
 			}
-			diags, err := RunAnalyzer(sc.Analyzer, pkg)
+			diags, value, err := RunAnalyzer(sc.Analyzer, pkg)
 			if err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", sc.Analyzer.Name, pkg.Path, err)
 			}
 			for _, d := range diags {
-				f := Finding{Analyzer: sc.Analyzer.Name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message}
-				if sup := sups.match(sc.Analyzer.Name, f.Pos); sup != nil {
-					f.Suppressed = true
-					f.Reason = sup.reason
-				}
-				res.Findings = append(res.Findings, f)
+				raw = append(raw, Finding{Analyzer: sc.Analyzer.Name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+			}
+			if sc.Analyzer.Finish != nil {
+				finishIn[sc.Analyzer] = append(finishIn[sc.Analyzer], PackageResult{Path: pkg.Path, Value: value})
 			}
 		}
-		for _, sup := range sups.unused() {
-			res.Unused = append(res.Unused, Finding{
-				Analyzer: sup.analyzer,
-				Pos:      posOf(sup),
-				Message:  "unused suppression (no finding on this line); remove it",
-			})
+	}
+	for _, sc := range suite {
+		if sc.Analyzer.Finish == nil {
+			continue
 		}
+		name := sc.Analyzer.Name
+		sc.Analyzer.Finish(finishIn[sc.Analyzer], func(f Finding) {
+			f.Analyzer = name
+			raw = append(raw, f)
+		})
+	}
+	for _, f := range raw {
+		if sup := merged.match(f.Analyzer, f.Pos); sup != nil {
+			f.Suppressed = true
+			f.Reason = sup.reason
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	for _, sup := range merged.unused() {
+		res.Unused = append(res.Unused, Finding{
+			Analyzer: sup.analyzer,
+			Pos:      posOf(sup),
+			Message:  "stale suppression (no finding on this line); remove it",
+		})
 	}
 	sortFindings(res.Findings)
 	sortFindings(res.Malformed)
@@ -119,8 +143,9 @@ func Run(dir string, suite []Scoped, patterns ...string) (*Result, error) {
 }
 
 // RunAnalyzer applies one analyzer to one package and returns its raw
-// diagnostics (no suppression handling) in positional order.
-func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+// diagnostics (no suppression handling) in positional order, plus the Run
+// value destined for the analyzer's Finish hook.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, interface{}, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -130,11 +155,12 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		TypesInfo: pkg.Info,
 		Report:    func(d Diagnostic) { diags = append(diags, d) },
 	}
-	if _, err := a.Run(pass); err != nil {
-		return nil, err
+	value, err := a.Run(pass)
+	if err != nil {
+		return nil, nil, err
 	}
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, nil
+	return diags, value, nil
 }
 
 func sortFindings(fs []Finding) {

@@ -11,21 +11,38 @@ package analysis
 // violations, or annotate with `//ringbft:ignore <name> <reason>` where
 // the code is right and the rule's approximation is what's wrong.
 func DefaultSuite() []Scoped {
+	// Every cmd/ binary: the ringbft-client MAC bug lived in cmd/, outside
+	// every PR 6 scope — the lesson is that entry points handle messages
+	// and replay schedules too.
+	cmds := []string{
+		"cmd/ringbft-bench", "cmd/ringbft-benchmerge", "cmd/ringbft-chaos",
+		"cmd/ringbft-client", "cmd/ringbft-node", "cmd/ringbft-vet",
+	}
 	// Determinism-critical: packages whose control flow must replay
 	// identically across replicas (sequence assignment, message emission)
 	// or across reruns of one seed (chaos schedules, harness scheduling).
-	deterministic := []string{
+	// internal/wal and internal/store joined in PR 9: recovery replay and
+	// read-set assembly must be byte-identical across replicas as well.
+	deterministic := append([]string{
 		"internal/pbft", "internal/ringbft", "internal/ahl",
 		"internal/sharper", "internal/chaos", "internal/harness",
 		"internal/protocols", "internal/evidence",
-	}
+		"internal/wal", "internal/store", "internal/tcpnet",
+	}, cmds...)
 	// Byzantine-facing: packages that handle messages from other nodes.
 	// internal/evidence qualifies twice over: records are built from peer
 	// messages, and transferable records are re-verified on foreign nodes.
-	handlers := []string{
+	handlers := append([]string{
 		"internal/pbft", "internal/ringbft", "internal/ahl",
 		"internal/sharper", "internal/protocols", "internal/evidence",
-		"cmd/ringbft-client", "cmd/ringbft-node",
+		"internal/wal", "internal/store", "internal/tcpnet",
+	}, cmds...)
+	// Codec-bearing: packages that hand-roll binary decoders over
+	// peer-supplied bytes. internal/types carries the message codec,
+	// internal/crypto the key/signature parsing.
+	codecs := []string{
+		"internal/wal", "internal/evidence", "internal/tcpnet",
+		"internal/store", "internal/types", "internal/crypto",
 	}
 	// Seed-deterministic: Scenario(seed) and jitter sampling must replay.
 	// internal/metrics and internal/trace join the scope because their
@@ -46,13 +63,19 @@ func DefaultSuite() []Scoped {
 			Why: "no blocking op under any mutex, anywhere in the module"},
 		{Analyzer: WallClock, Scope: seeded,
 			Why: "seed-reproducibility: no wall clock or global rand in schedule construction"},
+		{Analyzer: KindSwitch, Scope: nil,
+			Why: "a new MsgType or WAL record kind must not silently fall through any dispatch switch"},
+		{Analyzer: CodecBounds, Scope: codecs,
+			Why: "every hand-rolled decoder read must sit behind a length check; hostile frames must error, not panic"},
+		{Analyzer: LockOrder, Scope: nil,
+			Why: "lock cycles span packages (harness wraps engine mutexes around tcpnet); the whole module is one acquisition graph"},
 	}
 }
 
 // Analyzers returns every analyzer in the default suite, unscoped (the
 // fixture harness and -only flag look analyzers up by name here).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapIter, VerifyFirst, LockSend, WallClock}
+	return []*Analyzer{MapIter, VerifyFirst, LockSend, WallClock, KindSwitch, CodecBounds, LockOrder}
 }
 
 // ByName returns the analyzer with the given name, or nil.

@@ -106,8 +106,10 @@ func (s *suppressions) match(analyzer string, pos token.Position) *suppression {
 	return nil
 }
 
-// unused returns the directives that silenced nothing — stale annotations
-// worth cleaning up (reported as notes, not failures: analyzers evolve).
+// unused returns the directives that silenced nothing. Stale directives
+// fail the build: a suppression that outlives its finding either hides a
+// fixed bug's history or papers over an analyzer gap, and both deserve a
+// commit deleting the line.
 func (s *suppressions) unused() []*suppression {
 	var out []*suppression
 	for _, sup := range s.all {

@@ -1,0 +1,552 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Interprocedural taint summaries. PR 6's verifyfirst stopped at function
+// boundaries: any receiver-rooted call carrying message-derived data was an
+// adoption, so reply/retransmit helpers (`r.respond(m)`, `r.send(to, out)`)
+// — which only *emit* messages and never write replica state — needed
+// suppressions at every call site. A summary records what a callee actually
+// does with each parameter, so the caller-side analyzer can distinguish
+// "pushes my unverified data into state" from "sends a reply".
+//
+// Summaries are package-local (the loader type-checks one package per
+// Pass): calls that resolve to a function declared in the analyzed package
+// use its summary; calls into other packages, interface methods, and
+// function values stay conservative (treated as adopting). That matches
+// how the protocol packages are laid out — each replica's state, handlers,
+// and helpers live in one package — and keeps the fixed point small.
+//
+// A summary carries, per parameter (as bitmask positions):
+//
+//   - adoptMask: data derived from the parameter reaches a state write — an
+//     assignment or append whose target roots at the receiver (or escapes
+//     the function), or a conservative call as above. Storing an *intact*
+//     types.Message does not count (see stashStore): buffering a message
+//     for later dispatch keeps its authenticators, and whoever replays it
+//     is analyzed as a handler in its own right.
+//   - resultMask: data derived from the parameter flows into a result, so
+//     callers propagate taint through the return value.
+//
+// plus clientRequestOnly: every intra-package call site passes a message
+// narrowed to types.MsgClientRequest (by the dispatch switch arm or an
+// explicit Type comparison). Client requests carry no authenticator BY
+// PROTOCOL DESIGN — clients hold no pairwise MAC keys; safety against
+// forged or replayed requests comes from digest-binding the batch and from
+// consensus ordering, not from point-to-point authentication (the paper's
+// client/replica trust split). verifyfirst therefore exempts such handlers
+// wholesale instead of demanding a per-site //ringbft:ignore.
+
+type funcSummary struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+	// params in declaration order (receiver excluded).
+	params []types.Object
+	// adoptMask / resultMask: bit i set means params[i] is adopted /
+	// flows to a result.
+	adoptMask  uint64
+	resultMask uint64
+	// clientRequestOnly: see package comment.
+	clientRequestOnly bool
+	// msgParams are the parameter objects of types.Message kind.
+	msgParams map[types.Object]bool
+}
+
+func (s *funcSummary) paramIndex(obj types.Object) int {
+	for i, p := range s.params {
+		if p == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+type pkgSummaries struct {
+	pass  *Pass
+	byObj map[*types.Func]*funcSummary
+}
+
+// summaryFor resolves the callee of call to a summary when it is a
+// function or method declared in the analyzed package.
+func (ps *pkgSummaries) summaryFor(call *ast.CallExpr) *funcSummary {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = ps.pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = ps.pass.TypesInfo.Uses[fn.Sel]
+	}
+	fobj, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return ps.byObj[fobj]
+}
+
+// computeSummaries builds the package's function summaries to a fixed
+// point: masks only ever grow, so iterating until nothing changes yields
+// the least solution even through recursion.
+func computeSummaries(pass *Pass) *pkgSummaries {
+	ps := &pkgSummaries{pass: pass, byObj: map[*types.Func]*funcSummary{}}
+	var order []*funcSummary
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fobj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := &funcSummary{decl: fd, obj: fobj, msgParams: map[types.Object]bool{}}
+			for _, field := range fd.Type.Params.List {
+				if len(field.Names) == 0 {
+					// An unnamed parameter keeps its position (callers
+					// index arguments by it) but can never be adopted:
+					// the body has no way to reference it.
+					s.params = append(s.params, nil)
+					continue
+				}
+				for _, name := range field.Names {
+					obj := pass.TypesInfo.Defs[name]
+					s.params = append(s.params, obj)
+					if obj != nil && isMessageType(obj.Type()) {
+						s.msgParams[obj] = true
+					}
+				}
+			}
+			ps.byObj[fobj] = s
+			order = append(order, s)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range order {
+			adopt, result := summarizeFunc(ps, s)
+			if adopt&^s.adoptMask != 0 || result&^s.resultMask != 0 {
+				s.adoptMask |= adopt
+				s.resultMask |= result
+				changed = true
+			}
+		}
+	}
+	computeClientOnly(ps, order)
+	return ps
+}
+
+// summarizeFunc runs one taint pass over s's body and returns the adopt
+// and result masks observed under the current summaries of its callees.
+func summarizeFunc(ps *pkgSummaries, s *funcSummary) (adopt, result uint64) {
+	tw := newTaintWalker(ps, s.decl)
+	for i, p := range s.params {
+		if p != nil {
+			tw.taint[p] = 1 << uint(i)
+		}
+	}
+	tw.onAdopt = func(_ token.Pos, mask uint64, _ adoptKind, _ string) { adopt |= mask }
+	tw.onResult = func(mask uint64) { result |= mask }
+	tw.walk()
+	return adopt, result
+}
+
+// adoptKind classifies how tainted data reached state, for diagnostics.
+type adoptKind int
+
+const (
+	adoptAssign adoptKind = iota // written into a state target
+	adoptCall                    // passed to a callee that adopts it
+	adoptVia                     // state reached through a tainted pointer
+)
+
+// taintWalker propagates parameter-derived taint through one function body
+// in source order (locals are defined before use in every handler here),
+// reporting adoption events and result flows through callbacks. It is
+// shared between summary construction and the verifyfirst analyzer, which
+// layers CFG dominance on top of the reported sites.
+type taintWalker struct {
+	ps *pkgSummaries
+	fn *ast.FuncDecl
+	// taint maps a local/param object to the mask of originating params.
+	taint map[types.Object]uint64
+	// fresh holds pointer locals addressing allocations made here; writes
+	// through them cannot reach pre-existing state.
+	fresh map[types.Object]bool
+	// onAdopt fires at each site where tainted data reaches state: the
+	// position, contributing-parameter mask, kind, and the rendered target.
+	onAdopt func(pos token.Pos, mask uint64, kind adoptKind, detail string)
+	// onResult fires for each return statement carrying tainted values.
+	onResult func(mask uint64)
+}
+
+func newTaintWalker(ps *pkgSummaries, fn *ast.FuncDecl) *taintWalker {
+	return &taintWalker{
+		ps:    ps,
+		fn:    fn,
+		taint: map[types.Object]uint64{},
+		fresh: map[types.Object]bool{},
+	}
+}
+
+func (t *taintWalker) walk() {
+	ast.Inspect(t.fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false // a closure body runs at some other time
+		case *ast.AssignStmt:
+			t.assign(st)
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+				t.callStmt(call)
+			}
+		case *ast.ReturnStmt:
+			if t.onResult != nil {
+				mask := uint64(0)
+				for _, r := range st.Results {
+					mask |= t.exprMask(r)
+				}
+				if mask != 0 {
+					t.onResult(mask)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprMask returns the union of taint masks of every identifier inside e.
+// A call to an in-package function filters through its resultMask: only
+// parameters the callee actually returns propagate.
+func (t *taintWalker) exprMask(e ast.Expr) uint64 {
+	if e == nil {
+		return 0
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if sum := t.ps.summaryFor(call); sum != nil {
+			mask := uint64(0)
+			for i, arg := range call.Args {
+				if i < 64 && sum.resultMask&(1<<uint(i)) != 0 {
+					mask |= t.exprMask(arg)
+				}
+			}
+			// The callee's receiver (for methods) and variadic overflow
+			// stay coarse: any remaining tainted arg taints the result.
+			if len(call.Args) > len(sum.params) {
+				for _, arg := range call.Args[len(sum.params):] {
+					mask |= t.exprMask(arg)
+				}
+			}
+			return mask
+		}
+	}
+	mask := uint64(0)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := t.ps.pass.TypesInfo.Uses[id]; obj != nil {
+				mask |= t.taint[obj]
+			}
+		}
+		return true
+	})
+	return mask
+}
+
+// isWholeMessage reports whether e is an intact types.Message value (the
+// parameter itself or a copy). Whole messages travel with their
+// authenticators: relaying them, dispatching them, or stashing them for a
+// later replay leaves the eventual adopter with everything it needs to
+// verify, and that adopter is analyzed as a handler in its own right.
+func (t *taintWalker) isWholeMessage(e ast.Expr) bool {
+	tv, ok := t.ps.pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.Type != nil && isMessageType(tv.Type)
+}
+
+// stashStore reports whether rhs stores only intact messages: the message
+// itself, or an append of messages onto a slice.
+func (t *taintWalker) stashStore(rhs ast.Expr) bool {
+	if rhs == nil {
+		return false
+	}
+	if t.isWholeMessage(rhs) {
+		return true
+	}
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && calleeName(call) == "append" && len(call.Args) > 1 {
+		for _, arg := range call.Args[1:] {
+			if !t.isWholeMessage(arg) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (t *taintWalker) assign(st *ast.AssignStmt) {
+	info := t.ps.pass.TypesInfo
+	rhsMask := uint64(0)
+	for _, rhs := range st.Rhs {
+		rhsMask |= t.exprMask(rhs)
+	}
+	for i, lhs := range st.Lhs {
+		rhs := rhsOf(st, i)
+		id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+		if isIdent && id.Name == "_" {
+			continue // a discarded value reaches nothing
+		}
+		if st.Tok == token.DEFINE && isIdent {
+			if obj := info.Defs[id]; obj != nil {
+				if rhsMask != 0 {
+					t.taint[obj] |= rhsMask
+				}
+				if rhs != nil && isFreshAlloc(rhs) {
+					t.fresh[obj] = true
+				}
+			}
+			continue
+		}
+		if isIdent {
+			obj := info.Uses[id]
+			if funcScopeLocal(info, t.fn, obj) && (!isPointerVar(obj) || t.fresh[obj]) {
+				if rhsMask != 0 && obj != nil {
+					t.taint[obj] |= rhsMask
+				}
+				continue
+			}
+		}
+		// Non-local target: receiver field, map cell, global, or a write
+		// through a pointer local that aliases caller state. Writes into
+		// value-typed function locals (scratch maps, struct copies) and
+		// through fresh allocations stay invisible outside the call.
+		if root := rootIdent(lhs); root != nil {
+			obj := info.Uses[root]
+			if obj != nil && funcScopeLocal(info, t.fn, obj) &&
+				(!isPointerVar(obj) || t.fresh[obj]) {
+				continue
+			}
+		}
+		mask := rhsMask | t.exprTargetMask(lhs)
+		if mask == 0 {
+			continue
+		}
+		if t.stashStore(rhs) {
+			continue // intact-message stash, not payload adoption
+		}
+		if t.onAdopt != nil {
+			t.onAdopt(st.Pos(), mask, adoptAssign, types.ExprString(lhs))
+		}
+	}
+}
+
+// exprTargetMask is exprMask over an assignment target's index/selector
+// path — writing state *at* a message-derived key adopts that key.
+func (t *taintWalker) exprTargetMask(lhs ast.Expr) uint64 {
+	mask := uint64(0)
+	ast.Inspect(lhs, func(n ast.Node) bool {
+		if ix, ok := n.(*ast.IndexExpr); ok {
+			mask |= t.exprMask(ix.Index)
+		}
+		return true
+	})
+	return mask
+}
+
+// callStmt handles statement-position calls: state mutation through the
+// receiver or a tainted object, refined by the callee's summary when it is
+// declared in this package.
+func (t *taintWalker) callStmt(call *ast.CallExpr) {
+	info := t.ps.pass.TypesInfo
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if hasVerifyName(sel.Sel.Name) {
+		return
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return
+	}
+	robj := info.Uses[root]
+	if robj == nil {
+		return
+	}
+	if t.fresh[robj] {
+		return // mutating a fresh local allocation cannot reach state
+	}
+	recv := receiverObj(info, t.fn)
+	onReceiver := robj == recv || !funcScopeLocal(info, t.fn, robj)
+	if !onReceiver && t.taint[robj] == 0 {
+		return // a call on an untainted plain local stays local
+	}
+	if mask := t.taint[robj]; mask != 0 && !onReceiver {
+		// Mutating state *reached through* unverified message data (a
+		// pointer pulled out of a map by a message-derived key).
+		if t.onAdopt != nil {
+			t.onAdopt(call.Pos(), mask, adoptVia, types.ExprString(sel.X)+"."+sel.Sel.Name)
+		}
+		return
+	}
+	sum := t.ps.summaryFor(call)
+	argMask := uint64(0)
+	for i, arg := range call.Args {
+		if t.isWholeMessage(arg) {
+			continue // whole-message relay/dispatch: the adopter re-verifies
+		}
+		m := t.exprMask(arg)
+		if m == 0 {
+			continue
+		}
+		if sum != nil && i < len(sum.params) && i < 64 {
+			if sum.adoptMask&(1<<uint(i)) == 0 {
+				continue // the callee provably never adopts this parameter
+			}
+		}
+		argMask |= m
+	}
+	if argMask != 0 && t.onAdopt != nil {
+		t.onAdopt(call.Pos(), argMask, adoptCall, types.ExprString(sel.X)+"."+sel.Sel.Name)
+	}
+}
+
+// computeClientOnly marks functions whose message parameter is provably a
+// client request at every intra-package call site. Exported functions and
+// functions with no call site stay unexempted: a caller outside the
+// package (or a future one) may pass anything.
+func computeClientOnly(ps *pkgSummaries, order []*funcSummary) {
+	info := ps.pass.TypesInfo
+	type siteInfo struct {
+		narrowed bool
+	}
+	sites := map[*types.Func][]siteInfo{}
+	for _, file := range ps.pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var obj types.Object
+			switch fn := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				obj = info.Uses[fn]
+			case *ast.SelectorExpr:
+				obj = info.Uses[fn.Sel]
+			}
+			fobj, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			sum := ps.byObj[fobj]
+			if sum == nil || len(sum.msgParams) == 0 {
+				return true
+			}
+			// Find the message argument object being passed.
+			var argObj types.Object
+			for i, p := range sum.params {
+				if p == nil || !sum.msgParams[p] || i >= len(call.Args) {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Args[i]).(*ast.Ident); ok {
+					argObj = info.Uses[id]
+				}
+			}
+			sites[fobj] = append(sites[fobj], siteInfo{
+				narrowed: argObj != nil && narrowedToClientRequest(info, stack, argObj),
+			})
+			return true
+		})
+	}
+	for _, s := range order {
+		if len(s.msgParams) == 0 || s.obj.Exported() {
+			continue
+		}
+		ss := sites[s.obj]
+		if len(ss) == 0 {
+			continue
+		}
+		all := true
+		for _, site := range ss {
+			if !site.narrowed {
+				all = false
+				break
+			}
+		}
+		s.clientRequestOnly = all
+	}
+}
+
+// narrowedToClientRequest reports whether the innermost-to-outermost AST
+// path encloses the call site in a branch taken only when obj.Type equals
+// types.MsgClientRequest: a `case types.MsgClientRequest:` arm of a switch
+// over obj.Type (with no other value in the arm's list), or the then-branch
+// of `if obj.Type == types.MsgClientRequest`.
+func narrowedToClientRequest(info *types.Info, stack []ast.Node, obj types.Object) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.CaseClause:
+			if len(anc.List) != 1 || !isClientRequestConst(info, anc.List[0]) {
+				continue
+			}
+			// The enclosing switch must be over obj.Type.
+			for j := i - 1; j >= 0; j-- {
+				if sw, ok := stack[j].(*ast.SwitchStmt); ok {
+					if isTypeFieldOf(info, sw.Tag, obj) {
+						return true
+					}
+					break
+				}
+			}
+		case *ast.IfStmt:
+			// Only the then-branch narrows; make sure the call is inside it.
+			if i+1 < len(stack) && stack[i+1] == anc.Else {
+				continue
+			}
+			if be, ok := ast.Unparen(anc.Cond).(*ast.BinaryExpr); ok && be.Op == token.EQL {
+				if (isTypeFieldOf(info, be.X, obj) && isClientRequestConst(info, be.Y)) ||
+					(isTypeFieldOf(info, be.Y, obj) && isClientRequestConst(info, be.X)) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isClientRequestConst(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	var id *ast.Ident
+	if ok {
+		id = sel.Sel
+	} else if plain, isIdent := ast.Unparen(e).(*ast.Ident); isIdent {
+		id = plain
+	} else {
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	return ok && c.Name() == "MsgClientRequest" && c.Pkg() != nil &&
+		strings.HasSuffix(c.Pkg().Path(), "internal/types")
+}
+
+// isTypeFieldOf reports whether e is obj.Type (the MsgType discriminator
+// field of the message object being narrowed).
+func isTypeFieldOf(info *types.Info, e ast.Expr, obj types.Object) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Type" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}

@@ -1,0 +1,97 @@
+// Package a exercises the basic codecbounds shapes: reads of input-derived
+// byte slices must be dominated by a len() check of the same slice. Inputs
+// are []byte parameters, receiver-rooted []byte fields, and locals aliased
+// from either; guards are len() occurrences and range heads.
+package a
+
+import "encoding/binary"
+
+// An unguarded read of a parameter is the violation.
+func first(b []byte) byte {
+	return b[0] // want `first reads b\[0\] with no dominating len\(b\) check`
+}
+
+// A dominating length check blesses every read it dominates.
+func guarded(b []byte) byte {
+	if len(b) < 1 {
+		return 0
+	}
+	return b[0]
+}
+
+// A len() in the same node as the read counts (shape, not arithmetic:
+// fuzzing owns the off-by-ones, this analyzer owns "there is a test").
+func tail(b []byte) byte {
+	return b[len(b)-1]
+}
+
+// A range head reads len(b) by construction and dominates the body.
+func sum(b []byte) (s int) {
+	for i := range b {
+		s += int(b[i])
+	}
+	return s
+}
+
+// A guard on a bypassable branch dominates nothing downstream.
+func maybe(b []byte, ok bool) byte {
+	if ok {
+		_ = len(b)
+	}
+	return b[1] // want `maybe reads b\[1\] with no dominating len\(b\) check`
+}
+
+// Locals aliased from an input are inputs; a guard on the alias counts.
+func alias(b []byte) byte {
+	if len(b) < 8 {
+		return 0
+	}
+	p := b[4:]
+	if len(p) < 2 {
+		return 0
+	}
+	return p[1]
+}
+
+// ...but a guard on the origin does not bless the alias: their lengths
+// differ, which is exactly how resliced-decoder bugs happen.
+func aliasUnguarded(b []byte) byte {
+	if len(b) < 5 {
+		return 0
+	}
+	p := b[4:]
+	return p[0] // want `aliasUnguarded reads p\[0\] with no dominating len\(p\) check`
+}
+
+// decoder is the receiver-rooted shape: r.buf in a decoder struct is an
+// input, keyed by its rendered selector path.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) u16() uint16 {
+	if d.off+2 > len(d.buf) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u8Unchecked() byte {
+	v := d.buf[d.off] // want `u8Unchecked reads d\.buf\[d\.off\] with no dominating len\(d\.buf\) check`
+	d.off++
+	return v
+}
+
+// Reads inside closures are outside the per-function CFG: skipped.
+func viaClosure(b []byte) func() byte {
+	return func() byte { return b[0] }
+}
+
+// Locally allocated slices are not inputs.
+func local() byte {
+	buf := make([]byte, 8)
+	return buf[3]
+}

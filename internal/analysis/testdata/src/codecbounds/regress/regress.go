@@ -1,0 +1,34 @@
+// Package regress reproduces the PR 4 corrupt-frame panic: the inbound
+// tcpnet frame path indexed attacker-controlled bytes with no bounds
+// guard, so a short or hostile frame panicked the replica instead of
+// dropping the connection. parseFrame is the pre-fix shape; the shipped
+// fix checks the buffer length before touching any offset.
+package regress
+
+import "encoding/binary"
+
+const headerLen = 5
+
+// parseFrame trusts the wire: both header reads panic on a short frame.
+func parseFrame(frame []byte) (byte, []byte, bool) {
+	kind := frame[0]                                      // want `parseFrame reads frame\[0\] with no dominating len\(frame\) check`
+	n := int(binary.BigEndian.Uint32(frame[1:headerLen])) // want `parseFrame reads frame\[1:headerLen\] with no dominating len\(frame\) check`
+	if n < 0 || headerLen+n > len(frame) {
+		return 0, nil, false
+	}
+	return kind, frame[headerLen : headerLen+n], true
+}
+
+// parseFrameFixed is the shipped shape: a length check dominates every
+// read, so hostile input errors instead of panicking.
+func parseFrameFixed(frame []byte) (byte, []byte, bool) {
+	if len(frame) < headerLen {
+		return 0, nil, false
+	}
+	kind := frame[0]
+	n := int(binary.BigEndian.Uint32(frame[1:headerLen]))
+	if n < 0 || headerLen+n > len(frame) {
+		return 0, nil, false
+	}
+	return kind, frame[headerLen : headerLen+n], true
+}

@@ -1,0 +1,111 @@
+// Package a exercises the basic kindswitch shapes: exhaustive switches,
+// default arms, value-compared coverage, and the skip conditions (one-value
+// types, non-constant cases, tagless and non-enum switches).
+package a
+
+import "ringbft/internal/types"
+
+type color uint8
+
+const (
+	red color = iota
+	green
+	blue
+)
+
+// crimson aliases red's value; coverage is compared by constant value, so
+// a case on either name covers both.
+const crimson = red
+
+// Covering every value is exhaustive: no finding.
+func name(c color) string {
+	switch c {
+	case red:
+		return "red"
+	case green:
+		return "green"
+	case blue:
+		return "blue"
+	}
+	return "?"
+}
+
+// Missing a constant with no default arm is the violation.
+func bad(c color) string {
+	switch c { // want `switch over color is not exhaustive: missing blue; add the cases or a default arm`
+	case red:
+		return "red"
+	case green:
+		return "green"
+	}
+	return "?"
+}
+
+// A default arm declares the remainder handled deliberately.
+func withDefault(c color) string {
+	switch c {
+	case red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+// Covering through an alias still counts: crimson == red by value.
+func aliased(c color) string {
+	switch c {
+	case crimson:
+		return "red-ish"
+	case green:
+		return "green"
+	case blue:
+		return "blue"
+	}
+	return "?"
+}
+
+// A one-value type is a flag, not a kind: skipped.
+type lone uint8
+
+const only lone = 0
+
+func isOnly(v lone) bool {
+	switch v {
+	case only:
+		return true
+	}
+	return false
+}
+
+// A non-constant case expression makes coverage unenumerable: skipped.
+func dyn(c, pivot color) bool {
+	switch c {
+	case pivot:
+		return true
+	}
+	return false
+}
+
+// A dispatch over a foreign module enum without a default arm is flagged;
+// the unexported sentinel (msgTypeCount) is invisible here and not
+// demanded.
+func dispatch(t types.MsgType) bool {
+	switch t { // want `switch over .*MsgType is not exhaustive`
+	case types.MsgPrePrepare, types.MsgPrepare:
+		return true
+	}
+	return false
+}
+
+// Tagless switches and switches over unnamed types are out of scope.
+func tagless(n int) bool {
+	switch {
+	case n > 0:
+		return true
+	}
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

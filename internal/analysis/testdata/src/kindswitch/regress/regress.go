@@ -1,0 +1,51 @@
+// Package regress reproduces the enum-growth bug class the analyzer was
+// written for: adding a constant to types.MsgType or wal.RecordKind
+// compiles cleanly while every switch dispatching on the enum silently
+// drops the new value. The WAL shape is the PR 7 wiring bug — recovery
+// replayed KindProgress and KindBlock and a new record kind simply
+// vanished from the tail; the MsgType shape is every protocol dispatch
+// switch before PR 9 added default arms.
+package regress
+
+import (
+	"ringbft/internal/types"
+	"ringbft/internal/wal"
+)
+
+// dispatch is the pre-fix protocol dispatch shape: a new message type
+// reaches no handler and no one notices at compile time.
+func dispatch(m *types.Message) bool {
+	switch m.Type { // want `switch over .*MsgType is not exhaustive`
+	case types.MsgPrePrepare:
+		return true
+	case types.MsgPrepare:
+		return true
+	}
+	return false
+}
+
+// replay is the PR 7 recovery shape: evidence records silently vanish
+// from the WAL tail.
+func replay(tail []wal.Record) (n int) {
+	for i := range tail {
+		switch tail[i].Kind { // want `switch over .*RecordKind is not exhaustive: missing KindEvidence`
+		case wal.KindProgress, wal.KindBlock:
+			n++
+		}
+	}
+	return n
+}
+
+// replayFixed is the shipped fix: a default arm declaring that foreign
+// record kinds are not replica state.
+func replayFixed(tail []wal.Record) (n int) {
+	for i := range tail {
+		switch tail[i].Kind {
+		case wal.KindProgress, wal.KindBlock:
+			n++
+		default:
+			// Evidence records belong to the evidence log's own WAL.
+		}
+	}
+	return n
+}

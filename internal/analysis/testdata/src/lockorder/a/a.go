@@ -1,0 +1,68 @@
+// Package a exercises the basic lockorder shapes: a consistent global
+// order is silent, an inversion is a cycle, and function-local mutexes and
+// closures sit outside the acquisition graph.
+package a
+
+import "sync"
+
+// good takes a then b on every path — one global order, no cycle.
+type good struct {
+	a, b sync.Mutex
+}
+
+func (g *good) first() {
+	g.a.Lock()
+	g.b.Lock()
+	g.b.Unlock()
+	g.a.Unlock()
+}
+
+func (g *good) second() {
+	g.a.Lock()
+	defer g.a.Unlock()
+	g.b.Lock()
+	g.b.Unlock()
+}
+
+// bad takes the same pair in both orders: the classic inversion. The
+// report lands on the earliest edge of the cycle.
+type bad struct {
+	a, b sync.Mutex
+}
+
+func (x *bad) ab() {
+	x.a.Lock()
+	x.b.Lock() // want `lock-order cycle among .fixture/lockorder/a\.bad\.a, fixture/lockorder/a\.bad\.b.`
+	x.b.Unlock()
+	x.a.Unlock()
+}
+
+func (x *bad) ba() {
+	x.b.Lock()
+	x.a.Lock()
+	x.a.Unlock()
+	x.b.Unlock()
+}
+
+// A function-local mutex cannot appear in two functions: outside the graph.
+func localOnly() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Acquisitions inside closures replay on their own clock: skipped.
+type lazy struct {
+	a, b sync.Mutex
+}
+
+func (l *lazy) deferredInversion() func() {
+	l.a.Lock()
+	defer l.a.Unlock()
+	return func() {
+		l.b.Lock()
+		l.a.Lock()
+		l.a.Unlock()
+		l.b.Unlock()
+	}
+}

@@ -1,0 +1,58 @@
+// Package regress reproduces the harness/engine nesting shape: the tick
+// path holds the engine mutex and sends through the transport (which takes
+// the transport mutex inside Send), while the inbound read loop holds the
+// transport mutex and delivers into the engine (which takes the engine
+// mutex inside OnMessage). Neither function takes two locks itself — the
+// cycle only exists interprocedurally, through the callee's transitive
+// acquire set, which is exactly what hand inspection kept missing.
+package regress
+
+import "sync"
+
+type engine struct {
+	mu  sync.Mutex
+	seq uint64
+	tr  *transport
+}
+
+type transport struct {
+	mu  sync.Mutex
+	eng *engine
+}
+
+func (t *transport) Send(frame []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = frame
+}
+
+func (e *engine) OnMessage(frame []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_ = frame
+}
+
+// Tick is half the inversion: transport.mu is acquired (inside Send)
+// while engine.mu is held.
+func (e *engine) Tick() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seq++
+	e.tr.Send(nil) // want `lock-order cycle among .fixture/lockorder/regress\.engine\.mu, fixture/lockorder/regress\.transport\.mu.`
+}
+
+// readLoop is the other half: engine.mu is acquired (inside OnMessage)
+// while transport.mu is held.
+func (t *transport) readLoop(frame []byte) {
+	t.mu.Lock()
+	t.eng.OnMessage(frame)
+	t.mu.Unlock()
+}
+
+// TickFixed is the shipped fix: snapshot under the lock, send outside it.
+func (e *engine) TickFixed() {
+	e.mu.Lock()
+	e.seq++
+	e.mu.Unlock()
+	e.tr.Send(nil)
+}

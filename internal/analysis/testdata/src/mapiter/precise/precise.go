@@ -1,0 +1,94 @@
+// Package precise pins the mapiter dataflow upgrade: the collect-then-sort
+// idiom now demands that the sort DOMINATE every post-loop use on the CFG
+// (not merely appear later in the file), and pure existence scans may
+// break/return early.
+package precise
+
+import "sort"
+
+type sched struct {
+	pending map[string]int
+}
+
+// Collect-then-sort where the sort dominates the only use: fine.
+func (s *sched) drainSorted() []string {
+	var keys []string
+	for k := range s.pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// The sort sits below the loop in the file but on a branch the return can
+// bypass: some path reads keys in map order. PR 6's source-order rule
+// accepted this; dominance flags it.
+func (s *sched) drainMaybeSorted(doSort bool) []string {
+	var keys []string
+	for k := range s.pending { // want `order-dependent effects`
+		keys = append(keys, k)
+	}
+	if doSort {
+		sort.Strings(keys)
+	}
+	return keys
+}
+
+// Collecting without ever reading the slice afterwards is trivially safe.
+func (s *sched) collectOnly() {
+	var keys []string
+	for k := range s.pending {
+		keys = append(keys, k)
+	}
+}
+
+// A pure existence scan: the only effects are one constant latch and an
+// early break. Whichever matching element runs first, the final state is
+// identical, so the early exit is order-insensitive.
+func (s *sched) hasHot() bool {
+	found := false
+	for _, v := range s.pending {
+		if v > 10 {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+// Identical constant returns commute the same way.
+func (s *sched) anyNegative() bool {
+	for _, v := range s.pending {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Returning the element itself picks an arbitrary winner: still flagged.
+func (s *sched) pickOne() int {
+	for _, v := range s.pending { // want `order-dependent effects`
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// Two different constants latched into the same variable under break: the
+// first matching element decides, so the scan exemption does not apply.
+func (s *sched) classify() int {
+	mode := 0
+	for k, v := range s.pending { // want `order-dependent effects`
+		if v > 0 {
+			mode = 1
+			break
+		}
+		if k == "" {
+			mode = 2
+			break
+		}
+	}
+	return mode
+}

@@ -12,7 +12,7 @@ type replica struct {
 }
 
 func (r *replica) verifyMAC(m *types.Message) bool { return len(m.MAC) == 32 }
-func (r *replica) record(types.Digest)             {}
+func (r *replica) record(d types.Digest)           { r.log = append(r.log, d) }
 func (r *replica) dispatch(m *types.Message)       {}
 
 // Adopting payload above the barrier is the violation; the same write after
@@ -25,8 +25,9 @@ func (r *replica) onPrepare(m *types.Message) {
 	r.votes[m.From] = struct{}{}
 }
 
-// Taint flows through locals: d came from the message, so pushing it into a
-// receiver-rooted call pre-barrier is an adoption too.
+// Taint flows through locals: d came from the message, and record provably
+// stores its argument into replica state (its summary marks the parameter
+// adopted), so pushing d into it pre-barrier is an adoption too.
 func (r *replica) onCommit(m *types.Message) {
 	d := m.Digest
 	r.record(d) // want `passes unverified message payload`

@@ -16,40 +16,55 @@ import (
 // state for batch B), and ringbft-client counted Response votes without
 // verifying the responder's MAC, so any spoofer satisfied f+1. The static
 // shape is always the same — a field of a *types.Message flows into state
-// (a map insert, a field write, a store/ledger/engine call) above the
-// VerifyMessageSig / VerifyMessageMAC / VerifyCert call that authenticates
-// the sender.
+// (a map insert, a field write, a store/ledger/engine call) on a path no
+// VerifyMessageSig / VerifyMessageMAC / VerifyCert call has guarded.
 //
 // Concretely, for every function with a types.Message (or *types.Message)
 // parameter:
 //
-//   - the "barrier" is the first call whose callee name starts with
-//     "Verify" (VerifyMessageSig, VerifyMessageMAC, VerifyCert, VerifyMAC,
-//     Verify, ...);
-//   - before the barrier the function may read the message freely —
-//     routing, well-formedness checks, digest comparisons are exactly what
-//     belongs there — but must not let message-derived values reach
-//     receiver state: no assignment or append whose target roots at the
-//     receiver (or a pointer obtained from it), and no receiver-rooted
-//     method call carrying a message-derived argument. Passing the whole
-//     message to another handler (dispatch) is allowed: the callee is
-//     analyzed on its own.
+//   - the "barriers" are the calls whose callee name starts with "Verify"
+//     (VerifyMessageSig, VerifyMessageMAC, VerifyCert, VerifyMAC, ...);
+//   - an adoption site — an assignment or append whose target roots at the
+//     receiver (or a pointer that aliases caller state), or a state-rooted
+//     call carrying message-derived data — is safe only when some barrier
+//     DOMINATES it on the function's control-flow graph: every path from
+//     entry to the adoption executes the check first. Reading the message
+//     (routing, well-formedness checks, digest comparisons) is always free,
+//     and passing the whole message onward (dispatch, relay, a bounded
+//     stash for later replay) is allowed: an intact message keeps its
+//     authenticators, and whoever consumes it is analyzed as a handler in
+//     its own right.
 //   - a function with no barrier at all is held to the same rule for its
 //     whole body when its name marks it a handler entry point (onX,
 //     handleX, HandleX, OnX): adopting unauthenticated payload there needs
 //     an explicit //ringbft:ignore with the reason the path is safe.
 //
-// The check approximates dominance by source order inside one function
-// body, which matches the early-return style of every handler here; the
-// fixture suite pins the approximation.
+// Dominance replaces PR 6's source-order approximation: a write that
+// merely appears below a Verify call in the file — in a sibling switch arm,
+// or past an early return the verified path never reaches — is no longer
+// blessed by position, and a write after an early-return guard IS
+// recognized as dominated. Calls into functions declared in the same
+// package are refined by interprocedural summaries (see taint.go): a
+// helper that only emits replies never adopts, so calling it with message
+// fields needs no suppression. Handlers whose message parameter is
+// narrowed to types.MsgClientRequest at every intra-package call site are
+// exempt wholesale — client requests carry no point-to-point authenticator
+// by protocol design (clients hold no pairwise MAC keys; safety comes from
+// digest-binding and consensus ordering).
+//
+// A barrier is any Verify*-named call: the analyzer does not model the
+// branch polarity of the check (every handler here returns/drops on
+// failure) nor verification performed inside callees. The fixture suite
+// pins both approximations.
 var VerifyFirst = &Analyzer{
 	Name: "verifyfirst",
 	Doc: "flags handlers that write message payload into replica state " +
-		"before a Verify* authenticity check",
+		"on a path not dominated by a Verify* authenticity check",
 	Run: runVerifyFirst,
 }
 
 func runVerifyFirst(pass *Pass) (interface{}, error) {
+	sums := computeSummaries(pass)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -60,11 +75,68 @@ func runVerifyFirst(pass *Pass) (interface{}, error) {
 			if len(msgParams) == 0 {
 				continue
 			}
-			v := &verifyFirstCheck{pass: pass, fn: fd, msgs: msgParams}
-			v.run()
+			if fobj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				if s := sums.byObj[fobj]; s != nil && s.clientRequestOnly {
+					continue // every call site passes a client request
+				}
+			}
+			barriers := verifyBarriers(fd.Body)
+			if len(barriers) == 0 && !isHandlerName(fd.Name.Name) {
+				continue
+			}
+			checkVerifyFirst(pass, sums, fd, msgParams, barriers)
 		}
 	}
 	return nil, nil
+}
+
+func checkVerifyFirst(pass *Pass, sums *pkgSummaries, fd *ast.FuncDecl, msgParams map[types.Object]bool, barriers []token.Pos) {
+	cfg := BuildCFG(fd.Body)
+	tw := newTaintWalker(sums, fd)
+	for obj := range msgParams {
+		tw.taint[obj] = 1
+	}
+	tw.onAdopt = func(pos token.Pos, mask uint64, kind adoptKind, detail string) {
+		if mask == 0 {
+			return
+		}
+		if l, ok := cfg.LocOf(pos); ok && !cfg.Reachable(cfg.Blocks[l.block]) {
+			return // dead code adopts nothing
+		}
+		for _, b := range barriers {
+			if cfg.NodeDominates(b, pos) {
+				return // a Verify* check guards every path to this site
+			}
+		}
+		switch kind {
+		case adoptAssign:
+			pass.Reportf(pos, "%s adopts message payload into %s before any Verify* check authenticates the sender",
+				fd.Name.Name, detail)
+		case adoptCall:
+			pass.Reportf(pos, "%s passes unverified message payload to %s before any Verify* check authenticates the sender",
+				fd.Name.Name, detail)
+		case adoptVia:
+			pass.Reportf(pos, "%s mutates state reached through unverified message data (%s) before any Verify* check",
+				fd.Name.Name, detail)
+		}
+	}
+	tw.walk()
+}
+
+// verifyBarriers collects the positions of every Verify*-named call in the
+// function body proper (closures run at some other time and guard nothing).
+func verifyBarriers(body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && hasVerifyName(calleeName(call)) {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
 }
 
 // messageParams returns the parameter objects of fd whose type is
@@ -94,70 +166,6 @@ func isMessageType(t types.Type) bool {
 		strings.HasSuffix(n.Obj().Pkg().Path(), "internal/types")
 }
 
-type verifyFirstCheck struct {
-	pass *Pass
-	fn   *ast.FuncDecl
-	msgs map[types.Object]bool
-	// tainted holds locals derived from message payload (d := m.Batch.Digest()).
-	tainted map[types.Object]bool
-	// fresh holds pointer locals that point at allocations made in this
-	// function (fwd := &types.Message{...}); writing through them cannot
-	// reach replica state.
-	fresh   map[types.Object]bool
-	barrier token.Pos // position of the first Verify* call; NoPos = none
-}
-
-func (v *verifyFirstCheck) run() {
-	v.tainted = make(map[types.Object]bool)
-	v.fresh = make(map[types.Object]bool)
-	v.barrier = v.findBarrier()
-	handler := v.barrier != token.NoPos || isHandlerName(v.fn.Name.Name)
-	if !handler {
-		return
-	}
-	// Single source-order walk: track taint as locals are defined, flag
-	// adoption sites that precede the barrier.
-	ast.Inspect(v.fn.Body, func(n ast.Node) bool {
-		if n == nil {
-			return false
-		}
-		if v.barrier != token.NoPos && n.Pos() >= v.barrier {
-			return false // authenticated from here on
-		}
-		switch st := n.(type) {
-		case *ast.FuncLit:
-			return false // deferred/async bodies run after the handler
-		case *ast.AssignStmt:
-			v.assign(st)
-		case *ast.ExprStmt:
-			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
-				v.callStmt(call)
-			}
-		}
-		return true
-	})
-}
-
-// findBarrier locates the first Verify*-named call in the function body
-// proper (closures run at some other time and guard nothing).
-func (v *verifyFirstCheck) findBarrier() token.Pos {
-	pos := token.NoPos
-	ast.Inspect(v.fn.Body, func(n ast.Node) bool {
-		if pos != token.NoPos {
-			return false
-		}
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		if call, ok := n.(*ast.CallExpr); ok && hasVerifyName(calleeName(call)) {
-			pos = call.Pos()
-			return false
-		}
-		return true
-	})
-	return pos
-}
-
 func isHandlerName(name string) bool {
 	for _, prefix := range []string{"on", "On", "handle", "Handle"} {
 		if rest, ok := strings.CutPrefix(name, prefix); ok && rest != "" {
@@ -168,57 +176,6 @@ func isHandlerName(name string) bool {
 		}
 	}
 	return false
-}
-
-// assign propagates taint into defined locals and flags pre-barrier writes
-// of message-derived values into non-local state.
-func (v *verifyFirstCheck) assign(st *ast.AssignStmt) {
-	taintedRHS := false
-	for _, rhs := range st.Rhs {
-		if v.exprTainted(rhs) {
-			taintedRHS = true
-		}
-	}
-	for i, lhs := range st.Lhs {
-		id, isIdent := ast.Unparen(lhs).(*ast.Ident)
-		if st.Tok == token.DEFINE && isIdent {
-			if obj := v.pass.TypesInfo.Defs[id]; obj != nil {
-				if taintedRHS {
-					v.tainted[obj] = true
-				}
-				if len(st.Rhs) == len(st.Lhs) && isFreshAlloc(st.Rhs[i]) {
-					v.fresh[obj] = true
-				}
-			}
-			continue
-		}
-		if isIdent {
-			obj := v.pass.TypesInfo.Uses[id]
-			if funcScopeLocal(v.pass.TypesInfo, v.fn, obj) {
-				if taintedRHS && obj != nil {
-					v.tainted[obj] = true
-				}
-				continue
-			}
-		}
-		// Non-ident target: receiver field, map cell, or write through a
-		// local. Writes into non-pointer function locals (a scratch map, a
-		// value-struct copy like fwd := *m) or through fresh local
-		// allocations stay invisible to replica state; everything else with
-		// message-derived data — cs.batch = b, votes[m.From] = struct{}{} —
-		// is an adoption.
-		if root := rootIdent(lhs); root != nil {
-			obj := v.pass.TypesInfo.Uses[root]
-			if obj != nil && funcScopeLocal(v.pass.TypesInfo, v.fn, obj) &&
-				(!isPointerVar(obj) || v.fresh[obj]) {
-				continue
-			}
-		}
-		if taintedRHS || v.exprTainted(lhs) {
-			v.pass.Reportf(st.Pos(), "%s adopts message payload into %s before any Verify* check authenticates the sender",
-				v.fn.Name.Name, types.ExprString(lhs))
-		}
-	}
 }
 
 func isPointerVar(obj types.Object) bool {
@@ -241,92 +198,4 @@ func isFreshAlloc(e ast.Expr) bool {
 		return calleeName(x) == "new"
 	}
 	return false
-}
-
-// callStmt flags pre-barrier statement-level method calls that push
-// message-derived data into state: calls rooted at the receiver or a
-// tainted local (cs.mergeCarried(m.WriteSets), r.chain.Append(...)).
-// Expression-position calls are treated as reads — validation predicates
-// (isPeer, PrevInRing, Digest) live there, and a mutation's result is
-// almost never consumed inline in this codebase; the fixtures pin this
-// approximation.
-func (v *verifyFirstCheck) callStmt(call *ast.CallExpr) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	if hasVerifyName(sel.Sel.Name) {
-		return
-	}
-	root := rootIdent(sel.X)
-	if root == nil {
-		return
-	}
-	robj := v.pass.TypesInfo.Uses[root]
-	if robj == nil {
-		return
-	}
-	if v.fresh[robj] {
-		return // mutating a fresh local allocation cannot adopt payload
-	}
-	recv := receiverObj(v.pass.TypesInfo, v.fn)
-	onReceiver := robj == recv || !funcScopeLocal(v.pass.TypesInfo, v.fn, robj)
-	if !onReceiver && !v.tainted[robj] {
-		return // a call on an untainted local cannot adopt payload
-	}
-	taintedArg := false
-	for _, arg := range call.Args {
-		if v.isMessageVar(arg) {
-			// Relaying or dispatching the whole message is fine: the
-			// receiver of a relayed copy re-verifies, and a dispatch
-			// callee is analyzed on its own.
-			continue
-		}
-		if v.exprTainted(arg) {
-			taintedArg = true
-		}
-	}
-	if v.tainted[robj] && !onReceiver {
-		v.pass.Reportf(call.Pos(), "%s mutates state reached through unverified message data (%s.%s) before any Verify* check",
-			v.fn.Name.Name, root.Name, sel.Sel.Name)
-		return
-	}
-	if taintedArg {
-		v.pass.Reportf(call.Pos(), "%s passes unverified message payload to %s.%s before any Verify* check authenticates the sender",
-			v.fn.Name.Name, types.ExprString(sel.X), sel.Sel.Name)
-	}
-}
-
-// isMessageVar reports whether e is a whole message: the parameter itself,
-// or any expression of type types.Message / *types.Message (a relayed copy
-// like &fwd after fwd := *m). Whole messages travel to peers or other
-// handlers, which authenticate them on their own.
-func (v *verifyFirstCheck) isMessageVar(e ast.Expr) bool {
-	if tv, ok := v.pass.TypesInfo.Types[ast.Unparen(e)]; ok && tv.Type != nil && isMessageType(tv.Type) {
-		return true
-	}
-	return false
-}
-
-// exprTainted reports whether e derives from a message parameter or a
-// tainted local: any identifier inside e resolving to one marks the whole
-// expression.
-func (v *verifyFirstCheck) exprTainted(e ast.Expr) bool {
-	if e == nil {
-		return false
-	}
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		if id, ok := n.(*ast.Ident); ok {
-			obj := v.pass.TypesInfo.Uses[id]
-			if obj != nil && (v.msgs[obj] || v.tainted[obj]) {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
 }

@@ -137,6 +137,9 @@ func ExpectedCulprits(sched Schedule) Expectation {
 			id := types.ClientNode(advClientID)
 			exp.Culprits[id] = true
 			required[id] = true
+		default:
+			// Fault-injection ops (partitions, crashes, delays, duplicate
+			// storms) corrupt nothing provable: no culprit expectation.
 		}
 	}
 	exp.Required = types.SortedNodeKeys(required)

@@ -68,6 +68,9 @@ func (b *byzState) wrap(inner sendFunc) sendFunc {
 				inner(to, ForgeUnjustifiedProof(b.self, m))
 				return
 			}
+		default:
+			// ByzNone: the interceptor is installed but dormant; traffic
+			// passes through untouched below.
 		}
 		inner(to, m)
 	}

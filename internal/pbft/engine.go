@@ -373,11 +373,14 @@ func (e *Engine) OnMessage(m *types.Message) {
 		// not guaranteed by the network).
 		if m.View > e.view || (e.inViewChange && m.View == e.view) {
 			if len(e.future) < 8192 {
-				//ringbft:ignore verifyfirst bounded stash only: the message is replayed through this same OnMessage (and its MAC checks) once the view installs; nothing is adopted here
 				e.future = append(e.future, m)
 			}
 			return
 		}
+	default:
+		// Only the three-phase messages are view-scoped; checkpoint and
+		// view-change traffic carries its own watermarks and is never
+		// stashed for a future view.
 	}
 	switch m.Type {
 	case types.MsgPrePrepare:
@@ -392,6 +395,10 @@ func (e *Engine) OnMessage(m *types.Message) {
 		e.onViewChange(m)
 	case types.MsgNewView:
 		e.onNewView(m)
+	default:
+		// Cross-shard and client message types are routed above this layer
+		// (Replica.HandleMessage); anything else inbound here is dropped as
+		// malformed rather than guessed at.
 	}
 }
 

@@ -69,10 +69,12 @@ func (h *HotStuffNode) handle(m *types.Message) {
 		h.onPropose(m)
 	case types.MsgHSVote:
 		h.onVote(m)
+	default:
+		// Message types belonging to the other protocol families are
+		// dropped: a HotStuff node has no handler to misroute them to.
 	}
 }
 
-//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (h *HotStuffNode) onClientRequest(m *types.Message) {
 	if !h.isLeader || m.Batch == nil || len(m.Batch.Txns) == 0 {
 		return

@@ -93,7 +93,6 @@ func (n *PBFTNode) drainQueue() {
 	}
 }
 
-//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (n *PBFTNode) onClientRequest(m *types.Message) {
 	if m.Batch == nil || len(m.Batch.Txns) == 0 {
 		return

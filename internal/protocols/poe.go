@@ -60,10 +60,12 @@ func (p *PoENode) handle(m *types.Message) {
 		p.onPropose(m)
 	case types.MsgPoESupport:
 		p.onSupport(m)
+	default:
+		// Message types belonging to the other protocol families are
+		// dropped: a PoE node has no handler to misroute them to.
 	}
 }
 
-//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (p *PoENode) onClientRequest(m *types.Message) {
 	if !p.isPrimary || m.Batch == nil || len(m.Batch.Txns) == 0 {
 		return

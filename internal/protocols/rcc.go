@@ -110,8 +110,6 @@ func (n *RCCNode) handle(m *types.Message) {
 
 // onClientRequest proposes in this replica's own instance — the multi
 // primary property: any replica accepts client load directly.
-//
-//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (n *RCCNode) onClientRequest(m *types.Message) {
 	if m.Batch == nil || len(m.Batch.Txns) == 0 {
 		return

@@ -72,10 +72,12 @@ func (s *SBFTNode) handle(m *types.Message) {
 		s.onShare(m, true)
 	case types.MsgSbftFullCommit:
 		s.onFull(m, true)
+	default:
+		// Message types belonging to the other protocol families are
+		// dropped: an SBFT node has no handler to misroute them to.
 	}
 }
 
-//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (s *SBFTNode) onClientRequest(m *types.Message) {
 	if !s.isPrimary || m.Batch == nil || len(m.Batch.Txns) == 0 {
 		return

@@ -48,10 +48,12 @@ func (z *ZyzzyvaNode) handle(m *types.Message) {
 		z.onOrderReq(m)
 	case types.MsgZyzCommitCert:
 		z.onCommitCert(m)
+	default:
+		// Message types belonging to the other protocol families are
+		// dropped: a Zyzzyva node has no handler to misroute them to.
 	}
 }
 
-//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (z *ZyzzyvaNode) onClientRequest(m *types.Message) {
 	if !z.isPrimary || m.Batch == nil || len(m.Batch.Txns) == 0 {
 		return

@@ -345,6 +345,9 @@ func (r *Replica) applyRecovered(rec *wal.Recovered) {
 			r.proposed[d] = struct{}{}
 			r.chain.Append(t.Seq, t.Primary, t.Batch)
 			r.execDone[t.Seq] = struct{}{}
+		default:
+			// Evidence records live in the evidence log's own WAL, not the
+			// replica's; any other kind in the tail is not replica state.
 		}
 	}
 	// Settle the executed watermark over everything recovered.

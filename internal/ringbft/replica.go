@@ -554,6 +554,10 @@ func (r *Replica) HandleMessage(m *types.Message) {
 		r.onStateRequest(m)
 	case types.MsgStateSnapshot:
 		r.onStateSnapshot(m)
+	default:
+		// Protocol-comparison message types (HotStuff, PoE, SBFT, Zyzzyva)
+		// never reach a RingBFT replica; an unknown type is a malformed or
+		// misrouted frame and is dropped, never guessed at.
 	}
 }
 
@@ -561,8 +565,6 @@ func (r *Replica) HandleMessage(m *types.Message) {
 // non-primary forwards to its primary and arms the watchdog; an executed
 // request is answered from the cache; a request whose initiator is another
 // shard is routed to that shard's primary.
-//
-//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (r *Replica) onClientRequest(m *types.Message) {
 	if m.Batch == nil || len(m.Batch.Txns) == 0 {
 		return

@@ -396,7 +396,6 @@ func (r *Replica) HandleTick(now time.Time) {
 	}
 }
 
-//ringbft:ignore verifyfirst client requests carry no authenticator by design (clients hold no pairwise MAC keys); the batch is digest-bound here and every downstream adoption goes through consensus
 func (r *Replica) onClientRequest(m *types.Message) {
 	if m.Batch == nil || len(m.Batch.Txns) == 0 {
 		return

@@ -179,6 +179,7 @@ func (kv *KV) Digest() types.Digest {
 	}()
 	var acc [4]uint64
 	for i := range kv.stripes {
+		//ringbft:ignore mapiter acc accumulates with commutative uint64 addition keyed by k; iteration order cannot change the digest
 		for k, v := range kv.stripes[i].data {
 			x := uint64(k)*0x9E3779B97F4A7C15 ^ uint64(v)*0xC2B2AE3D27D4EB4F
 			acc[k%4] += x

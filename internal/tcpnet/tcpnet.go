@@ -156,6 +156,7 @@ func (t *Transport) Close() {
 		t.dialCancel()
 		t.ln.Close()
 		t.mu.Lock()
+		//ringbft:ignore mapiter every connection is closed before wg.Wait returns; teardown order of doomed conns is unobservable
 		for c := range t.conns {
 			c.Close()
 		}

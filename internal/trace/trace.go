@@ -68,8 +68,11 @@ func chainOrder(p Phase) (int, bool) {
 	case PhaseSubmit, PhasePrePrepare, PhasePrepare, PhaseCommit,
 		PhaseForward, PhaseExecute, PhaseReply:
 		return int(p), true
+	default:
+		// PhaseViewChange and PhaseStateTransfer are out-of-band by design;
+		// they have no position in the commit pipeline.
+		return 0, false
 	}
-	return 0, false
 }
 
 // Event is one recorded lifecycle step.
