@@ -55,6 +55,8 @@ func main() {
 		rates    = flag.String("rates", "400,800,1600", "openloop: offered loads to sweep, txns/s, comma-separated")
 		seed     = flag.Int64("seed", 1, "openloop: workload/arrival seed")
 		outPath  = flag.String("o", "-", "openloop: output path for the sweep JSON (- for stdout)")
+		pipeline = flag.Int("pipeline", 0, "openloop: pipeline depth — max proposals in flight per primary (0 = legacy unbounded drain)")
+		cbatch   = flag.Int("clientbatch", 0, "openloop: txns per client request (0 = batch size); below -batch gives the adaptive batcher room to merge")
 	)
 	flag.Parse()
 
@@ -65,6 +67,7 @@ func main() {
 			workers: *workers, vworkers: *vworkers, duration: *duration,
 			latScale: *latScale, nocrypto: *nocrypto,
 			rates: *rates, seed: *seed, out: *outPath,
+			pipeline: *pipeline, clientBatch: *cbatch,
 		})
 		return
 	}
@@ -162,6 +165,8 @@ type openLoopArgs struct {
 	rates             string
 	seed              int64
 	out               string
+	pipeline          int
+	clientBatch       int
 }
 
 func runOpenLoop(a openLoopArgs) {
@@ -186,6 +191,8 @@ func runOpenLoop(a openLoopArgs) {
 		LatencyScale:     a.latScale,
 		NoCrypto:         a.nocrypto,
 		Seed:             a.seed,
+		PipelineDepth:    a.pipeline,
+		ClientBatch:      a.clientBatch,
 	}
 	doc, err := harness.RunOpenLoopSweep(cfg, loads)
 	if err != nil {

@@ -7,9 +7,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/ringbft-bench -openloop -rates 400,800,1600 -o openloop.json
-//	go run ./cmd/ringbft-benchmerge -openloop openloop.json -o BENCH_PR8.json
+//	go run ./cmd/ringbft-bench -openloop -rates 400,800,1600 -o depth1.json
+//	go run ./cmd/ringbft-bench -openloop -pipeline 8 -rates 400,800,1600 -o depth8.json
+//	go run ./cmd/ringbft-benchmerge -openloop depth1.json,depth8.json -o BENCH_PR8.json
 //	go run ./cmd/ringbft-benchmerge -check BENCH_PR8.json   # schema gate (CI)
+//
+// -openloop accepts a comma-separated list of sweep files; sweeps run at
+// different pipeline depths get a depth=N segment in their entry names, so
+// the depth-1 and depth-8 series coexist in one trajectory.
 package main
 
 import (
@@ -52,7 +57,7 @@ var baselines = map[string]string{
 func main() {
 	out := flag.String("o", "BENCH_PR8.json", "output path (- for stdout)")
 	root := flag.String("root", ".", "repository root holding the baseline files")
-	openloop := flag.String("openloop", "", "open-loop sweep JSON (ringbft-bench -openloop output) to merge")
+	openloop := flag.String("openloop", "", "open-loop sweep JSON files (ringbft-bench -openloop output) to merge, comma-separated")
 	check := flag.String("check", "", "validate an existing consolidated document and exit")
 	commit := flag.String("commit", "", "commit hash to stamp entries with (default: git rev-parse --short HEAD)")
 	flag.Parse()
@@ -77,11 +82,17 @@ func main() {
 			"host-dependent (1 vCPU container); compare entries across commits, not across hosts.",
 	}
 	if *openloop != "" {
-		entries, err := openloopEntries(*openloop, c)
-		if err != nil {
-			fatalf("openloop %s: %v", *openloop, err)
+		for _, path := range strings.Split(*openloop, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			entries, err := openloopEntries(path, c)
+			if err != nil {
+				fatalf("openloop %s: %v", path, err)
+			}
+			doc.Entries = append(doc.Entries, entries...)
 		}
-		doc.Entries = append(doc.Entries, entries...)
 	}
 	for _, pkg := range sortedKeys(baselines) {
 		raw, err := os.ReadFile(filepath.Join(*root, baselines[pkg]))
@@ -130,8 +141,8 @@ func openloopEntries(path, commit string) ([]Entry, error) {
 		out = append(out, Entry{Name: name, Unit: unit, Value: v, Commit: commit})
 	}
 	for _, p := range ol.Points {
-		base := fmt.Sprintf("openloop/%s/z=%d/n=%d/offered=%.0f",
-			ol.Protocol, ol.Shards, ol.ReplicasPerShard, p.OfferedTps)
+		base := fmt.Sprintf("openloop/%s/z=%d/n=%d/depth=%d/offered=%.0f",
+			ol.Protocol, ol.Shards, ol.ReplicasPerShard, ol.PipelineDepth, p.OfferedTps)
 		add(base+"/committed_tps", "txn/s", p.CommittedTps)
 		add(base+"/e2e_p50", "ms", p.E2E.P50Ms)
 		add(base+"/e2e_p99", "ms", p.E2E.P99Ms)
@@ -191,7 +202,7 @@ func checkDoc(path string) error {
 		return fmt.Errorf("no entries")
 	}
 	seen := make(map[string]struct{}, len(doc.Entries))
-	openloopPoints := make(map[string]struct{})
+	var points []string
 	for i, e := range doc.Entries {
 		if e.Name == "" || e.Unit == "" || e.Commit == "" {
 			return fmt.Errorf("entry %d (%q): missing name/unit/commit", i, e.Name)
@@ -201,15 +212,25 @@ func checkDoc(path string) error {
 		}
 		seen[e.Name] = struct{}{}
 		if strings.HasPrefix(e.Name, "openloop/") && strings.HasSuffix(e.Name, "/committed_tps") {
-			openloopPoints[e.Name] = struct{}{}
+			points = append(points, e.Name)
 		}
 	}
-	if len(openloopPoints) < 3 {
-		return fmt.Errorf("want >= 3 open-loop offered-load points, got %d", len(openloopPoints))
+	if len(points) < 3 {
+		return fmt.Errorf("want >= 3 open-loop offered-load points, got %d", len(points))
 	}
-	points := make([]string, 0, len(openloopPoints))
-	for name := range openloopPoints {
-		points = append(points, name)
+	depths := make(map[string]struct{})
+	for _, name := range points {
+		for _, seg := range strings.Split(name, "/") {
+			if strings.HasPrefix(seg, "depth=") {
+				depths[seg] = struct{}{}
+			}
+		}
+	}
+	// The pipeline comparison is part of the trajectory: a consolidated
+	// document that names depths must cover at least two of them, or the
+	// depth-1 vs depth-N knee comparison has silently been dropped.
+	if len(depths) == 1 {
+		return fmt.Errorf("open-loop entries cover only one pipeline depth; want sweeps at >= 2 depths (e.g. depth=1 and depth=8)")
 	}
 	sort.Strings(points)
 	for _, name := range points {

@@ -55,6 +55,9 @@ func main() {
 		snapEvery = flag.Uint64("snapshot-interval", 0,
 			"sequences between snapshots (0 = checkpoint interval)")
 
+		pipelineDepth = flag.Int("pipeline-depth", 0,
+			"max proposals in flight per primary across sequence numbers; >= 1 also enables adaptive batching (0 = legacy unbounded drain)")
+
 		outboxDepth = flag.Int("outbox-depth", 0,
 			"per-peer outbound queue depth (0 = transport default)")
 		dialTimeout = flag.Duration("dial-timeout", 0,
@@ -80,6 +83,7 @@ func main() {
 	cfg.DataDir = *dataDir
 	cfg.FsyncInterval = *fsync
 	cfg.SnapshotInterval = types.SeqNum(*snapEvery)
+	cfg.PipelineDepth = *pipelineDepth
 	cfg.OutboxDepth = *outboxDepth
 	cfg.DialTimeout = *dialTimeout
 	cfg.WriteTimeout = *writeTimeout
@@ -108,8 +112,11 @@ func main() {
 	opts := ringbft.Options{
 		Config: cfg, Shard: types.ShardID(*shard), Self: self,
 		Peers: peers, Auth: ring,
-		Send:    func(to types.NodeID, m *types.Message) { transport.Send(to, m) },
-		Metrics: reg, Tracer: tr,
+		Send: func(to types.NodeID, m *types.Message) { transport.Send(to, m) },
+		// The pipelined primary narrows its window when the transport's
+		// writers fall behind the send rate (outbox occupancy).
+		Backpressure: transport.Backlog,
+		Metrics:      reg, Tracer: tr,
 	}
 	if cfg.DataDir != "" {
 		m, rec, err := ringbft.OpenDurability(cfg, self, nil)

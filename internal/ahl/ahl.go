@@ -309,6 +309,13 @@ func (c *Committee) propose(b *types.Batch, d types.Digest) {
 	if _, done := c.proposed[d]; done {
 		return
 	}
+	// Pipelined consensus: the same drain discipline as internal/ringbft —
+	// the primary keeps at most PipelineDepth proposals in flight and
+	// parks the rest for tryProposeQueued (0 = engine window only).
+	if c.cfg.PipelineDepth > 0 && c.engine.InFlight() >= c.cfg.PipelineDepth {
+		c.queue = append(c.queue, b)
+		return
+	}
 	if _, err := c.engine.Propose(b); err != nil {
 		c.queue = append(c.queue, b)
 		return
@@ -321,6 +328,9 @@ func (c *Committee) tryProposeQueued() {
 		return
 	}
 	for len(c.queue) > 0 {
+		if c.cfg.PipelineDepth > 0 && c.engine.InFlight() >= c.cfg.PipelineDepth {
+			return // pipeline window full: a commit frees the next slot
+		}
 		b := c.queue[0]
 		d := b.Digest()
 		if _, done := c.proposed[d]; done {

@@ -441,6 +441,13 @@ func (r *Replica) propose(b *types.Batch, d types.Digest) {
 		// (same middle-shard-wedge reasoning as internal/ringbft propose).
 		return
 	}
+	// Pipelined consensus: the same drain discipline as internal/ringbft —
+	// at most PipelineDepth proposals in flight, the rest parked for
+	// tryProposeQueued (0 = engine window only).
+	if r.cfg.PipelineDepth > 0 && r.engine.InFlight() >= r.cfg.PipelineDepth {
+		r.queue = append(r.queue, b)
+		return
+	}
 	if _, err := r.engine.Propose(b); err != nil {
 		r.queue = append(r.queue, b)
 		return
@@ -453,6 +460,9 @@ func (r *Replica) tryProposeQueued() {
 		return
 	}
 	for len(r.queue) > 0 {
+		if r.cfg.PipelineDepth > 0 && r.engine.InFlight() >= r.cfg.PipelineDepth {
+			return // pipeline window full: a commit frees the next slot
+		}
 		b := r.queue[0]
 		d := b.Digest()
 		if _, done := r.proposed[d]; done {

@@ -88,6 +88,13 @@ const (
 	// digests commit as distinct batches, consistently everywhere) and
 	// record client-conflict evidence naming exactly that client.
 	FaultClientConflict Fault = "client-conflict"
+	// FaultPipelineViewChange silences a primary that is running a deep
+	// proposal pipeline (Scenario.PipelineDepth, default 4 for this fault):
+	// the view change fires while a full window of PRE-PREPAREd-but-
+	// uncommitted proposals is in flight, and the successor must re-propose
+	// the whole set (sorted-digest order) with none lost and none executed
+	// twice. RingBFT only — the pipeline window lives in its propose path.
+	FaultPipelineViewChange Fault = "pipeline-viewchange"
 )
 
 // Faults lists every fault class, matrix order.
@@ -96,7 +103,7 @@ func Faults() []Fault {
 		FaultNone, FaultPartitionShard, FaultPartitionAsym, FaultPartitionLane,
 		FaultLossStorm, FaultDelaySkew, FaultCrashRestart, FaultWipeRejoin,
 		FaultByzSilent, FaultByzEquivocate, FaultByzNewView,
-		FaultClientDuplicate, FaultClientConflict,
+		FaultClientDuplicate, FaultClientConflict, FaultPipelineViewChange,
 	}
 }
 
@@ -113,6 +120,11 @@ type Scenario struct {
 	BatchSize        int
 	CrossShardPct    float64
 	Records          int
+	// PipelineDepth is the primary's in-flight proposal bound
+	// (types.Config.PipelineDepth): 0 = legacy unbounded drain. Part of
+	// the scenario identity (Name, fingerprint), since it changes which
+	// proposals exist when a fault lands.
+	PipelineDepth int
 	// Horizon is the number of logical ticks the workload+nemesis phase
 	// runs before the liveness probe; ProbeBudget bounds how many further
 	// ticks the probe batches may take to commit.
@@ -155,6 +167,9 @@ func (s Scenario) Normalize() Scenario {
 	if s.Records <= 0 {
 		s.Records = 512
 	}
+	if s.Fault == FaultPipelineViewChange && s.PipelineDepth <= 0 {
+		s.PipelineDepth = 4
+	}
 	if s.Horizon <= 0 {
 		s.Horizon = 260
 	}
@@ -172,6 +187,9 @@ func (s Scenario) Name() string {
 	if n.Shards != 2 {
 		name += fmt.Sprintf("/shards=%d", n.Shards)
 	}
+	if n.PipelineDepth > 0 {
+		name += fmt.Sprintf("/depth=%d", n.PipelineDepth)
+	}
 	return name
 }
 
@@ -179,8 +197,8 @@ func (s Scenario) Name() string {
 // checker failure message embeds it.
 func (s Scenario) ReproCmd() string {
 	n := s.Normalize()
-	return fmt.Sprintf("go test ./internal/chaos/ -run TestReplaySeed -chaos.proto=%s -chaos.fault=%s -chaos.seed=%d -chaos.shards=%d -v",
-		n.Protocol, n.Fault, n.Seed, n.Shards)
+	return fmt.Sprintf("go test ./internal/chaos/ -run TestReplaySeed -chaos.proto=%s -chaos.fault=%s -chaos.seed=%d -chaos.shards=%d -chaos.depth=%d -v",
+		n.Protocol, n.Fault, n.Seed, n.Shards, n.PipelineDepth)
 }
 
 // Op is one declarative nemesis operation; the deterministic engine and the
@@ -338,6 +356,15 @@ func BuildSchedule(sc Scenario) Schedule {
 		add(Event{At: heal, Op: OpHeal})
 	case FaultClientConflict:
 		add(Event{At: start, Op: OpClientConflict})
+		add(Event{At: heal, Op: OpHeal})
+	case FaultPipelineViewChange:
+		// Same unmasking as byz-silent, but the scenario runs a deep
+		// pipeline (Normalize sets PipelineDepth): the primary goes dark
+		// with a window of uncommitted proposals in flight, so the view
+		// change must carry the whole set — the successor re-proposes every
+		// awaited batch in sorted-digest order, and the checkers assert
+		// nothing was lost, duplicated, or executed twice.
+		add(Event{At: start, Op: OpByzSilent, Shard: victimShard, Index: 0})
 		add(Event{At: heal, Op: OpHeal})
 	default:
 		panic(fmt.Sprintf("chaos: unknown fault %q", sc.Fault))

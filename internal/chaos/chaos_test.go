@@ -14,6 +14,7 @@ var (
 	flagProto  = flag.String("chaos.proto", "ringbft", "protocol for TestReplaySeed")
 	flagFault  = flag.String("chaos.fault", "partition-shard", "fault class for TestReplaySeed")
 	flagShards = flag.Int("chaos.shards", 0, "shard count for TestReplaySeed (0 = default)")
+	flagDepth  = flag.Int("chaos.depth", 0, "pipeline depth for TestReplaySeed (0 = legacy unbounded drain)")
 )
 
 // TestChaosMatrix runs the full scenario matrix: every fault class against
@@ -60,10 +61,11 @@ func TestReplaySeed(t *testing.T) {
 		t.Skip("pass -chaos.seed=N (with -chaos.proto / -chaos.fault) to replay a scenario")
 	}
 	sc := Scenario{
-		Protocol: harness.Protocol(*flagProto),
-		Fault:    Fault(*flagFault),
-		Seed:     *flagSeed,
-		Shards:   *flagShards,
+		Protocol:      harness.Protocol(*flagProto),
+		Fault:         Fault(*flagFault),
+		Seed:          *flagSeed,
+		Shards:        *flagShards,
+		PipelineDepth: *flagDepth,
 	}
 	res, err := RunScenario(sc)
 	if err != nil {

@@ -126,6 +126,7 @@ func NewCluster(sc Scenario) *Cluster {
 	sc = sc.Normalize()
 	cfg := types.DefaultConfig(sc.Shards, sc.ReplicasPerShard)
 	cfg.BatchSize = sc.BatchSize
+	cfg.PipelineDepth = sc.PipelineDepth
 	cfg.CheckpointInterval = 8 // short cadence so recovery paths engage in-window
 	cfg.DataDir = "data"
 

@@ -262,9 +262,17 @@ func Matrix() []Scenario {
 	for _, f := range []Fault{
 		FaultNone, FaultPartitionLane, FaultLossStorm, FaultCrashRestart,
 		FaultByzEquivocate, FaultByzNewView, FaultClientDuplicate, FaultClientConflict,
+		FaultPipelineViewChange,
 	} {
 		out = append(out, Scenario{Protocol: harness.ProtoRingBFT, Fault: f, Seed: 5, Shards: 3})
 	}
+	// Pipelined frontier: the deep-window rows run the whole workload with
+	// a bounded in-flight window and adaptive batching armed, under faults
+	// that deliberately hit mid-window (a dark primary, a crash-restart).
+	out = append(out,
+		Scenario{Protocol: harness.ProtoRingBFT, Fault: FaultCrashRestart, Seed: 6, PipelineDepth: 4},
+		Scenario{Protocol: harness.ProtoRingBFT, Fault: FaultLossStorm, Seed: 7, PipelineDepth: 2},
+	)
 	for _, f := range []Fault{
 		FaultNone, FaultPartitionShard, FaultPartitionAsym, FaultPartitionLane,
 		FaultLossStorm, FaultDelaySkew, FaultCrashRestart, FaultWipeRejoin,

@@ -136,6 +136,7 @@ func RunWallClock(sc Scenario, window time.Duration) (*WallClockResult, error) {
 		Shards:             sc.Shards,
 		ReplicasPerShard:   sc.ReplicasPerShard,
 		BatchSize:          sc.BatchSize,
+		PipelineDepth:      sc.PipelineDepth,
 		CrossShardPct:      sc.CrossShardPct,
 		Records:            sc.Records,
 		Clients:            sc.Clients,

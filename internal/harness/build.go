@@ -74,6 +74,12 @@ func build(cfg Config) (*cluster, error) {
 				}
 				peers := shardPeers[s]
 				send := cl.interceptSend(cfg, id, a, ep.Send)
+				// Real transports expose outbox occupancy; the pipelined
+				// primary clamps its window when writers fall behind.
+				var backpressure func() int
+				if bl, ok := ep.(interface{ Backlog() int }); ok {
+					backpressure = bl.Backlog
+				}
 				// One tracer per node slot, shared with any respawn of the
 				// same slot so a crash/restart keeps one contiguous span log.
 				tr := cl.newTracer()
@@ -83,6 +89,7 @@ func build(cfg Config) (*cluster, error) {
 						Peers: peers, Auth: a,
 						Send:            ringbft.Sender(send),
 						AllToAllForward: cfg.AllToAllForward,
+						Backpressure:    backpressure,
 						Metrics:         cl.reg, Tracer: tr,
 					}
 					if cl.fs != nil {

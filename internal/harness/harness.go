@@ -57,6 +57,18 @@ type Config struct {
 	Shards           int
 	ReplicasPerShard int
 	BatchSize        int
+	// PipelineDepth bounds the primary's in-flight proposals across
+	// sequence numbers (types.Config.PipelineDepth): 0 = legacy unbounded
+	// drain up to the pbft log window, 1 = lockstep, small depths overlap
+	// PRE-PREPARE/PREPARE/COMMIT across sequences. A depth >= 1 also
+	// enables the ringbft primary's adaptive batcher (queued single-shard
+	// client requests coalesce toward BatchSize under backlog).
+	PipelineDepth int
+	// ClientBatch is the transaction count of each client request (0 =
+	// BatchSize). Setting it below BatchSize gives the adaptive batcher
+	// requests it can visibly coalesce; the default keeps client requests
+	// and consensus batches one-to-one, exactly the pre-pipeline shape.
+	ClientBatch int
 	// ExecWorkers sizes the dependency-aware parallel batch executor on
 	// every replica (internal/sched); 0 = sequential execution. A/B this
 	// knob to measure intra-batch execution parallelism.
@@ -456,6 +468,7 @@ func applyDefaults(cfg *Config) {
 func typesConfig(cfg Config) types.Config {
 	tc := types.DefaultConfig(cfg.Shards, cfg.ReplicasPerShard)
 	tc.BatchSize = cfg.BatchSize
+	tc.PipelineDepth = cfg.PipelineDepth
 	tc.ExecWorkers = cfg.ExecWorkers
 	tc.VerifyWorkers = cfg.VerifyWorkers
 	tc.LocalTimeout = cfg.LocalTimeout
@@ -575,12 +588,16 @@ func (m *metrics) result(cfg Config) Result {
 // (attack A1).
 func runClient(ctx context.Context, cl *cluster, id types.ClientID, m *metrics) {
 	cfg := cl.cfg
+	clientBatch := cfg.ClientBatch
+	if clientBatch <= 0 {
+		clientBatch = cfg.BatchSize
+	}
 	gen := workload.New(workload.Config{
 		Shards:         cfg.Shards,
 		ActiveRecords:  cfg.Records,
 		CrossShardPct:  cfg.CrossShardPct,
 		InvolvedShards: cfg.InvolvedShards,
-		BatchSize:      cfg.BatchSize,
+		BatchSize:      clientBatch,
 		RemoteReads:    cfg.RemoteReads,
 		Zipf:           cfg.Zipf,
 		Stripe:         cfg.StripeClients,

@@ -49,13 +49,20 @@ type OpenLoopPoint struct {
 // OpenLoopDoc is the JSON document ringbft-bench -openloop emits and
 // ringbft-benchmerge consolidates into the benchmark trajectory.
 type OpenLoopDoc struct {
-	Protocol         string          `json:"protocol"`
-	Shards           int             `json:"shards"`
-	ReplicasPerShard int             `json:"replicas_per_shard"`
-	BatchSize        int             `json:"batch_size"`
-	CrossShardPct    float64         `json:"cross_shard_pct"`
-	Seed             int64           `json:"seed"`
-	Points           []OpenLoopPoint `json:"points"`
+	Protocol         string `json:"protocol"`
+	Shards           int    `json:"shards"`
+	ReplicasPerShard int    `json:"replicas_per_shard"`
+	BatchSize        int    `json:"batch_size"`
+	// PipelineDepth is the in-flight proposal bound the sweep ran under
+	// (0 = legacy unbounded drain); it names the series in the
+	// consolidated trajectory so depth-1 and depth-8 sweeps coexist.
+	PipelineDepth int `json:"pipeline_depth"`
+	// ClientBatch is the per-request transaction count offered by the
+	// generator (0 = BatchSize, i.e. one request per consensus batch).
+	ClientBatch   int             `json:"client_batch,omitempty"`
+	CrossShardPct float64         `json:"cross_shard_pct"`
+	Seed          int64           `json:"seed"`
+	Points        []OpenLoopPoint `json:"points"`
 }
 
 // RunOpenLoop drives one instrumented cluster with a Poisson arrival
@@ -104,6 +111,8 @@ func RunOpenLoopSweep(cfg Config, rates []float64) (OpenLoopDoc, error) {
 		Shards:           cfg.Shards,
 		ReplicasPerShard: cfg.ReplicasPerShard,
 		BatchSize:        cfg.BatchSize,
+		PipelineDepth:    cfg.PipelineDepth,
+		ClientBatch:      cfg.ClientBatch,
 		CrossShardPct:    cfg.CrossShardPct,
 		Seed:             cfg.Seed,
 	}
@@ -119,17 +128,22 @@ func RunOpenLoopSweep(cfg Config, rates []float64) (OpenLoopDoc, error) {
 }
 
 // runOpenLoopGen is the arrival/completion loop: exponential inter-arrival
-// times at rate/BatchSize batches per second, fire-and-forget sends, f+1
-// matching responses complete a batch. Arrivals never wait on completions;
+// times at rate/ClientBatch requests per second (ClientBatch defaults to
+// BatchSize), fire-and-forget sends, f+1 matching responses complete a
+// request. Arrivals never wait on completions;
 // a short drain after the window lets in-flight measured batches land.
 func runOpenLoopGen(cl *cluster, rate float64) OpenLoopPoint {
 	cfg := cl.cfg
+	clientBatch := cfg.ClientBatch
+	if clientBatch <= 0 {
+		clientBatch = cfg.BatchSize
+	}
 	gen := workload.New(workload.Config{
 		Shards:         cfg.Shards,
 		ActiveRecords:  cfg.Records,
 		CrossShardPct:  cfg.CrossShardPct,
 		InvolvedShards: cfg.InvolvedShards,
-		BatchSize:      cfg.BatchSize,
+		BatchSize:      clientBatch,
 		RemoteReads:    cfg.RemoteReads,
 		Zipf:           cfg.Zipf,
 		Seed:           cfg.Seed + 7919,
@@ -143,7 +157,7 @@ func runOpenLoopGen(cl *cluster, rate float64) OpenLoopPoint {
 	if need <= 0 {
 		need = (cfg.ReplicasPerShard-1)/3 + 1
 	}
-	batchRate := rate / float64(cfg.BatchSize)
+	batchRate := rate / float64(clientBatch)
 	interarrival := func() time.Duration {
 		return time.Duration(rng.ExpFloat64() / batchRate * float64(time.Second))
 	}

@@ -188,6 +188,11 @@ func (e *tcpEndpoint) Send(to types.NodeID, m *types.Message) {
 
 func (e *tcpEndpoint) Inbox() <-chan *types.Message { return e.out }
 
+// Backlog surfaces the transport's outbox occupancy so build can hand it to
+// pipelined replicas as their backpressure signal (simnet endpoints don't
+// implement it — in-process queues have no writer to fall behind).
+func (e *tcpEndpoint) Backlog() int { return e.tr.Backlog() }
+
 // pump forwards the transport inbox into the endpoint inbox, dropping when
 // the node is crashed or its inbox is full (a stopped event loop must not
 // wedge the fabric).

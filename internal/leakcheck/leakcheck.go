@@ -8,6 +8,17 @@
 // Detection polls runtime.Stack until only known-benign goroutines remain
 // or the deadline passes: goroutines legitimately take a moment to unwind
 // after Close/cancel returns, so a single snapshot would flake.
+//
+// The benign allowlist (runtime internals, the testing framework, this
+// package's own poller) is deliberately narrow and string-matched on
+// function names: the invariant is that every goroutine a suite starts is
+// attributable, so the allowlist must never grow to paper over a leak in
+// the code under test — fix the teardown instead.
+//
+// Protecting gates: the harness and tcpnet suites call Check in TestMain,
+// so any event loop, writer goroutine, or WAL sync loop that outlives its
+// cluster fails those packages' tests on every CI run (build-test and
+// race-all jobs).
 package leakcheck
 
 import (

@@ -143,6 +143,16 @@ func (e *Engine) CheckpointVotes() map[types.SeqNum]int {
 	return out
 }
 
+// InFlight reports how many consensus instances the engine currently has in
+// flight: sequences that are pre-prepared but not yet committed inside the
+// log window. This is the propose-accounting surface for pipelined hosts
+// (types.Config.PipelineDepth): a primary overlapping
+// PRE-PREPARE/PREPARE/COMMIT across sequence numbers gates new proposals on
+// this count, while the engine's own log window (Options.Window) remains the
+// hard ceiling. The scan is O(window); the window is small (default 512) and
+// hosts call this at event-loop rate, far below the per-message crypto cost.
+func (e *Engine) InFlight() int { return e.UncommittedInWindow() }
+
 // UncommittedInWindow counts log entries that are preprepared but not yet
 // committed (diagnostics).
 func (e *Engine) UncommittedInWindow() int {

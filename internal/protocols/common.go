@@ -7,6 +7,19 @@
 // change is exercised through the Pbft baseline (the others share its
 // fate under faults per their papers and are benchmarked fault-free, as in
 // Figure 1).
+//
+// Invariants every baseline upholds: replicas of one group execute the same
+// batches in the same sequence order, Send never blocks the event loop (the
+// simnet/tcpnet contract), and client responses are only emitted for
+// executed batches. The baselines deliberately share the types, crypto,
+// store, and ledger substrate with RingBFT so Figure 1's comparison
+// measures protocol message flow, not implementation divergence.
+//
+// Protecting gates: protocols_test.go commits workloads through every
+// baseline and checks cross-replica agreement; the harness' Fig 1 path runs
+// them on the simulated WAN each CI cycle; and the static analyzers
+// (cmd/ringbft-vet) hold this package to the same verify-before-use and
+// sorted-map-iteration rules as the protocol packages proper.
 package protocols
 
 import (

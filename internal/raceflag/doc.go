@@ -1,0 +1,16 @@
+// Package raceflag exposes whether the binary was built with the race
+// detector, so timing-sensitive tests can scale their wall-clock budgets
+// instead of flaking under the detector's 5-20x slowdown (mirrors the
+// stdlib's internal/race pattern).
+//
+// The package is two build-tagged files declaring the one constant,
+// Enabled; this untagged file carries the documentation so godoc renders
+// it regardless of build mode. The invariant is that Enabled is a
+// compile-time constant — callers multiply timeouts by it in const
+// expressions and the compiler deletes the dead branch — so it must never
+// become a variable or an init-time probe.
+//
+// Protecting gates: CI's race-all job runs the full suite under -race;
+// any budget that was not scaled through this flag tends to surface there
+// as a timeout flake.
+package raceflag

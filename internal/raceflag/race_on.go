@@ -1,9 +1,5 @@
 //go:build race
 
-// Package raceflag exposes whether the binary was built with the race
-// detector, so timing-sensitive tests can scale their wall-clock budgets
-// instead of flaking under the detector's 5–20x slowdown (mirrors the
-// stdlib's internal/race pattern).
 package raceflag
 
 // Enabled is true when the binary was built with -race.

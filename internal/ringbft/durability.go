@@ -297,6 +297,27 @@ func (r *Replica) logBlock(seq types.SeqNum, primary types.NodeID, batch *types.
 	}
 }
 
+// recoverExecuted repopulates the executed/proposed caches for one
+// recovered block. A coalesced block (adaptive batching, Batch.Reqs) is
+// additionally split back into its original client requests so a client
+// retransmitting after the restart is answered under the digest it is
+// waiting on, exactly as the live respondBatch path would have.
+func (r *Replica) recoverExecuted(b *types.Batch, results []types.Value) {
+	d := b.Digest()
+	r.executed[d] = results
+	r.proposed[d] = struct{}{}
+	if len(b.Reqs) < 2 || len(results) < len(b.Txns) {
+		return
+	}
+	lo := 0
+	for _, sb := range b.SubBatches() {
+		sd := sb.Digest()
+		r.executed[sd] = results[lo : lo+len(sb.Txns)]
+		r.proposed[sd] = struct{}{}
+		lo += len(sb.Txns)
+	}
+}
+
 // applyRecovered rebuilds replica state from a snapshot plus the WAL tail.
 // Called from Preload, after the base table is installed and before any
 // message is handled.
@@ -306,9 +327,7 @@ func (r *Replica) applyRecovered(rec *wal.Recovered) {
 		view = snap.View
 		r.kv.Restore(snap.Pairs)
 		r.chain = snap.RebuildChain(func(sb *wal.SnapBlock) {
-			d := sb.Batch.Digest()
-			r.executed[d] = sb.Results
-			r.proposed[d] = struct{}{}
+			r.recoverExecuted(sb.Batch, sb.Results)
 			r.execDone[sb.Seq] = struct{}{}
 		})
 		r.kmax = snap.KMax
@@ -340,9 +359,7 @@ func (r *Replica) applyRecovered(rec *wal.Recovered) {
 				}
 				r.kv.ApplyTxnWrites(&t.Batch.Txns[j], r.shard, r.cfg.Shards, t.Results[j])
 			}
-			d := t.Batch.Digest()
-			r.executed[d] = t.Results
-			r.proposed[d] = struct{}{}
+			r.recoverExecuted(t.Batch, t.Results)
 			r.chain.Append(t.Seq, t.Primary, t.Batch)
 			r.execDone[t.Seq] = struct{}{}
 		default:

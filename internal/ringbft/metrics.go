@@ -28,6 +28,15 @@ type replicaMetrics struct {
 	certVerifies   *metrics.Counter
 	walGC          *metrics.Counter
 
+	// Pipelined-consensus telemetry: coalescedReqs counts client requests
+	// the adaptive batcher merged into larger proposals, pipelineClamped
+	// counts propose passes where transport backpressure shrank the window
+	// to one slot, and inflight samples the engine's pre-prepared-but-
+	// uncommitted sequence count each tick.
+	coalescedReqs   *metrics.Counter
+	pipelineClamped *metrics.Counter
+	inflight        *metrics.Gauge
+
 	queueDepth *metrics.Gauge
 	awaiting   *metrics.Gauge
 	lockKeys   *metrics.Gauge
@@ -68,6 +77,10 @@ func newReplicaMetrics(reg *metrics.Registry, shard types.ShardID, self types.No
 		durErrors:      reg.Counter("ringbft_durability_errors_total", lbl...),
 		certVerifies:   reg.Counter("ringbft_cert_verifications_total", lbl...),
 		walGC:          reg.Counter("wal_segments_gced_total", lbl...),
+
+		coalescedReqs:   reg.Counter("ringbft_coalesced_requests_total", lbl...),
+		pipelineClamped: reg.Counter("ringbft_pipeline_clamped_total", lbl...),
+		inflight:        reg.Gauge("ringbft_inflight_proposals", lbl...),
 
 		queueDepth: reg.Gauge("ringbft_propose_queue_depth", lbl...),
 		awaiting:   reg.Gauge("ringbft_awaiting_proposals", lbl...),

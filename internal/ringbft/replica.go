@@ -99,7 +99,15 @@ type Replica struct {
 	// primary sits on them; a new primary proposes them on promotion.
 	awaitingProposal map[types.Digest]*pendingProposal
 	proposed         map[types.Digest]struct{}
-	proposeQueue     []*types.Batch // backpressure buffer for window-full
+	proposeQueue     []*types.Batch // FIFO; overflow + pipelined-mode staging
+
+	// Pipelined consensus (cfg.PipelineDepth >= 1): backpressure polls the
+	// transport's outbound backlog, bpLimit is the clamp threshold (half
+	// the outbox depth), and mergedReqs counts client requests the
+	// adaptive batcher coalesced into larger proposals.
+	backpressure func() int
+	bpLimit      int
+	mergedReqs   int64
 
 	// Rolling digest over the contiguous committed prefix (deterministic
 	// across replicas even when non-conflicting executions interleave
@@ -266,6 +274,15 @@ type Options struct {
 	// (pre-prepare through reply, plus view-change and state-transfer
 	// spans) stamped with the replica clock.
 	Tracer *trace.Tracer
+
+	// Backpressure, when non-nil, reports the transport's current queued
+	// outbound backlog (tcpnet: the sum of per-peer outbox occupancy).
+	// Under pipelined consensus (Config.PipelineDepth > 1) a backlog past
+	// half the configured OutboxDepth clamps the pipeline to one slot —
+	// pushing more proposals at a transport that is already queuing only
+	// converts bounded outbox memory into counted drops. Nil (simnet, the
+	// deterministic chaos cluster) means no backpressure signal.
+	Backpressure func() int
 }
 
 // OpenDurability opens the durability manager for replica self under
@@ -320,7 +337,13 @@ func New(opts Options) *Replica {
 		ev:               ev,
 		clientSeen:       make(map[types.TxnID]types.Digest),
 		fwdSeen:          make(map[fwdKey]evidence.Msg),
+		backpressure:     opts.Backpressure,
 	}
+	bpDepth := opts.Config.OutboxDepth
+	if bpDepth <= 0 {
+		bpDepth = 4096 // the tcpnet default
+	}
+	r.bpLimit = bpDepth / 2
 	r.tr = opts.Tracer
 	if opts.Metrics != nil {
 		r.met = newReplicaMetrics(opts.Metrics, opts.Shard, opts.Self)
@@ -480,11 +503,14 @@ type Stats struct {
 	StateTransfers int64
 	// DurErrors counts durability-layer write failures (0 on any healthy
 	// filesystem; recovery degrades gracefully but tests assert 0).
-	DurErrors    int64
-	LockedKeys   int
-	LedgerHeight int
-	KMax         types.SeqNum
-	ExecSeq      types.SeqNum
+	DurErrors int64
+	// CoalescedReqs counts client requests the adaptive batcher merged
+	// into larger proposals (primary-side only; 0 with PipelineDepth 0).
+	CoalescedReqs int64
+	LockedKeys    int
+	LedgerHeight  int
+	KMax          types.SeqNum
+	ExecSeq       types.SeqNum
 }
 
 // Stats returns a snapshot of the replica's counters. Call only from the
@@ -499,6 +525,7 @@ func (r *Replica) Stats() Stats {
 		RemoteViews:    r.remoteViews,
 		StateTransfers: r.stateTransfers,
 		DurErrors:      r.durErrors,
+		CoalescedReqs:  r.mergedReqs,
 		LockedKeys:     r.locks.Count(),
 		LedgerHeight:   r.chain.Height(),
 		KMax:           r.kmax,
@@ -672,12 +699,39 @@ func (r *Replica) propose(b *types.Batch, d types.Digest) {
 		// three or more shards, found by internal/chaos).
 		return
 	}
+	if r.cfg.PipelineDepth > 0 {
+		// Pipelined mode: every proposal goes through the FIFO queue so
+		// fresh arrivals cannot jump requests already waiting for a slot,
+		// and the drain below applies the depth bound and the adaptive
+		// batcher uniformly.
+		r.proposeQueue = append(r.proposeQueue, b)
+		r.tryProposeQueued()
+		return
+	}
 	if _, err := r.engine.Propose(b); err != nil {
 		// Window full or view change: park it for the tick to retry.
 		r.proposeQueue = append(r.proposeQueue, b)
 		return
 	}
 	r.proposed[d] = struct{}{}
+}
+
+// pipelineSlots returns how many additional proposals the primary may put
+// in flight right now under cfg.PipelineDepth, after subtracting the
+// engine's current in-flight count and applying the backpressure clamp.
+// Call only with PipelineDepth >= 1.
+func (r *Replica) pipelineSlots() int {
+	depth := r.cfg.PipelineDepth
+	if depth > 1 && r.backpressure != nil && r.backpressure() > r.bpLimit {
+		// The transport is already queuing: stop widening the window and
+		// let the in-flight tail drain. One slot keeps liveness (the
+		// engine's view-change timers assume a primary that proposes).
+		depth = 1
+		if r.met != nil {
+			r.met.pipelineClamped.Inc()
+		}
+	}
+	return depth - r.engine.InFlight()
 }
 
 func (r *Replica) tryProposeQueued() {
@@ -699,12 +753,123 @@ func (r *Replica) tryProposeQueued() {
 			r.proposeQueue = r.proposeQueue[1:]
 			continue
 		}
+		if r.cfg.PipelineDepth > 0 {
+			if r.pipelineSlots() <= 0 {
+				return // window full: wait for a commit to free a slot
+			}
+			if r.holdForFill(b) {
+				return // deep slot, partial batch: wait for fill or drain
+			}
+			b = r.coalesceHead()
+			d = b.Digest()
+		}
 		if _, err := r.engine.Propose(b); err != nil {
 			return // still blocked
 		}
 		r.proposed[d] = struct{}{}
+		for _, sb := range b.SubBatches() {
+			// Latch the original request digests too, so a client
+			// retransmission of a coalesced request cannot be proposed a
+			// second time (its transactions would execute twice).
+			r.proposed[sb.Digest()] = struct{}{}
+		}
 		r.proposeQueue = r.proposeQueue[1:]
 	}
+}
+
+// holdForFill reports whether the primary should keep the queue's head
+// waiting for more arrivals instead of proposing it into a free slot.
+// The minimum proposal size ramps with window occupancy —
+// BatchSize × inFlight / PipelineDepth — so an empty window proposes
+// immediately (latency mode) while each deeper slot demands a fuller
+// merge (throughput mode). The ramp keeps the window's total transaction
+// carry at saturation at least a full batch per round trip — what
+// lockstep-with-merging achieves — instead of letting a burst of small
+// proposals occupy every slot and multiply per-proposal consensus cost
+// (messages, signatures, quorum waits) exactly when the system is
+// closest to its knee. Holding is always safe: every commit shrinks the
+// in-flight count, lowering the bar and re-draining, so with no further
+// arrivals the held head is proposed — no timer, no livelock.
+func (r *Replica) holdForFill(head *types.Batch) bool {
+	if head.IsCrossShard() {
+		return false // ring hops never wait: the whole ring is behind them
+	}
+	need := r.cfg.BatchSize * r.engine.InFlight() / r.cfg.PipelineDepth
+	if need <= 0 {
+		return false // shallow window: propose immediately
+	}
+	queued := 0
+	for _, b := range r.proposeQueue {
+		if b.IsCrossShard() || !sameInvolved(head.Involved, b.Involved) {
+			break // coalesceHead's merge run stops here too
+		}
+		queued += len(b.Txns)
+		if queued >= need {
+			return false // enough mergeable backlog for this slot — send it
+		}
+	}
+	return true
+}
+
+// coalesceHead is the adaptive batcher: it takes the request at the head of
+// the proposal queue and, under backlog, merges the immediately following
+// queued requests into it — growing the proposal toward cfg.BatchSize —
+// leaving the merged followers out of the queue. Under light load the head
+// is proposed alone, immediately, with its digest (and therefore the wire
+// encoding every waiting client matches on) unchanged. Only consecutive
+// single-shard requests with the identical involved set merge: cross-shard
+// batches are pinned to their digest by the ring rotation (Forward
+// certificates, Σ accumulation, and lock release are all keyed by it).
+// The caller still holds the head at queue position 0; merged followers are
+// removed here.
+func (r *Replica) coalesceHead() *types.Batch {
+	head := r.proposeQueue[0]
+	if head.IsCrossShard() || len(head.Reqs) > 0 ||
+		len(head.Txns) >= r.cfg.BatchSize || len(r.proposeQueue) < 2 {
+		return head
+	}
+	txns := head.Txns
+	reqs := []uint32{uint32(len(head.Txns))}
+	rest := r.proposeQueue[1:]
+	taken := 0
+	for _, nb := range rest {
+		if nb.IsCrossShard() || len(nb.Reqs) > 0 ||
+			!sameInvolved(head.Involved, nb.Involved) ||
+			len(txns)+len(nb.Txns) > r.cfg.BatchSize {
+			break
+		}
+		if _, done := r.proposed[nb.Digest()]; done {
+			break // keep FIFO semantics: the dedup shift handles it later
+		}
+		txns = append(txns[:len(txns):len(txns)], nb.Txns...)
+		reqs = append(reqs, uint32(len(nb.Txns)))
+		taken++
+	}
+	if taken == 0 {
+		return head
+	}
+	// Compact the queue: position 0 keeps the head (the caller shifts it),
+	// the merged followers disappear.
+	r.proposeQueue = append(r.proposeQueue[:1], rest[taken:]...)
+	r.mergedReqs += int64(taken)
+	if r.met != nil {
+		r.met.coalescedReqs.Add(int64(taken))
+	}
+	return &types.Batch{Txns: txns, Involved: head.Involved, Reqs: reqs}
+}
+
+// sameInvolved reports whether two involved sets are identical (both are
+// canonically sorted by construction).
+func sameInvolved(a, b []types.ShardID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // onCommitted is the engine's commit callback (may fire out of sequence
@@ -713,6 +878,17 @@ func (r *Replica) onCommitted(seq types.SeqNum, batch *types.Batch, cert []types
 	d := batch.Digest()
 	delete(r.awaitingProposal, d)
 	r.proposed[d] = struct{}{}
+	if len(batch.Reqs) > 1 {
+		// A coalesced proposal commits every client request inside it:
+		// disarm the per-request watchdog entries (or every backup would
+		// keep demanding a view change for requests already decided) and
+		// latch their digests against re-proposal.
+		for _, sb := range batch.SubBatches() {
+			sd := sb.Digest()
+			delete(r.awaitingProposal, sd)
+			r.proposed[sd] = struct{}{}
+		}
+	}
 	r.lockQueue[seq] = &logEntry{seq: seq, batch: batch, cert: cert}
 	r.drainLockQueue()
 }
@@ -781,7 +957,7 @@ func (r *Replica) afterLocked(ent *logEntry) {
 		r.chain.Append(ent.seq, primary, b)
 		r.logBlock(ent.seq, primary, b, results)
 		r.markExecuted(ent.seq)
-		r.respond(clientOf(b), d, results)
+		r.respondBatch(b, d, results)
 		r.observe(ent.seq, trace.PhaseReply)
 		r.drainLockQueue()
 		return
@@ -868,6 +1044,26 @@ func (r *Replica) localKeys(b *types.Batch) []types.Key {
 		keys = append(keys, t.WritesAt(r.shard, r.cfg.Shards)...)
 	}
 	return keys
+}
+
+// respondBatch answers the clients behind an executed single-shard batch.
+// A plain batch answers its issuer under the batch digest; a coalesced
+// batch is split back into the original client requests, each answered —
+// and cached for retransmissions — under the digest that client computed
+// when it submitted (a client knows nothing about the primary's batching).
+func (r *Replica) respondBatch(b *types.Batch, d types.Digest, results []types.Value) {
+	if len(b.Reqs) < 2 {
+		r.respond(clientOf(b), d, results)
+		return
+	}
+	lo := 0
+	for _, sb := range b.SubBatches() {
+		sd := sb.Digest()
+		res := results[lo : lo+len(sb.Txns)]
+		lo += len(sb.Txns)
+		r.executed[sd] = res
+		r.respond(clientOf(&sb), sd, res)
+	}
 }
 
 func (r *Replica) respond(client types.NodeID, d types.Digest, results []types.Value) {

@@ -36,6 +36,7 @@ func (r *Replica) HandleTick(now time.Time) {
 		// Occupancy gauges, sampled once per tick: cheap atomic stores, and
 		// a scrape between ticks sees a consistent recent view.
 		r.met.queueDepth.Set(int64(len(r.proposeQueue)))
+		r.met.inflight.Set(int64(r.engine.InFlight()))
 		r.met.awaiting.Set(int64(len(r.awaitingProposal)))
 		r.met.lockKeys.Set(int64(r.locks.Count()))
 		r.met.evRecords.Set(int64(r.ev.Len()))

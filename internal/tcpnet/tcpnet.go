@@ -286,6 +286,23 @@ func (t *Transport) Send(to types.NodeID, m *types.Message) {
 	}
 }
 
+// Backlog reports the number of frames currently queued across every
+// per-peer outbox — the transport-side backpressure signal for pipelined
+// consensus hosts (ringbft.Options.Backpressure). A backlog that stays
+// near the configured OutboxDepth means the writers are not keeping up
+// with the send rate, so a primary should stop widening its pipeline
+// window before bounded outbox memory turns into counted drops. O(peers),
+// no blocking: channel occupancy reads under the table lock only.
+func (t *Transport) Backlog() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, p := range t.peers {
+		n += len(p.out)
+	}
+	return n
+}
+
 // resolve maps a peer to its dialable address.
 func (t *Transport) resolve(to types.NodeID) (string, bool) {
 	if t.opt.Resolver != nil {

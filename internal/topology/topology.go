@@ -1,6 +1,20 @@
 // Package topology describes a multi-process RingBFT deployment: the shard
-// shape, the per-node TCP addresses, and the shared key seed. Both
-// cmd/ringbft-node and cmd/ringbft-client load the same file.
+// shape, the per-node TCP addresses, the client addresses, and the shared
+// key seed. Both cmd/ringbft-node and cmd/ringbft-client load the same JSON
+// file, so one artifact defines the whole cluster.
+//
+// The file is the deployment's trust root: the key seed deterministically
+// derives every node's HMAC pairs and Ed25519 identity (package crypto), so
+// replicas that load the same file authenticate each other with no runtime
+// key exchange. The invariant Parse enforces is completeness — every
+// (shard, index) in the declared shape must have an address, and the shape
+// must admit f >= 1 (n >= 4 per shard) — because a partial table would
+// surface later as silent unknown-peer drops in the transport rather than
+// as a startup error.
+//
+// Protecting gates: topology_test.go rejects malformed and incomplete
+// files, and the harness' TCP suite boots real clusters from generated
+// topologies on every CI run.
 package topology
 
 import (

@@ -10,6 +10,20 @@ type Config struct {
 
 	BatchSize int // transactions per consensus batch (paper default 100)
 
+	// PipelineDepth bounds how many proposals a primary keeps in flight
+	// (PRE-PREPAREd but not yet committed) across sequence numbers. 0 keeps
+	// the legacy behaviour — the primary drains its proposal queue up to the
+	// pbft engine's full log window (512 sequences). Depth 1 is lockstep
+	// (one consensus instance at a time, the latency floor); small depths
+	// (4–16) overlap PRE-PREPARE/PREPARE/COMMIT across sequences, moving
+	// the open-loop saturation knee right while commit-order execution is
+	// preserved by the executed-prefix watermark. A depth >= 1 also enables
+	// adaptive batching: the primary coalesces queued single-shard client
+	// requests toward BatchSize under backlog, proposes immediately under
+	// light load, and clamps the window to one slot under transport
+	// backpressure (see ringbft.Options.Backpressure).
+	PipelineDepth int
+
 	// ExecWorkers is the worker-pool size of the dependency-aware batch
 	// executor (package sched): committed batches are layered by conflicts
 	// between read/write sets and each layer's independent transactions run
@@ -86,6 +100,8 @@ func (c *Config) Validate() error {
 		return errConfig("ReplicasPerShard must be >= 4 (n >= 3f+1 with f >= 1)")
 	case c.BatchSize < 1:
 		return errConfig("BatchSize must be >= 1")
+	case c.PipelineDepth < 0:
+		return errConfig("PipelineDepth must be >= 0 (0 = unbounded)")
 	}
 	return nil
 }

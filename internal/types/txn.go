@@ -138,6 +138,16 @@ func SortedSeqKeys[V any](m map[SeqNum]V) []SeqNum {
 type Batch struct {
 	Txns     []Txn
 	Involved []ShardID // sorted ring order; len==1 => single-shard batch
+
+	// Reqs records the transaction count of each original client request
+	// coalesced into this batch by the primary's adaptive batcher
+	// (PipelineDepth >= 1). Empty means the batch is exactly one client
+	// request — the common case, whose digest encoding is unchanged — so
+	// every digest minted before adaptive batching existed stays valid.
+	// When set, len(Reqs) >= 2 and the counts sum to len(Txns); replicas
+	// use SubBatches to answer each original client under the digest that
+	// client is waiting on.
+	Reqs []uint32
 }
 
 // IsCrossShard reports whether the batch involves more than one shard.
@@ -219,9 +229,62 @@ func (b *Batch) Digest() Digest {
 	for _, s := range b.Involved {
 		writeU64(uint64(s))
 	}
+	// Request boundaries are part of the identity of a coalesced batch: two
+	// different slicings of the same transactions must not share a digest,
+	// or a Byzantine primary could equivocate on who gets answered. The
+	// section is appended only when boundaries exist, so single-request
+	// batches keep their historical digests (the encoding stays uniquely
+	// parseable: every field's length is determined by the counts before
+	// it, so equal encodings imply equal field values including the
+	// presence of this section).
+	if len(b.Reqs) > 0 {
+		writeU64(uint64(len(b.Reqs)))
+		for _, n := range b.Reqs {
+			writeU64(uint64(n))
+		}
+	}
 	var d Digest
 	copy(d[:], h.Sum(nil))
 	return d
+}
+
+// SubBatches splits a coalesced batch back into the original client
+// requests recorded in Reqs, each with the shared involved set (the batcher
+// only merges requests with identical involved sets). A batch without
+// boundaries — or with malformed ones, which only a Byzantine primary can
+// produce since boundaries are covered by the digest — is returned whole:
+// the merged digest then answers no waiting client, and the client-side
+// retransmission/view-change watchdogs recover liveness.
+func (b *Batch) SubBatches() []Batch {
+	if len(b.Reqs) < 2 || !b.validReqs() {
+		return []Batch{*b}
+	}
+	out := make([]Batch, 0, len(b.Reqs))
+	lo := 0
+	for _, n := range b.Reqs {
+		out = append(out, Batch{Txns: b.Txns[lo : lo+int(n)], Involved: b.Involved})
+		lo += int(n)
+	}
+	return out
+}
+
+// validReqs reports whether the request boundaries are well formed: at
+// least two non-empty requests whose counts sum to exactly len(Txns).
+func (b *Batch) validReqs() bool {
+	if len(b.Reqs) < 2 {
+		return false
+	}
+	sum := 0
+	for _, n := range b.Reqs {
+		if n == 0 {
+			return false
+		}
+		sum += int(n)
+		if sum > len(b.Txns) {
+			return false
+		}
+	}
+	return sum == len(b.Txns)
 }
 
 // WriteSet is one shard's executed write set for a batch: the paper's Σℑ

@@ -124,6 +124,10 @@ func appendBatch(dst []byte, b *types.Batch) []byte {
 	for _, s := range b.Involved {
 		dst = appendU64(dst, uint64(s))
 	}
+	dst = appendU64(dst, uint64(len(b.Reqs)))
+	for _, n := range b.Reqs {
+		dst = appendU64(dst, uint64(n))
+	}
 	return dst
 }
 
@@ -150,6 +154,13 @@ func (r *reader) batch() *types.Batch {
 	b.Involved = make([]types.ShardID, ni)
 	for j := range b.Involved {
 		b.Involved[j] = types.ShardID(r.u64())
+	}
+	nq := r.count(1 << 20)
+	if nq > 0 {
+		b.Reqs = make([]uint32, nq)
+		for j := range b.Reqs {
+			b.Reqs[j] = uint32(r.u64())
+		}
 	}
 	if r.err {
 		return nil

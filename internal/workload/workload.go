@@ -5,6 +5,25 @@
 // cross-shard transaction (consecutive shards, matching the paper's client
 // behaviour), optional Zipfian skew, and optional remote-read dependencies
 // that turn simple cst into complex cst (Section 8.8).
+//
+// The load-bearing invariant is seeded determinism: a Generator constructed
+// with the same Config (including Seed) emits the same batch sequence,
+// txn for txn, which is what makes harness runs reproducible, the chaos
+// engine's fingerprints byte-stable across re-runs, and the pipelined
+// determinism property (same arrivals, any PipelineDepth, identical blocks)
+// testable at all. Every random draw flows from the Config seed; the
+// package never reads the wall clock or global rand.
+//
+// Per-transaction IDs are (ClientID, monotonic seq), so replicas can
+// deduplicate retransmissions and detect conflicting same-ID payloads
+// (client-conflict evidence). BatchSize here is the *client request* size —
+// under a pipelined primary (types.Config.PipelineDepth >= 1) requests
+// smaller than the consensus BatchSize may be coalesced into one proposal;
+// the generator itself never merges.
+//
+// Protecting gates: workload_test.go pins shard targeting, involved-set
+// shape, striping, and per-client ID monotonicity; chaos.TestSeedDeterminism
+// fails on any nondeterministic draw introduced here.
 package workload
 
 import (

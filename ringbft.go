@@ -142,6 +142,13 @@ type ClusterConfig struct {
 	// SubmitTimeout bounds one synchronous Submit (default 10s).
 	SubmitTimeout time.Duration
 
+	// PipelineDepth bounds how many proposals each primary keeps in flight
+	// across sequence numbers (types.Config.PipelineDepth): 0 preserves the
+	// legacy unbounded drain, 1 is lockstep, and deeper windows overlap
+	// PRE-PREPARE/PREPARE/COMMIT rounds and enable adaptive batching of
+	// queued single-shard requests. Execution order is unaffected.
+	PipelineDepth int
+
 	// Durable backs every replica with the durability subsystem
 	// (internal/wal): a segmented write-ahead log plus snapshots at stable
 	// checkpoints, so KillReplica / RestartReplica recover real state from
@@ -200,6 +207,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	tcfg := types.DefaultConfig(cfg.Shards, cfg.ReplicasPerShard)
 	tcfg.ExecWorkers = cfg.ExecWorkers
 	tcfg.VerifyWorkers = cfg.VerifyWorkers
+	tcfg.PipelineDepth = cfg.PipelineDepth
 	if cfg.CheckpointInterval > 0 {
 		tcfg.CheckpointInterval = cfg.CheckpointInterval
 	}

@@ -1,0 +1,72 @@
+#!/bin/sh
+# docs-check: fail when the docs drift from the binaries or the Makefile.
+#
+#   1. Every backticked `-flag` in the docs must be a flag some binary or
+#      test file actually defines (go-tool flags like -run are allowlisted).
+#   2. Every flag ringbft-node defines must be documented: the deployment
+#      binary's knob surface is the docs' contract with operators.
+#   3. Every `make <target>` the docs reference must exist in the Makefile.
+#   4. ARCHITECTURE.md must exist and be linked from README.md.
+#
+# Run as `make docs-check` (part of `make verify` and the CI build-test job).
+set -eu
+cd "$(dirname "$0")/.."
+
+DOCS="README.md EXPERIMENTS.md ARCHITECTURE.md"
+fail=0
+
+# Flags owned by the go tool itself; the docs name them in test/bench
+# invocations, no binary of ours defines them.
+go_tool_flags="run v race bench benchmem benchtime fuzz fuzztime"
+
+# Every flag name defined via the flag package anywhere in cmd/ or
+# internal/ (test files define the -chaos.* replay flags).
+defined=$(grep -rhoE 'flag\.[A-Za-z0-9]+\("[^"]+"' cmd internal --include='*.go' \
+    | sed -E 's/.*\("([^"]+)"/\1/' | sort -u)
+
+# 1. Documented flags must exist. A doc flag is a backtick immediately
+# followed by a dash: `-pipeline-depth`, `-chaos.seed=N`, `-profile full`.
+doc_flags=$(grep -ohE '`-[a-z][a-z0-9.-]*' $DOCS | sed 's/^`-//' | sort -u)
+for f in $doc_flags; do
+    case " $go_tool_flags " in *" $f "*) continue ;; esac
+    if ! printf '%s\n' "$defined" | grep -qx "$f"; then
+        echo "docs-check: docs mention \`-$f\` but no binary defines a flag named \"$f\"" >&2
+        fail=1
+    fi
+done
+
+# 2. Every ringbft-node flag must appear as -<name> somewhere in the docs.
+node_flags=$(grep -oE 'flag\.[A-Za-z0-9]+\("[^"]+"' cmd/ringbft-node/main.go \
+    | sed -E 's/.*\("([^"]+)"/\1/')
+for f in $node_flags; do
+    if ! grep -qE -- "-$f\b" $DOCS; then
+        echo "docs-check: ringbft-node defines -$f but no doc mentions it" >&2
+        fail=1
+    fi
+done
+
+# 3. Referenced make targets must exist. Doc references are either
+# backticked (`make verify`) or a code-fence line starting with "make ".
+targets=$(grep -E '^[A-Za-z][A-Za-z0-9_-]*:' Makefile | cut -d: -f1 | sort -u)
+doc_targets=$(grep -ohE '(`|^)make [a-z][a-z0-9-]*' $DOCS \
+    | sed -E 's/^`?make //' | sort -u)
+for t in $doc_targets; do
+    if ! printf '%s\n' "$targets" | grep -qx "$t"; then
+        echo "docs-check: docs reference \"make $t\" but the Makefile has no target \"$t\"" >&2
+        fail=1
+    fi
+done
+
+# 4. The architecture doc must exist and be reachable from the README.
+if [ ! -f ARCHITECTURE.md ]; then
+    echo "docs-check: ARCHITECTURE.md is missing" >&2
+    fail=1
+elif ! grep -q 'ARCHITECTURE.md' README.md; then
+    echo "docs-check: README.md does not link ARCHITECTURE.md" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "docs-check: OK ($(printf '%s\n' "$doc_flags" | wc -l | tr -d ' ') doc flags, $(printf '%s\n' "$doc_targets" | wc -l | tr -d ' ') make targets cross-checked)"
